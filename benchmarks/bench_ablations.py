@@ -1,0 +1,120 @@
+"""Ablation benches for the design choices the paper singles out.
+
+Three ablations, each isolating one ingredient of DDM-GNN:
+
+* **Coarse level** (Sec. II-A / Table I): two-level vs one-level DDM-GNN and
+  DDM-LU.  The coarse space is what makes the preconditioner scalable in the
+  number of sub-domains.
+* **Residual normalisation** (Sec. III-A): feeding the DSS the raw local
+  residual instead of the normalised one.  The paper argues normalisation is
+  required because the residual norm shrinks towards zero along the PCG
+  iterations, pushing the inputs out of the training distribution.
+* **Local solver quality**: exact LU vs DSS vs damped Jacobi sweeps, holding
+  the rest of the preconditioner fixed — situating the GNN between the exact
+  and the cheap classical local solver.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import HybridSolver, HybridSolverConfig
+from repro.core.ddm_gnn import DDMGNNPreconditioner
+from repro.fem import random_poisson_problem
+from repro.krylov import preconditioned_conjugate_gradient
+from repro.mesh import mesh_for_target_size
+from repro.partition import OverlappingDecomposition, partition_mesh_target_size
+from repro.utils import format_table
+
+from common import ELEMENT_SIZE, SUBDOMAIN_SIZE, bench_scale, get_pretrained_model
+
+TOLERANCE = 1e-6
+
+
+@pytest.fixture(scope="module")
+def setup():
+    scale = bench_scale()
+    rng = np.random.default_rng(11)
+    mesh = mesh_for_target_size(scale.table1_sizes[-1], element_size=ELEMENT_SIZE, rng=rng)
+    problem = random_poisson_problem(mesh, rng=rng)
+    model = get_pretrained_model()
+    return problem, model
+
+
+def test_ablation_coarse_level(setup, benchmark):
+    """Two-level vs one-level preconditioning (the multi-level ingredient)."""
+    problem, model = setup
+    rows = []
+    iterations = {}
+    for kind in ("ddm-gnn", "ddm-lu"):
+        for levels in (1, 2):
+            solver = HybridSolver(
+                HybridSolverConfig(
+                    preconditioner=kind, subdomain_size=SUBDOMAIN_SIZE, overlap=2,
+                    levels=levels, tolerance=TOLERANCE, max_iterations=4000,
+                ),
+                model=model if kind == "ddm-gnn" else None,
+            )
+            result = solver.solve(problem)
+            iterations[(kind, levels)] = result.iterations
+            rows.append([kind, levels, result.iterations, result.converged])
+    print()
+    print(format_table(["preconditioner", "levels", "iterations", "converged"], rows,
+                       title="Ablation: coarse (second) level on/off"))
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    # the coarse level should not hurt, and typically helps
+    assert iterations[("ddm-lu", 2)] <= iterations[("ddm-lu", 1)] + 2
+    assert iterations[("ddm-gnn", 2)] <= iterations[("ddm-gnn", 1)] + 2
+
+
+def test_ablation_residual_normalisation(setup, benchmark):
+    """Normalised vs raw local residuals as DSS inputs (Sec. III-A)."""
+    problem, model = setup
+    partition = partition_mesh_target_size(problem.mesh, SUBDOMAIN_SIZE, rng=np.random.default_rng(0))
+    decomposition = OverlappingDecomposition(problem.mesh, partition, overlap=2)
+
+    rows = []
+    results = {}
+    for normalise in (True, False):
+        pre = DDMGNNPreconditioner(
+            problem.matrix, problem.mesh, decomposition, model, levels=2,
+            normalize_local_residuals=normalise,
+        )
+        result = preconditioned_conjugate_gradient(
+            problem.matrix, problem.rhs, preconditioner=pre, tolerance=TOLERANCE, max_iterations=2000
+        )
+        results[normalise] = result
+        rows.append(["normalised" if normalise else "raw", result.iterations,
+                     f"{result.final_relative_residual:.2e}", result.converged])
+    print()
+    print(format_table(["local residual input", "iterations", "final residual", "converged"], rows,
+                       title="Ablation: residual normalisation in DDM-GNN"))
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    # normalisation must converge; the raw variant is allowed to stagnate (that
+    # is precisely the failure mode the paper describes) but must not be better.
+    assert results[True].converged
+    assert results[True].final_relative_residual <= results[False].final_relative_residual * 10
+
+
+def test_ablation_local_solver_quality(setup, benchmark):
+    """Exact LU vs DSS vs damped Jacobi as the local sub-domain solver."""
+    problem, model = setup
+    rows = []
+    iterations = {}
+    for kind, label in (("ddm-lu", "exact LU"), ("ddm-gnn", "DSS (GNN)"), ("ddm-jacobi", "damped Jacobi")):
+        solver = HybridSolver(
+            HybridSolverConfig(
+                preconditioner=kind, subdomain_size=SUBDOMAIN_SIZE, overlap=2,
+                tolerance=TOLERANCE, max_iterations=4000, jacobi_sweeps=5,
+            ),
+            model=model if kind == "ddm-gnn" else None,
+        )
+        result = solver.solve(problem)
+        iterations[label] = result.iterations
+        rows.append([label, result.iterations, f"{result.elapsed_time:.3f}", result.converged])
+    print()
+    print(format_table(["local solver", "iterations", "time [s]", "converged"], rows,
+                       title="Ablation: local solver quality inside the two-level preconditioner"))
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert iterations["exact LU"] <= iterations["DSS (GNN)"] + 1

@@ -1,0 +1,92 @@
+"""Paper Fig. 6 — impact of the DSS hyper-parameters on solver performance.
+
+Fig. 6a plots the batched inference time of one preconditioner application and
+the PCG iteration count for each (k̄, d); Fig. 6b plots the total resolution
+time.  The paper's conclusion is that the *fastest overall solve* is obtained
+with a mid-sized model (k̄=10, d=10 there), not the most accurate one, because
+inference cost grows with model size while the iteration count saturates.
+
+This harness measures the same three series — per-application inference time,
+iterations at convergence, and total solve time — for a grid of (k̄, d) models
+trained with the shared scaled-down recipe.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import DDMGNNPreconditioner, HybridSolver, HybridSolverConfig
+from repro.fem import random_poisson_problem
+from repro.mesh import mesh_for_target_size
+from repro.utils import format_table
+
+from common import ELEMENT_SIZE, SUBDOMAIN_SIZE, bench_epochs, bench_scale, train_model
+
+GRID_SMALL = [(5, 10), (10, 10), (20, 10)]
+GRID_PAPER = [(5, 5), (5, 10), (5, 20), (10, 5), (10, 10), (10, 20), (20, 5), (20, 10), (20, 20), (30, 10)]
+TOLERANCE = 1e-6
+
+
+def test_fig6_hyperparameter_performance(benchmark):
+    scale = bench_scale()
+    grid = GRID_PAPER if scale.name == "paper" else GRID_SMALL
+    epochs = bench_epochs(3)
+
+    # the evaluation problem (N = 10 000 in the paper)
+    rng = np.random.default_rng(6)
+    target_n = 10000 if scale.name == "paper" else scale.table1_sizes[-1]
+    mesh = mesh_for_target_size(target_n, element_size=ELEMENT_SIZE, rng=rng)
+    problem = random_poisson_problem(mesh, rng=rng)
+
+    rows = []
+    total_times = {}
+    for k, d in grid:
+        model = train_model(num_iterations=k, latent_dim=d, epochs=epochs)
+        solver = HybridSolver(
+            HybridSolverConfig(
+                preconditioner="ddm-gnn",
+                subdomain_size=SUBDOMAIN_SIZE,
+                overlap=2,
+                tolerance=TOLERANCE,
+                max_iterations=4000,
+            ),
+            model=model,
+        )
+        result = solver.solve(problem)
+        stats = result.info["gnn_stats"]
+        total_times[(k, d)] = result.elapsed_time
+        rows.append(
+            [
+                k,
+                d,
+                model.num_parameters(),
+                f"{stats['mean_inference_time']:.4f}",
+                result.iterations,
+                f"{result.elapsed_time:.3f}",
+                result.converged,
+            ]
+        )
+
+    print()
+    print(format_table(
+        ["k̄", "d", "weights", "inference / application [s]", "iterations", "total time [s]", "converged"],
+        rows,
+        title=f"Fig. 6 (scale={scale.name}): DSS size vs preconditioner cost and solve time (N={mesh.num_nodes})",
+    ))
+
+    # timed kernel: one preconditioner application of the mid-sized model (the paper's sweet spot)
+    mid_model = train_model(10, 10, epochs=epochs)
+    pre = DDMGNNPreconditioner(
+        problem.matrix, problem.mesh,
+        HybridSolver(HybridSolverConfig(preconditioner="ddm-lu", subdomain_size=SUBDOMAIN_SIZE))._build_decomposition(problem),
+        mid_model,
+    )
+    residual = problem.rhs.copy()
+    benchmark.pedantic(lambda: pre.apply(residual), rounds=3, iterations=1)
+
+    # paper trend (Fig. 6a): larger models cost more per application
+    per_app = {(r[0], r[1]): float(r[3]) for r in rows}
+    assert per_app[grid[-1]] >= per_app[grid[0]] * 0.8, "inference cost should grow with model size"

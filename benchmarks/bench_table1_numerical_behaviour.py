@@ -1,0 +1,101 @@
+"""Paper Table I — numerical behaviour of the hybrid solver.
+
+For several global sizes N, sub-domain sizes Ns and overlaps, report the
+iteration count needed to reach a relative residual of 1e-6 for
+PCG-DDM-GNN, PCG-DDM-LU and plain CG.  The paper's qualitative findings that
+this harness reproduces:
+
+* DDM-LU always needs the fewest iterations; DDM-GNN is close behind;
+* both are far below plain CG and degrade slowly with N;
+* a larger overlap reduces the iteration count;
+* convergence holds for sub-domain sizes different from the training size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import HybridSolver, HybridSolverConfig
+from repro.fem import random_poisson_problem
+from repro.mesh import mesh_for_target_size
+from repro.utils import format_mean_std, format_table
+
+from common import ELEMENT_SIZE, SUBDOMAIN_SIZE, bench_scale, get_pretrained_model
+
+TOLERANCE = 1e-6
+
+
+def _iterations(problem, kind, model, subdomain_size, overlap):
+    solver = HybridSolver(
+        HybridSolverConfig(
+            preconditioner=kind,
+            subdomain_size=subdomain_size,
+            overlap=overlap,
+            tolerance=TOLERANCE,
+            max_iterations=6000,
+        ),
+        model=model if kind == "ddm-gnn" else None,
+    )
+    result = solver.solve(problem)
+    return result.iterations, result.info.get("num_subdomains", 0), result.converged
+
+
+def test_table1_numerical_behaviour(benchmark):
+    scale = bench_scale()
+    model = get_pretrained_model()
+    rng = np.random.default_rng(0)
+
+    # sub-domain sizes around the training size (paper: 500 / 1000 / 2000)
+    subdomain_sizes = (SUBDOMAIN_SIZE // 2, SUBDOMAIN_SIZE, SUBDOMAIN_SIZE * 2)
+    rows = []
+    converged_all = True
+
+    for target_n in scale.table1_sizes:
+        mesh = mesh_for_target_size(target_n, element_size=ELEMENT_SIZE, rng=rng)
+        problems = [random_poisson_problem(mesh, rng=rng) for _ in range(scale.repetitions)]
+        configurations = [(ns, 2) for ns in subdomain_sizes] + [(SUBDOMAIN_SIZE, 4)]
+        for ns, overlap in configurations:
+            iters = {"ddm-gnn": [], "ddm-lu": [], "none": []}
+            ks = []
+            for problem in problems:
+                for kind in iters:
+                    count, k, ok = _iterations(problem, kind, model, ns, overlap)
+                    iters[kind].append(count)
+                    converged_all &= ok
+                    if kind == "ddm-lu":
+                        ks.append(k)
+            rows.append(
+                [
+                    mesh.num_nodes,
+                    ns,
+                    int(np.mean(ks)),
+                    overlap,
+                    format_mean_std(np.mean(iters["ddm-gnn"]), np.std(iters["ddm-gnn"]), 0),
+                    format_mean_std(np.mean(iters["ddm-lu"]), np.std(iters["ddm-lu"]), 0),
+                    format_mean_std(np.mean(iters["none"]), np.std(iters["none"]), 0),
+                ]
+            )
+
+    print()
+    print(format_table(
+        ["N", "Ns", "K", "Overlap", "DDM-GNN", "DDM-LU", "CG"],
+        rows,
+        title=f"Table I (scale={scale.name}): iterations to relative residual {TOLERANCE:g}",
+    ))
+
+    # benchmark the reference configuration (middle row) as the timed kernel
+    reference_mesh = mesh_for_target_size(scale.table1_sizes[0], element_size=ELEMENT_SIZE, rng=rng)
+    reference_problem = random_poisson_problem(reference_mesh, rng=rng)
+    benchmark.pedantic(
+        lambda: _iterations(reference_problem, "ddm-gnn", model, SUBDOMAIN_SIZE, 2),
+        rounds=1,
+        iterations=1,
+    )
+
+    assert converged_all, "every configuration of Table I must converge to the tolerance"
+    # the paper's ordering: DDM-LU <= DDM-GNN < CG on every row
+    for row in rows:
+        gnn, lu, cg = (int(str(row[i]).split("±")[0]) for i in (4, 5, 6))
+        assert lu <= gnn + 1
+        assert gnn < cg

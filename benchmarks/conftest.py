@@ -1,0 +1,18 @@
+"""Pytest configuration for the benchmark harnesses.
+
+Each ``bench_*`` module reproduces one table or figure of the paper.  They are
+regular pytest tests using the ``benchmark`` fixture of pytest-benchmark, so
+
+    pytest benchmarks/ --benchmark-only
+
+runs them all and prints both the pytest-benchmark timing table and the
+paper-shaped rows emitted on stdout (run with ``-s`` to see the tables live).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# make `import common` work regardless of the rootdir pytest was invoked from
+sys.path.insert(0, str(Path(__file__).resolve().parent))

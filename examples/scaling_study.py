@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Scalability study: iteration counts vs problem size, sub-domain size and overlap.
+
+This reproduces the *structure* of the paper's Table I on a CPU-friendly
+scale: for several global problem sizes N and sub-domain sizes Ns, it reports
+the mean ± std iteration count of PCG-DDM-GNN, PCG-DDM-LU and plain CG over a
+few random problems, plus the effect of a larger overlap.
+
+The qualitative conclusions of the paper are visible directly in the output:
+
+* both DDM preconditioners keep the iteration count nearly flat as N grows,
+  while plain CG degrades;
+* DDM-GNN needs only slightly more iterations than DDM-LU;
+* a larger overlap reduces the iteration count.
+
+Run:  python examples/scaling_study.py [--repetitions 3]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "benchmarks"))
+
+from repro.core import HybridSolver, HybridSolverConfig
+from repro.fem import random_poisson_problem
+from repro.mesh import mesh_for_target_size
+from repro.utils import format_mean_std, format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sizes", type=int, nargs="+", default=[500, 1200, 2500], help="target global sizes N")
+    parser.add_argument("--subdomain-sizes", type=int, nargs="+", default=[60, 110, 220], help="target Ns values")
+    parser.add_argument("--overlaps", type=int, nargs="+", default=[2, 4])
+    parser.add_argument("--repetitions", type=int, default=2, help="random problems per configuration")
+    parser.add_argument("--tolerance", type=float, default=1e-6)
+    parser.add_argument("--element-size", type=float, default=0.07)
+    args = parser.parse_args()
+
+    from common import get_pretrained_model  # benchmarks/common.py
+
+    model = get_pretrained_model()
+    rng = np.random.default_rng(0)
+
+    rows = []
+    for target_n in args.sizes:
+        mesh = mesh_for_target_size(target_n, element_size=args.element_size, rng=rng)
+        problems = [random_poisson_problem(mesh, rng=rng) for _ in range(args.repetitions)]
+        for ns in args.subdomain_sizes:
+            for overlap in args.overlaps:
+                if overlap != args.overlaps[0] and ns != args.subdomain_sizes[len(args.subdomain_sizes) // 2]:
+                    continue  # the paper only varies the overlap at the reference Ns
+                iteration_counts = {"ddm-gnn": [], "ddm-lu": [], "none": []}
+                k_values = []
+                for problem in problems:
+                    for kind in iteration_counts:
+                        solver = HybridSolver(
+                            HybridSolverConfig(
+                                preconditioner=kind,
+                                subdomain_size=ns,
+                                overlap=overlap,
+                                tolerance=args.tolerance,
+                                max_iterations=4000,
+                            ),
+                            model=model if kind == "ddm-gnn" else None,
+                        )
+                        result = solver.solve(problem)
+                        iteration_counts[kind].append(result.iterations)
+                        if kind == "ddm-lu":
+                            k_values.append(result.info["num_subdomains"])
+                rows.append(
+                    [
+                        mesh.num_nodes,
+                        ns,
+                        int(np.mean(k_values)),
+                        overlap,
+                        format_mean_std(np.mean(iteration_counts["ddm-gnn"]), np.std(iteration_counts["ddm-gnn"]), 0),
+                        format_mean_std(np.mean(iteration_counts["ddm-lu"]), np.std(iteration_counts["ddm-lu"]), 0),
+                        format_mean_std(np.mean(iteration_counts["none"]), np.std(iteration_counts["none"]), 0),
+                    ]
+                )
+    print(format_table(
+        ["N", "Ns", "K", "overlap", "DDM-GNN", "DDM-LU", "CG"],
+        rows,
+        title="Iteration counts to reach the tolerance (structure of paper Table I)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

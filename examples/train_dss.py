@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Train a Deep Statistical Solver from scratch and inspect its behaviour.
+
+This is the "model development" workflow of the paper (Sec. IV-A/IV-B):
+
+1. generate a dataset of local sub-problems by running the classical two-level
+   ASM-PCG solver on many random global problems;
+2. train DSSθ with the paper's optimisation recipe (Adam, gradient clipping,
+   ReduceLROnPlateau, physics-informed residual loss summed over the
+   intermediate states);
+3. report the test metrics the paper reports (residual and relative error) and
+   save the weights so the benchmarks and the other examples can reuse them.
+
+All sizes are command-line flags; the defaults run in a few minutes on a CPU.
+The paper-scale settings would be ``--global-problems 500 --element-size 0.024
+--subdomain-size 1000 --epochs 400 --iterations 30``.
+
+Run:  python examples/train_dss.py --epochs 15
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.core import generate_dataset
+from repro.gnn import DSS, DSSConfig, DSSTrainer, TrainingConfig, evaluate_model
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--global-problems", type=int, default=4, help="number of global Poisson problems to harvest")
+    parser.add_argument("--element-size", type=float, default=0.07, help="mesh element size")
+    parser.add_argument("--subdomain-size", type=int, default=110, help="target sub-domain size (1000 in the paper)")
+    parser.add_argument("--overlap", type=int, default=2)
+    parser.add_argument("--iterations", type=int, default=20, help="number of message-passing blocks k̄")
+    parser.add_argument("--latent-dim", type=int, default=10, help="latent dimension d")
+    parser.add_argument("--alpha", type=float, default=0.1, help="update damping α (1e-3 in the paper)")
+    parser.add_argument("--epochs", type=int, default=15)
+    parser.add_argument("--batch-size", type=int, default=40)
+    parser.add_argument("--learning-rate", type=float, default=1e-2)
+    parser.add_argument("--max-train-samples", type=int, default=600)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", type=str, default="dss_trained.npz", help="where to save the weights")
+    args = parser.parse_args()
+
+    rng = np.random.default_rng(args.seed)
+
+    print("generating the dataset of local sub-problems ...")
+    start = time.perf_counter()
+    dataset = generate_dataset(
+        num_global_problems=args.global_problems,
+        mesh_element_size=args.element_size,
+        subdomain_size=args.subdomain_size,
+        overlap=args.overlap,
+        rng=rng,
+    )
+    print(f"  train/val/test sizes: {dataset.sizes}  ({time.perf_counter() - start:.1f}s)")
+
+    model = DSS(DSSConfig(num_iterations=args.iterations, latent_dim=args.latent_dim, alpha=args.alpha, seed=args.seed))
+    print(f"model: {model.summary()}")
+
+    trainer = DSSTrainer(
+        model,
+        TrainingConfig(
+            epochs=args.epochs,
+            batch_size=args.batch_size,
+            learning_rate=args.learning_rate,
+            gradient_clip=1e-2,
+            scheduler_patience=4,
+            seed=args.seed,
+        ),
+    )
+    start = time.perf_counter()
+    history = trainer.fit(dataset.train[: args.max_train_samples], dataset.validation[:60], verbose=True)
+    print(f"training took {time.perf_counter() - start:.1f}s over {len(history)} epochs")
+
+    metrics = evaluate_model(model, dataset.test[:150])
+    print("\ntest-set metrics (paper Sec. IV-B reports residual 0.0058 ± 0.002, relative error 0.13 ± 0.2):")
+    print(f"  residual       {metrics.residual_mean:.4f} ± {metrics.residual_std:.4f}")
+    print(f"  relative error {metrics.relative_error_mean:.3f} ± {metrics.relative_error_std:.3f}")
+
+    model.save(args.output)
+    print(f"\nweights saved to {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""repro — reproduction of "Multi-Level GNN Preconditioner for Solving Large Scale Problems".
+
+The package is organised bottom-up (see DESIGN.md):
+
+* :mod:`repro.nn` — NumPy autodiff + neural-network substrate (PyTorch substitute);
+* :mod:`repro.mesh` — random-domain generation and unstructured triangulation (GMSH substitute);
+* :mod:`repro.fem` — P1 finite elements for the Poisson equation;
+* :mod:`repro.partition` — k-way mesh partitioning with overlap (METIS substitute);
+* :mod:`repro.ddm` — restriction operators, Nicolaides coarse space, Additive Schwarz;
+* :mod:`repro.krylov` — CG / PCG / BiCGStab / GMRES and the IC(0) baseline;
+* :mod:`repro.gnn` — the Deep Statistical Solver (DSS) model and its training pipeline;
+* :mod:`repro.core` — the DDM-GNN preconditioner, the hybrid solver facade and
+  dataset generation (the paper's contribution).
+
+Typical usage::
+
+    from repro.mesh import random_domain_mesh
+    from repro.fem import random_poisson_problem
+    from repro.gnn import DSS, DSSConfig
+    from repro.core import HybridSolver, HybridSolverConfig
+
+    mesh = random_domain_mesh(radius=1.0, element_size=0.05)
+    problem = random_poisson_problem(mesh)
+    model = DSS(DSSConfig(num_iterations=10, latent_dim=10))  # train it first!
+    solver = HybridSolver(HybridSolverConfig(preconditioner="ddm-gnn", subdomain_size=200), model=model)
+    result = solver.solve(problem)
+    print(result.summary())
+"""
+
+from . import core, ddm, fem, gnn, krylov, mesh, nn, partition, utils
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "nn",
+    "mesh",
+    "fem",
+    "partition",
+    "ddm",
+    "krylov",
+    "gnn",
+    "core",
+    "utils",
+    "__version__",
+]

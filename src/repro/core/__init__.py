@@ -1,0 +1,34 @@
+"""Core package: the paper's contribution (DDM-GNN) and the end-to-end solver.
+
+Public surface:
+
+* :class:`~repro.core.ddm_gnn.DDMGNNPreconditioner` — the multi-level GNN
+  preconditioner (paper Sec. III-A).
+* :class:`~repro.core.hybrid_solver.HybridSolver`,
+  :class:`~repro.core.hybrid_solver.HybridSolverConfig` — end-to-end pipeline.
+* :func:`~repro.core.dataset.generate_dataset`,
+  :func:`~repro.core.dataset.harvest_local_problems`,
+  :class:`~repro.core.dataset.LocalProblemDataset`,
+  :func:`~repro.core.dataset.build_subdomain_geometries` — training data.
+"""
+
+from .dataset import (
+    LocalProblemDataset,
+    SubdomainGeometry,
+    build_subdomain_geometries,
+    generate_dataset,
+    harvest_local_problems,
+)
+from .ddm_gnn import DDMGNNPreconditioner
+from .hybrid_solver import HybridSolver, HybridSolverConfig
+
+__all__ = [
+    "DDMGNNPreconditioner",
+    "HybridSolver",
+    "HybridSolverConfig",
+    "LocalProblemDataset",
+    "SubdomainGeometry",
+    "build_subdomain_geometries",
+    "generate_dataset",
+    "harvest_local_problems",
+]

@@ -1,0 +1,162 @@
+"""End-to-end hybrid solver facade (paper Fig. 1).
+
+:class:`HybridSolver` wires together the whole pipeline for one global Poisson
+problem: partition the mesh into overlapping sub-domains, build the requested
+preconditioner (DDM-GNN, DDM-LU, IC(0), Jacobi-ASM or none) and run the
+Preconditioned Conjugate Gradient to a target relative residual.
+
+It is the object the examples and every benchmark harness use, and its
+configuration mirrors the knobs varied across the paper's tables: global size
+N (via the problem), sub-domain size Ns, overlap, number of levels, tolerance.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Literal, Optional
+
+import numpy as np
+
+from ..ddm.asm import AdditiveSchwarzPreconditioner, IdentityPreconditioner, Preconditioner
+from ..ddm.local_solvers import JacobiLocalSolver
+from ..fem.poisson import PoissonProblem
+from ..gnn.dss import DSS
+from ..krylov.cg import preconditioned_conjugate_gradient
+from ..krylov.ic import IncompleteCholeskyPreconditioner
+from ..krylov.result import SolveResult
+from ..partition.overlap import OverlappingDecomposition
+from ..partition.partitioner import Partition, partition_mesh, partition_mesh_target_size
+from .ddm_gnn import DDMGNNPreconditioner
+
+__all__ = ["HybridSolverConfig", "HybridSolver"]
+
+PreconditionerKind = Literal["ddm-gnn", "ddm-lu", "ddm-jacobi", "ic0", "none"]
+
+
+@dataclass
+class HybridSolverConfig:
+    """Configuration of a hybrid solve.
+
+    Attributes
+    ----------
+    preconditioner:
+        Which preconditioner to build ("ddm-gnn", "ddm-lu", "ddm-jacobi",
+        "ic0" or "none").
+    subdomain_size:
+        Target sub-domain size Ns; used when ``num_subdomains`` is None.
+    num_subdomains:
+        Explicit number of sub-domains K (overrides ``subdomain_size``).
+    overlap:
+        Overlap width in graph layers (the paper uses 2, and 4 in ablations).
+    levels:
+        1 or 2 (two-level adds the Nicolaides coarse space).
+    tolerance:
+        Relative residual stopping threshold of PCG.
+    max_iterations:
+        Iteration cap for PCG.
+    gnn_batch_size:
+        Number of sub-domain graphs per DSS inference call (None = all at once).
+    seed:
+        Seed for the partitioner.
+    """
+
+    preconditioner: PreconditionerKind = "ddm-gnn"
+    subdomain_size: int = 1000
+    num_subdomains: Optional[int] = None
+    overlap: int = 2
+    levels: Literal[1, 2] = 2
+    tolerance: float = 1e-6
+    max_iterations: Optional[int] = None
+    gnn_batch_size: Optional[int] = None
+    jacobi_sweeps: int = 10
+    seed: int = 0
+
+
+class HybridSolver:
+    """Solve discretised Poisson problems with a configurable preconditioned CG."""
+
+    def __init__(self, config: HybridSolverConfig = HybridSolverConfig(), model: Optional[DSS] = None) -> None:
+        if config.preconditioner == "ddm-gnn" and model is None:
+            raise ValueError("the DDM-GNN preconditioner requires a DSS model")
+        self.config = config
+        self.model = model
+        self.setup_time = 0.0
+        self.last_preconditioner: Optional[Preconditioner] = None
+        self.last_decomposition: Optional[OverlappingDecomposition] = None
+
+    # ------------------------------------------------------------------ #
+    def _build_decomposition(self, problem: PoissonProblem) -> OverlappingDecomposition:
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        if cfg.num_subdomains is not None:
+            partition = partition_mesh(problem.mesh, cfg.num_subdomains, rng=rng)
+        else:
+            partition = partition_mesh_target_size(problem.mesh, cfg.subdomain_size, rng=rng)
+        return OverlappingDecomposition(problem.mesh, partition, overlap=cfg.overlap)
+
+    def build_preconditioner(self, problem: PoissonProblem) -> Preconditioner:
+        """Construct (and cache) the preconditioner for a given problem."""
+        cfg = self.config
+        start = time.perf_counter()
+        preconditioner: Preconditioner
+        if cfg.preconditioner in ("ddm-gnn", "ddm-lu", "ddm-jacobi"):
+            decomposition = self._build_decomposition(problem)
+            self.last_decomposition = decomposition
+            if cfg.preconditioner == "ddm-gnn":
+                assert self.model is not None
+                preconditioner = DDMGNNPreconditioner(
+                    problem.matrix,
+                    problem.mesh,
+                    decomposition,
+                    self.model,
+                    levels=cfg.levels,
+                    batch_size=cfg.gnn_batch_size,
+                )
+            elif cfg.preconditioner == "ddm-lu":
+                preconditioner = AdditiveSchwarzPreconditioner(
+                    problem.matrix, decomposition, levels=cfg.levels
+                )
+            else:
+                preconditioner = AdditiveSchwarzPreconditioner(
+                    problem.matrix,
+                    decomposition,
+                    levels=cfg.levels,
+                    local_solver=JacobiLocalSolver(sweeps=cfg.jacobi_sweeps),
+                )
+        elif cfg.preconditioner == "ic0":
+            preconditioner = IncompleteCholeskyPreconditioner(problem.matrix)
+        elif cfg.preconditioner == "none":
+            preconditioner = IdentityPreconditioner(problem.num_dofs)
+        else:
+            raise ValueError(f"unknown preconditioner kind '{cfg.preconditioner}'")
+        self.setup_time = time.perf_counter() - start
+        self.last_preconditioner = preconditioner
+        return preconditioner
+
+    # ------------------------------------------------------------------ #
+    def solve(self, problem: PoissonProblem, initial_guess: Optional[np.ndarray] = None) -> SolveResult:
+        """Run the full pipeline on a problem and return the PCG result.
+
+        The result's ``info`` dict carries the decomposition statistics and the
+        preconditioner timing counters used by the benchmark harnesses.
+        """
+        cfg = self.config
+        preconditioner = self.build_preconditioner(problem)
+        result = preconditioned_conjugate_gradient(
+            problem.matrix,
+            problem.rhs,
+            preconditioner=None if cfg.preconditioner == "none" else preconditioner,
+            initial_guess=initial_guess,
+            tolerance=cfg.tolerance,
+            max_iterations=cfg.max_iterations,
+        )
+        result.info["preconditioner_kind"] = cfg.preconditioner
+        result.info["setup_time"] = self.setup_time
+        if self.last_decomposition is not None and cfg.preconditioner.startswith("ddm"):
+            result.info["num_subdomains"] = self.last_decomposition.num_subdomains
+            result.info["subdomain_sizes"] = self.last_decomposition.sizes().tolist()
+            result.info["overlap"] = cfg.overlap
+        if isinstance(preconditioner, DDMGNNPreconditioner):
+            result.info["gnn_stats"] = preconditioner.inference_stats()
+        return result

@@ -1,0 +1,55 @@
+"""Restriction / extension operators for domain decomposition.
+
+For an overlapping decomposition into K sub-domains, the boolean restriction
+matrix ``R_i`` (paper Sec. II-A) selects the rows of a global vector that
+belong to sub-domain ``i``; its transpose extends a local vector by zero.
+A partition-of-unity variant (used by Restricted Additive Schwarz) weights the
+extension by the inverse multiplicity of each node.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["restriction_matrix", "build_restrictions", "partition_of_unity"]
+
+
+def restriction_matrix(nodes: np.ndarray, num_global: int) -> sp.csr_matrix:
+    """Boolean restriction matrix ``R`` of shape (len(nodes), num_global).
+
+    ``R @ u`` extracts ``u[nodes]`` and ``R.T @ v`` scatters ``v`` back into a
+    zero global vector, exactly the operators of Eq. (6) in the paper.
+    """
+    nodes = np.asarray(nodes, dtype=np.int64)
+    k = len(nodes)
+    if k and (nodes.min() < 0 or nodes.max() >= num_global):
+        raise ValueError("node index out of range for restriction matrix")
+    data = np.ones(k)
+    rows = np.arange(k)
+    return sp.csr_matrix((data, (rows, nodes)), shape=(k, num_global))
+
+
+def build_restrictions(subdomain_nodes: Sequence[np.ndarray], num_global: int) -> List[sp.csr_matrix]:
+    """Build one restriction matrix per sub-domain."""
+    return [restriction_matrix(nodes, num_global) for nodes in subdomain_nodes]
+
+
+def partition_of_unity(subdomain_nodes: Sequence[np.ndarray], num_global: int) -> List[sp.csr_matrix]:
+    """Diagonal partition-of-unity weights ``D_i`` with ``Σ_i R_iᵀ D_i R_i = I``.
+
+    Each node's weight in sub-domain ``i`` is one over the number of
+    sub-domains containing it.  Used by the Restricted Additive Schwarz (RAS)
+    variant provided as an extension/ablation.
+    """
+    multiplicity = np.zeros(num_global)
+    for nodes in subdomain_nodes:
+        multiplicity[np.asarray(nodes, dtype=np.int64)] += 1.0
+    weights: List[sp.csr_matrix] = []
+    for nodes in subdomain_nodes:
+        nodes = np.asarray(nodes, dtype=np.int64)
+        w = 1.0 / multiplicity[nodes]
+        weights.append(sp.diags(w).tocsr())
+    return weights

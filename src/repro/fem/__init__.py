@@ -1,0 +1,46 @@
+"""P1 finite-element substrate for the Poisson equation.
+
+Public surface:
+
+* :func:`~repro.fem.assembly.assemble_stiffness`,
+  :func:`~repro.fem.assembly.assemble_mass`,
+  :func:`~repro.fem.assembly.assemble_load`,
+  :func:`~repro.fem.assembly.apply_dirichlet` — matrix/vector assembly.
+* :class:`~repro.fem.poisson.PoissonProblem`,
+  :func:`~repro.fem.poisson.random_poisson_problem` — problem objects.
+* :class:`~repro.fem.functions.PolynomialField`,
+  :func:`~repro.fem.functions.random_forcing`,
+  :func:`~repro.fem.functions.random_boundary`,
+  :func:`~repro.fem.functions.manufactured_solution` — field definitions.
+* :mod:`repro.fem.quadrature` — quadrature rules on triangles.
+"""
+
+from .assembly import apply_dirichlet, assemble_load, assemble_mass, assemble_stiffness, gradient_operators
+from .functions import (
+    PolynomialField,
+    constant_field,
+    manufactured_solution,
+    random_boundary,
+    random_forcing,
+)
+from .poisson import PoissonProblem, random_poisson_problem
+from .quadrature import TriangleQuadrature, centroid_rule, six_point_rule, three_point_rule
+
+__all__ = [
+    "assemble_stiffness",
+    "assemble_mass",
+    "assemble_load",
+    "apply_dirichlet",
+    "gradient_operators",
+    "PoissonProblem",
+    "random_poisson_problem",
+    "PolynomialField",
+    "random_forcing",
+    "random_boundary",
+    "constant_field",
+    "manufactured_solution",
+    "TriangleQuadrature",
+    "centroid_rule",
+    "three_point_rule",
+    "six_point_rule",
+]

@@ -1,0 +1,157 @@
+"""P1 (linear Lagrange) finite-element assembly for the Poisson equation.
+
+Assembles the sparse stiffness matrix, the mass matrix and the load vector on
+an unstructured triangular mesh, and applies Dirichlet boundary conditions.
+
+Two elimination strategies are provided:
+
+* ``"symmetric"`` (default): boundary rows *and* columns are eliminated and the
+  boundary values are moved to the right-hand side.  The resulting matrix is
+  symmetric positive definite, which is what the Conjugate Gradient method and
+  the ASM theory require.  Boundary diagonal entries are set to 1 so the
+  boundary values are reproduced exactly by the solve.
+* ``"row"``: only boundary rows are replaced by identity rows; columns are
+  kept.  This mirrors the paper's graph interpretation where "boundary nodes'
+  edges point toward the interior of the graph" (Sec. III-B) and is useful for
+  constructing the graph consumed by the DSS model.  The linear system has the
+  same solution but is no longer symmetric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Literal, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..mesh.mesh import TriangularMesh
+from .quadrature import TriangleQuadrature, three_point_rule
+
+__all__ = [
+    "assemble_stiffness",
+    "assemble_mass",
+    "assemble_load",
+    "apply_dirichlet",
+    "gradient_operators",
+]
+
+ScalarField = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+def gradient_operators(mesh: TriangularMesh) -> Tuple[np.ndarray, np.ndarray]:
+    """Return per-triangle P1 shape-function gradients and areas.
+
+    For triangle ``t`` with vertices ``(p0, p1, p2)`` the gradient of the hat
+    function of local vertex ``i`` is constant over the triangle.  The result
+    ``grads`` has shape (T, 3, 2) and ``areas`` has shape (T,).
+    """
+    p = mesh.nodes[mesh.triangles]  # (T, 3, 2)
+    x, y = p[..., 0], p[..., 1]
+    # edge vectors opposite to each vertex
+    b = np.stack([y[:, 1] - y[:, 2], y[:, 2] - y[:, 0], y[:, 0] - y[:, 1]], axis=1)
+    c = np.stack([x[:, 2] - x[:, 1], x[:, 0] - x[:, 2], x[:, 1] - x[:, 0]], axis=1)
+    areas = 0.5 * (
+        (x[:, 1] - x[:, 0]) * (y[:, 2] - y[:, 0]) - (x[:, 2] - x[:, 0]) * (y[:, 1] - y[:, 0])
+    )
+    if np.any(np.abs(areas) < 1e-15):
+        raise ValueError("mesh contains degenerate triangles")
+    grads = np.stack([b, c], axis=2) / (2.0 * areas[:, None, None])  # (T, 3, 2)
+    return grads, np.abs(areas)
+
+
+def assemble_stiffness(mesh: TriangularMesh) -> sp.csr_matrix:
+    """Assemble the P1 stiffness matrix ``K[i,j] = ∫ ∇φ_i · ∇φ_j``."""
+    grads, areas = gradient_operators(mesh)
+    # local 3x3 element matrices, vectorised over triangles
+    local = np.einsum("tid,tjd,t->tij", grads, grads, areas)  # (T, 3, 3)
+    tri = mesh.triangles
+    rows = np.repeat(tri, 3, axis=1).ravel()          # i index repeated over j
+    cols = np.tile(tri, (1, 3)).ravel()               # j index tiled over i
+    data = local.ravel()
+    n = mesh.num_nodes
+    return sp.csr_matrix((data, (rows, cols)), shape=(n, n))
+
+
+def assemble_mass(mesh: TriangularMesh, lumped: bool = False) -> sp.csr_matrix:
+    """Assemble the P1 mass matrix ``M[i,j] = ∫ φ_i φ_j`` (optionally lumped)."""
+    _, areas = gradient_operators(mesh)
+    tri = mesh.triangles
+    n = mesh.num_nodes
+    if lumped:
+        data = np.repeat(areas / 3.0, 3)
+        rows = tri.ravel()
+        return sp.csr_matrix((data, (rows, rows)), shape=(n, n))
+    local_ref = np.array([[2.0, 1.0, 1.0], [1.0, 2.0, 1.0], [1.0, 1.0, 2.0]]) / 12.0
+    local = areas[:, None, None] * local_ref[None, :, :]
+    rows = np.repeat(tri, 3, axis=1).ravel()
+    cols = np.tile(tri, (1, 3)).ravel()
+    return sp.csr_matrix((local.ravel(), (rows, cols)), shape=(n, n))
+
+
+def assemble_load(
+    mesh: TriangularMesh,
+    source: ScalarField,
+    quadrature: Optional[TriangleQuadrature] = None,
+) -> np.ndarray:
+    """Assemble the load vector ``b[i] = ∫ f φ_i`` with the given quadrature."""
+    quadrature = quadrature if quadrature is not None else three_point_rule()
+    _, areas = gradient_operators(mesh)
+    tri = mesh.triangles
+    vertices = mesh.nodes[tri]  # (T, 3, 2)
+    b = np.zeros(mesh.num_nodes)
+    # evaluate the source at all quadrature points of all triangles at once
+    for q_bary, q_w in zip(quadrature.barycentric, quadrature.weights):
+        pts = np.einsum("i,tid->td", q_bary, vertices)  # (T, 2)
+        f_vals = np.asarray(source(pts[:, 0], pts[:, 1]), dtype=np.float64)
+        # phi_i at this quadrature point equals the barycentric coordinate i
+        contrib = (q_w * f_vals * areas)[:, None] * q_bary[None, :]  # (T, 3)
+        np.add.at(b, tri.ravel(), contrib.ravel())
+    return b
+
+
+def apply_dirichlet(
+    stiffness: sp.csr_matrix,
+    load: np.ndarray,
+    boundary_nodes: np.ndarray,
+    boundary_values: np.ndarray,
+    mode: Literal["symmetric", "row"] = "symmetric",
+) -> Tuple[sp.csr_matrix, np.ndarray]:
+    """Impose Dirichlet conditions ``u[boundary_nodes] = boundary_values``.
+
+    Returns the modified ``(A, b)``; the input matrices are not mutated.
+    """
+    boundary_nodes = np.asarray(boundary_nodes, dtype=np.int64)
+    boundary_values = np.asarray(boundary_values, dtype=np.float64)
+    if boundary_nodes.shape != boundary_values.shape:
+        raise ValueError("boundary_nodes and boundary_values must have the same length")
+    n = stiffness.shape[0]
+    mask = np.zeros(n, dtype=bool)
+    mask[boundary_nodes] = True
+
+    A = stiffness.tolil(copy=True)
+    b = load.astype(np.float64).copy()
+
+    if mode == "symmetric":
+        # move known boundary contributions to the RHS before zeroing columns
+        g_full = np.zeros(n)
+        g_full[boundary_nodes] = boundary_values
+        b -= stiffness @ g_full
+        # zero boundary rows and columns, unit diagonal, exact boundary values
+        csr = stiffness.tocsr(copy=True)
+        keep = sp.diags((~mask).astype(np.float64))
+        A = keep @ csr @ keep
+        A = (A + sp.diags(mask.astype(np.float64))).tocsr()
+        b[boundary_nodes] = boundary_values
+        b[~mask] = b[~mask]  # interior already adjusted
+        return A.tocsr(), b
+
+    if mode == "row":
+        csr = stiffness.tocsr(copy=True).tolil()
+        for node, value in zip(boundary_nodes, boundary_values):
+            csr.rows[node] = [int(node)]
+            csr.data[node] = [1.0]
+            b[node] = value
+        return csr.tocsr(), b
+
+    raise ValueError(f"unknown Dirichlet mode '{mode}'")

@@ -1,0 +1,41 @@
+"""Graph neural network substrate and the Deep Statistical Solver model.
+
+Public surface:
+
+* :class:`~repro.gnn.dss.DSS`, :class:`~repro.gnn.dss.DSSConfig` — the GNN
+  solver (paper Fig. 3).
+* :class:`~repro.gnn.graph.GraphProblem`,
+  :func:`~repro.gnn.graph.graph_from_mesh` — graph-structured local problems.
+* :class:`~repro.gnn.batch.GraphBatch` — disjoint-union batching.
+* :class:`~repro.gnn.mpnn.DSSBlock`, :class:`~repro.gnn.mpnn.Decoder` —
+  message-passing building blocks.
+* :func:`~repro.gnn.loss.residual_loss`, :func:`~repro.gnn.loss.relative_error`
+  — the physics-informed loss and metrics.
+* :class:`~repro.gnn.training.DSSTrainer`,
+  :class:`~repro.gnn.training.TrainingConfig`,
+  :func:`~repro.gnn.training.evaluate_model` — training pipeline.
+"""
+
+from .batch import GraphBatch
+from .dss import DSS, DSSConfig
+from .graph import GraphProblem, graph_from_mesh
+from .loss import relative_error, residual_loss
+from .mpnn import Decoder, DSSBlock
+from .training import DSSTrainer, EvaluationMetrics, EpochStats, TrainingConfig, evaluate_model
+
+__all__ = [
+    "DSS",
+    "DSSConfig",
+    "GraphProblem",
+    "graph_from_mesh",
+    "GraphBatch",
+    "DSSBlock",
+    "Decoder",
+    "residual_loss",
+    "relative_error",
+    "DSSTrainer",
+    "TrainingConfig",
+    "EpochStats",
+    "EvaluationMetrics",
+    "evaluate_model",
+]

@@ -1,0 +1,141 @@
+"""Graph representation of discretised (local) Poisson problems.
+
+A :class:`GraphProblem` is the object fed to the DSS model (paper Eq. 15/17):
+it carries the node coordinates, the directed edge list with geometric edge
+attributes (relative position + distance, Sec. III-B), the normalised source
+term per node, the Dirichlet mask, and — for training only — the local sparse
+matrix ``A_i`` and right-hand side used by the physics-informed residual loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..mesh.mesh import TriangularMesh
+
+__all__ = ["GraphProblem", "graph_from_mesh"]
+
+
+@dataclass
+class GraphProblem:
+    """A graph-structured local Poisson problem.
+
+    Attributes
+    ----------
+    positions:
+        (n, 2) node coordinates.
+    edge_index:
+        (2, E) directed edges ``src -> dst``.  Both directions of every mesh
+        edge are present, except that edges *into* Dirichlet nodes are removed
+        (the paper: "boundary nodes' edges point toward the interior").
+    edge_attr:
+        (E, 3) geometric attributes per directed edge: ``(dx, dy, ‖d‖)`` of the
+        vector from destination to source node (the relative position the MLPs
+        consume).
+    source:
+        (n,) node input ``c`` — for DDM-GNN this is the *normalised* local
+        residual ``R_i r / ‖R_i r‖``.
+    dirichlet_mask:
+        (n,) boolean, True where the homogeneous Dirichlet condition applies
+        (sub-domain interface and, where relevant, the physical boundary).
+    matrix:
+        Sparse local operator ``A_i`` (needed to evaluate the residual loss).
+    rhs:
+        Right-hand side of the *unnormalised* local problem (training target
+        context; equals ``source * scaling``).
+    scaling:
+        The norm ``‖R_i r‖`` divided out of the source (1.0 when not used).
+    """
+
+    positions: np.ndarray
+    edge_index: np.ndarray
+    edge_attr: np.ndarray
+    source: np.ndarray
+    dirichlet_mask: np.ndarray
+    matrix: Optional[sp.csr_matrix] = None
+    rhs: Optional[np.ndarray] = None
+    scaling: float = 1.0
+
+    def __post_init__(self) -> None:
+        self.positions = np.asarray(self.positions, dtype=np.float64)
+        self.edge_index = np.asarray(self.edge_index, dtype=np.int64)
+        self.edge_attr = np.asarray(self.edge_attr, dtype=np.float64)
+        self.source = np.asarray(self.source, dtype=np.float64).ravel()
+        self.dirichlet_mask = np.asarray(self.dirichlet_mask, dtype=bool).ravel()
+        if self.edge_index.shape[0] != 2:
+            raise ValueError("edge_index must have shape (2, E)")
+        if self.edge_attr.shape[0] != self.edge_index.shape[1]:
+            raise ValueError("edge_attr must have one row per directed edge")
+        if len(self.source) != len(self.positions) or len(self.dirichlet_mask) != len(self.positions):
+            raise ValueError("source and dirichlet_mask must have one entry per node")
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.positions.shape[0])
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.edge_index.shape[1])
+
+    def residual_norm(self, state: np.ndarray) -> float:
+        """Root-mean-square residual of the *normalised* problem (paper Eq. 11).
+
+        ``L_res = 1/n Σ_i (A u − c)_i²`` evaluated with the stored matrix and
+        the normalised source; returns ``sqrt(L_res)`` for readability.
+        """
+        if self.matrix is None:
+            raise ValueError("graph has no matrix attached; build it with a matrix for training")
+        r = self.matrix @ np.asarray(state, dtype=np.float64) - self.source
+        return float(np.sqrt(np.mean(r * r)))
+
+
+def graph_from_mesh(
+    mesh: TriangularMesh,
+    source: np.ndarray,
+    dirichlet_mask: Optional[np.ndarray] = None,
+    matrix: Optional[sp.spmatrix] = None,
+    rhs: Optional[np.ndarray] = None,
+    scaling: float = 1.0,
+    drop_edges_into_dirichlet: bool = True,
+) -> GraphProblem:
+    """Build a :class:`GraphProblem` from a (sub-)mesh and a per-node source.
+
+    Edge attributes are geometric (Sec. III-B): for an edge ``l → j`` the
+    attribute is ``(d_jl, ‖d_jl‖)`` with ``d_jl = x_j − x_l``.
+
+    Parameters
+    ----------
+    drop_edges_into_dirichlet:
+        If True (paper behaviour) edges whose destination is a Dirichlet node
+        are removed, so boundary values are never overwritten by messages and
+        boundary information only flows inward.
+    """
+    positions = mesh.nodes
+    edge_index = mesh.directed_edge_index.copy()
+    if dirichlet_mask is None:
+        dirichlet_mask = mesh.boundary_mask.copy()
+    dirichlet_mask = np.asarray(dirichlet_mask, dtype=bool)
+
+    if drop_edges_into_dirichlet and dirichlet_mask.any():
+        keep = ~dirichlet_mask[edge_index[1]]
+        edge_index = edge_index[:, keep]
+
+    src, dst = edge_index[0], edge_index[1]
+    rel = positions[dst] - positions[src]
+    dist = np.linalg.norm(rel, axis=1, keepdims=True)
+    edge_attr = np.hstack([rel, dist])
+
+    return GraphProblem(
+        positions=positions,
+        edge_index=edge_index,
+        edge_attr=edge_attr,
+        source=source,
+        dirichlet_mask=dirichlet_mask,
+        matrix=matrix.tocsr() if matrix is not None else None,
+        rhs=rhs,
+        scaling=float(scaling),
+    )

@@ -1,0 +1,52 @@
+"""Physics-informed residual loss of the Deep Statistical Solver (paper Eq. 11).
+
+``L_res(u, G) = 1/n Σ_i ( −c_i + Σ_j a_ij u_j )²``
+
+The loss is evaluated with the *local* sparse operator of each graph (or the
+block-diagonal operator of a batch), differentiable through the autodiff
+engine's sparse matvec.  No ground-truth solutions are needed, which is what
+lets the dataset be harvested directly from PCG iterations.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..nn.functional import sparse_matvec
+from ..nn.tensor import Tensor
+from .batch import GraphBatch
+from .graph import GraphProblem
+
+__all__ = ["residual_loss", "relative_error"]
+
+
+def residual_loss(prediction: Tensor, problem: Union[GraphProblem, GraphBatch]) -> Tensor:
+    """Mean-squared residual of a predicted state on a graph problem or a batch.
+
+    ``prediction`` has shape (n, 1) or (n,); the result is a scalar tensor.
+    """
+    if isinstance(problem, GraphBatch):
+        matrix = problem.block_diagonal_matrix()
+        target = problem.source
+    else:
+        if problem.matrix is None:
+            raise ValueError("graph problem carries no matrix; cannot evaluate the residual loss")
+        matrix = problem.matrix
+        target = problem.source
+
+    flat = prediction.reshape(prediction.shape[0]) if prediction.ndim == 2 else prediction
+    residual = sparse_matvec(matrix, flat) - Tensor(target)
+    return (residual * residual).mean()
+
+
+def relative_error(prediction: np.ndarray, exact: np.ndarray) -> float:
+    """Relative L2 error ‖u − u*‖ / ‖u*‖ (paper's 'Relative Error' metric)."""
+    prediction = np.asarray(prediction, dtype=np.float64).ravel()
+    exact = np.asarray(exact, dtype=np.float64).ravel()
+    denom = np.linalg.norm(exact)
+    if denom == 0.0:
+        return float(np.linalg.norm(prediction))
+    return float(np.linalg.norm(prediction - exact) / denom)

@@ -1,0 +1,29 @@
+"""Krylov solvers and algebraic preconditioners.
+
+Public surface:
+
+* :func:`~repro.krylov.cg.conjugate_gradient`,
+  :func:`~repro.krylov.cg.preconditioned_conjugate_gradient` — CG / PCG
+  (paper Algorithm 1).
+* :func:`~repro.krylov.bicgstab.bicgstab`, :func:`~repro.krylov.gmres.gmres` —
+  additional Krylov methods.
+* :class:`~repro.krylov.ic.IncompleteCholeskyPreconditioner`,
+  :func:`~repro.krylov.ic.incomplete_cholesky` — IC(0) baseline of Table III.
+* :class:`~repro.krylov.result.SolveResult` — common result object.
+"""
+
+from .bicgstab import bicgstab
+from .cg import conjugate_gradient, preconditioned_conjugate_gradient
+from .gmres import gmres
+from .ic import IncompleteCholeskyPreconditioner, incomplete_cholesky
+from .result import SolveResult
+
+__all__ = [
+    "conjugate_gradient",
+    "preconditioned_conjugate_gradient",
+    "bicgstab",
+    "gmres",
+    "IncompleteCholeskyPreconditioner",
+    "incomplete_cholesky",
+    "SolveResult",
+]

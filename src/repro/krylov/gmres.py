@@ -1,0 +1,138 @@
+"""Restarted GMRES solver (Saad & Schultz, 1986).
+
+Included for completeness (the paper cites GMRES among the Krylov methods a
+preconditioner accelerates) and used with non-symmetric preconditioners such
+as Restricted Additive Schwarz in the ablation benches.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..ddm.asm import IdentityPreconditioner, Preconditioner
+from .result import SolveResult
+
+__all__ = ["gmres"]
+
+MatrixLike = Union[np.ndarray, sp.spmatrix]
+
+
+def gmres(
+    matrix: MatrixLike,
+    rhs: np.ndarray,
+    preconditioner: Optional[Preconditioner] = None,
+    initial_guess: Optional[np.ndarray] = None,
+    tolerance: float = 1e-6,
+    restart: int = 50,
+    max_iterations: Optional[int] = None,
+) -> SolveResult:
+    """Right-preconditioned restarted GMRES(m) with Givens rotations."""
+    rhs = np.asarray(rhs, dtype=np.float64)
+    n = rhs.shape[0]
+    if sp.issparse(matrix):
+        csr = matrix.tocsr()
+        matvec: Callable[[np.ndarray], np.ndarray] = lambda v: csr @ v
+    else:
+        arr = np.asarray(matrix)
+        matvec = lambda v: arr @ v
+    precond = preconditioner if preconditioner is not None else IdentityPreconditioner(n)
+    max_iterations = max_iterations if max_iterations is not None else 10 * n
+    restart = max(1, min(restart, n))
+
+    rhs_norm = np.linalg.norm(rhs)
+    if rhs_norm == 0.0:
+        return SolveResult(np.zeros(n), True, 0, [0.0], info={"solver": "gmres"})
+
+    start = time.perf_counter()
+    precond_time = 0.0
+    x = np.zeros(n) if initial_guess is None else np.asarray(initial_guess, dtype=np.float64).copy()
+    residual_history = []
+    total_iterations = 0
+    converged = False
+
+    while total_iterations < max_iterations and not converged:
+        r = rhs - matvec(x)
+        beta = np.linalg.norm(r)
+        rel0 = float(beta / rhs_norm)
+        if not residual_history:
+            residual_history.append(rel0)
+        if rel0 < tolerance:
+            converged = True
+            break
+
+        # Arnoldi with modified Gram-Schmidt on the preconditioned operator A M^{-1}
+        basis = np.zeros((restart + 1, n))
+        hessenberg = np.zeros((restart + 1, restart))
+        givens_c = np.zeros(restart)
+        givens_s = np.zeros(restart)
+        g = np.zeros(restart + 1)
+        g[0] = beta
+        basis[0] = r / beta
+        inner_converged_at = -1
+
+        for j in range(restart):
+            if total_iterations >= max_iterations:
+                break
+            t0 = time.perf_counter()
+            z = precond.apply(basis[j])
+            precond_time += time.perf_counter() - t0
+            w = matvec(z)
+            for i in range(j + 1):
+                hessenberg[i, j] = float(w @ basis[i])
+                w -= hessenberg[i, j] * basis[i]
+            hessenberg[j + 1, j] = np.linalg.norm(w)
+            if hessenberg[j + 1, j] > 1e-14:
+                basis[j + 1] = w / hessenberg[j + 1, j]
+            # apply previous Givens rotations to the new column
+            for i in range(j):
+                temp = givens_c[i] * hessenberg[i, j] + givens_s[i] * hessenberg[i + 1, j]
+                hessenberg[i + 1, j] = -givens_s[i] * hessenberg[i, j] + givens_c[i] * hessenberg[i + 1, j]
+                hessenberg[i, j] = temp
+            # new Givens rotation annihilating the sub-diagonal
+            denom = np.hypot(hessenberg[j, j], hessenberg[j + 1, j])
+            if denom == 0.0:
+                givens_c[j], givens_s[j] = 1.0, 0.0
+            else:
+                givens_c[j] = hessenberg[j, j] / denom
+                givens_s[j] = hessenberg[j + 1, j] / denom
+            hessenberg[j, j] = denom
+            hessenberg[j + 1, j] = 0.0
+            g[j + 1] = -givens_s[j] * g[j]
+            g[j] = givens_c[j] * g[j]
+
+            total_iterations += 1
+            rel = float(abs(g[j + 1]) / rhs_norm)
+            residual_history.append(rel)
+            if rel < tolerance:
+                inner_converged_at = j
+                converged = True
+                break
+
+        # solve the small triangular system and update x
+        j_last = inner_converged_at if inner_converged_at >= 0 else min(restart, max_iterations - (total_iterations - restart) if False else restart) - 1
+        j_dim = (inner_converged_at + 1) if inner_converged_at >= 0 else min(restart, total_iterations if total_iterations < restart else restart)
+        j_dim = max(j_dim, 1)
+        y = np.linalg.solve(hessenberg[:j_dim, :j_dim], g[:j_dim]) if j_dim > 0 else np.zeros(0)
+        update = basis[:j_dim].T @ y
+        t0 = time.perf_counter()
+        x = x + precond.apply(update)
+        precond_time += time.perf_counter() - t0
+
+    # final residual check
+    final_rel = float(np.linalg.norm(rhs - matvec(x)) / rhs_norm)
+    residual_history.append(final_rel)
+    converged = converged or final_rel < tolerance
+
+    return SolveResult(
+        solution=x,
+        converged=converged,
+        iterations=total_iterations,
+        residual_history=residual_history,
+        elapsed_time=time.perf_counter() - start,
+        preconditioner_time=precond_time,
+        info={"solver": "gmres", "tolerance": tolerance, "restart": restart},
+    )

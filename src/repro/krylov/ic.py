@@ -1,0 +1,125 @@
+"""Incomplete Cholesky preconditioner with zero fill-in — IC(0).
+
+This is the "state-of-the-art optimised preconditioner" baseline of the
+paper's Table III (column ``IC(0)``).  The factorisation keeps the sparsity
+pattern of the lower triangle of A: ``A ≈ L Lᵀ`` with ``L`` lower triangular
+and ``L[i, j] ≠ 0`` only where ``A[i, j] ≠ 0``.
+
+The implementation works directly on CSC column structures and falls back to a
+diagonal shift if a pivot becomes non-positive (standard practice for matrices
+that are not M-matrices).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from ..ddm.asm import Preconditioner
+
+__all__ = ["incomplete_cholesky", "IncompleteCholeskyPreconditioner"]
+
+
+def incomplete_cholesky(matrix: sp.spmatrix, shift: float = 0.0, max_shift_attempts: int = 6) -> sp.csc_matrix:
+    """Compute the IC(0) factor L of an SPD sparse matrix.
+
+    Parameters
+    ----------
+    matrix:
+        Sparse SPD matrix.
+    shift:
+        Initial diagonal shift α in ``A + α diag(A)``; increased geometrically
+        if a breakdown (non-positive pivot) occurs.
+    max_shift_attempts:
+        How many times to retry with a larger shift before giving up.
+
+    Returns
+    -------
+    L such that ``A ≈ L @ L.T`` with the sparsity of ``tril(A)``.
+    """
+    base = matrix.tocsr()
+    n = base.shape[0]
+    diag = base.diagonal()
+    if np.any(diag <= 0):
+        raise ValueError("matrix has non-positive diagonal entries; not SPD")
+
+    attempt_shift = shift
+    for _ in range(max_shift_attempts + 1):
+        shifted = base + attempt_shift * sp.diags(diag)
+        lower = sp.tril(shifted, format="csc")
+        factor = _ic0_factor(lower)
+        if factor is not None:
+            return factor
+        attempt_shift = max(attempt_shift * 10.0, 1e-3)
+    raise RuntimeError("IC(0) factorisation failed even with diagonal shifting")
+
+
+def _ic0_factor(lower: sp.csc_matrix) -> Optional[sp.csc_matrix]:
+    """Attempt an in-pattern incomplete Cholesky; return None on breakdown."""
+    lower = lower.copy().tocsc()
+    n = lower.shape[0]
+    indptr, indices, data = lower.indptr, lower.indices, lower.data
+
+    # For the in-pattern update we need, for each column, quick access to the
+    # (row -> position) map of its stored entries.
+    col_maps = []
+    for j in range(n):
+        start, end = indptr[j], indptr[j + 1]
+        col_maps.append({int(indices[p]): p for p in range(start, end)})
+
+    for j in range(n):
+        start, end = indptr[j], indptr[j + 1]
+        # diagonal entry is the first stored entry of the column in tril CSC
+        diag_pos = None
+        for p in range(start, end):
+            if indices[p] == j:
+                diag_pos = p
+                break
+        if diag_pos is None:
+            return None
+        pivot = data[diag_pos]
+        if pivot <= 0.0:
+            return None
+        pivot_sqrt = np.sqrt(pivot)
+        data[diag_pos] = pivot_sqrt
+        # scale the sub-diagonal part of column j
+        for p in range(start, end):
+            if indices[p] > j:
+                data[p] /= pivot_sqrt
+        # update the remaining columns k > j that are in the pattern of column j
+        for p in range(start, end):
+            k = int(indices[p])
+            if k <= j:
+                continue
+            ljk = data[p]
+            col_k = col_maps[k]
+            for q in range(start, end):
+                i = int(indices[q])
+                if i < k:
+                    continue
+                pos = col_k.get(i)
+                if pos is not None:
+                    data[pos] -= data[q] * ljk
+    return sp.csc_matrix((data, indices, indptr), shape=lower.shape)
+
+
+class IncompleteCholeskyPreconditioner(Preconditioner):
+    """Apply ``M⁻¹ r`` with ``M = L Lᵀ`` through two sparse triangular solves."""
+
+    def __init__(self, matrix: sp.spmatrix, shift: float = 0.0) -> None:
+        self.factor = incomplete_cholesky(matrix, shift=shift)
+        self._factor_csr = self.factor.tocsr()
+        self._factor_t_csr = self.factor.T.tocsr()
+        self._n = matrix.shape[0]
+
+    @property
+    def shape(self) -> tuple:
+        return (self._n, self._n)
+
+    def apply(self, residual: np.ndarray) -> np.ndarray:
+        residual = np.asarray(residual, dtype=np.float64)
+        y = spla.spsolve_triangular(self._factor_csr, residual, lower=True)
+        return spla.spsolve_triangular(self._factor_t_csr, y, lower=False)

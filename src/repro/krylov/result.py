@@ -1,0 +1,63 @@
+"""Common result object for all iterative solvers.
+
+Every Krylov routine in :mod:`repro.krylov` returns a :class:`SolveResult`
+carrying the solution, the iteration count, the full relative-residual history
+(the series plotted in the paper's Fig. 5b) and timing information used by the
+performance tables (Table III's ``T`` and ``T_gnn``/``T_lu`` columns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["SolveResult"]
+
+
+@dataclass
+class SolveResult:
+    """Outcome of an iterative linear solve.
+
+    Attributes
+    ----------
+    solution:
+        The final iterate.
+    converged:
+        True if the stopping tolerance was reached within ``max_iterations``.
+    iterations:
+        Number of iterations performed (matrix-vector products of the Krylov
+        loop, not counting the initial residual).
+    residual_history:
+        Relative residual norms ‖r_k‖/‖b‖, starting with the initial residual.
+    elapsed_time:
+        Total wall-clock time of the solve, in seconds.
+    preconditioner_time:
+        Cumulative wall-clock time spent applying the preconditioner
+        (the ``T_lu`` / ``T_gnn`` columns of paper Table III).
+    info:
+        Free-form extra information (solver name, tolerance, ...).
+    """
+
+    solution: np.ndarray
+    converged: bool
+    iterations: int
+    residual_history: List[float] = field(default_factory=list)
+    elapsed_time: float = 0.0
+    preconditioner_time: float = 0.0
+    info: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def final_relative_residual(self) -> float:
+        """The last entry of the residual history (or inf if empty)."""
+        return self.residual_history[-1] if self.residual_history else float("inf")
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        status = "converged" if self.converged else "NOT converged"
+        return (
+            f"{self.info.get('solver', 'solver')}: {status} in {self.iterations} iterations, "
+            f"relative residual {self.final_relative_residual:.3e}, "
+            f"time {self.elapsed_time:.4f}s (preconditioner {self.preconditioner_time:.4f}s)"
+        )

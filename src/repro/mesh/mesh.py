@@ -1,0 +1,241 @@
+"""Unstructured triangular mesh data structure.
+
+A :class:`TriangularMesh` stores node coordinates, triangle connectivity and
+derived topology (edges, node adjacency, boundary nodes).  It is the common
+currency between the geometry, FEM, partitioning and GNN sub-systems:
+
+* the FEM assembly consumes ``nodes`` / ``triangles``;
+* the partitioner consumes the node adjacency graph;
+* the DSS model consumes node coordinates and the (directed) edge list with
+  geometric edge attributes (Sec. III-B of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["TriangularMesh"]
+
+
+@dataclass
+class TriangularMesh:
+    """An unstructured 2-D triangular mesh.
+
+    Attributes
+    ----------
+    nodes:
+        (N, 2) float array of node coordinates.
+    triangles:
+        (T, 3) int array of node indices, counter-clockwise orientation.
+    """
+
+    nodes: np.ndarray
+    triangles: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.nodes = np.asarray(self.nodes, dtype=np.float64)
+        self.triangles = np.asarray(self.triangles, dtype=np.int64)
+        if self.nodes.ndim != 2 or self.nodes.shape[1] != 2:
+            raise ValueError("nodes must have shape (N, 2)")
+        if self.triangles.ndim != 2 or self.triangles.shape[1] != 3:
+            raise ValueError("triangles must have shape (T, 3)")
+        if self.triangles.size and self.triangles.max() >= len(self.nodes):
+            raise ValueError("triangle index out of range")
+
+    # ------------------------------------------------------------------ #
+    # basic sizes
+    # ------------------------------------------------------------------ #
+    @property
+    def num_nodes(self) -> int:
+        return int(self.nodes.shape[0])
+
+    @property
+    def num_triangles(self) -> int:
+        return int(self.triangles.shape[0])
+
+    # ------------------------------------------------------------------ #
+    # topology
+    # ------------------------------------------------------------------ #
+    @cached_property
+    def edges(self) -> np.ndarray:
+        """Unique undirected edges, shape (E, 2), each row sorted (i < j)."""
+        tri = self.triangles
+        raw = np.vstack([tri[:, [0, 1]], tri[:, [1, 2]], tri[:, [2, 0]]])
+        raw.sort(axis=1)
+        return np.unique(raw, axis=0)
+
+    @cached_property
+    def edge_counts(self) -> Dict[Tuple[int, int], int]:
+        """Number of triangles sharing each undirected edge (1 = boundary edge)."""
+        tri = self.triangles
+        raw = np.vstack([tri[:, [0, 1]], tri[:, [1, 2]], tri[:, [2, 0]]])
+        raw.sort(axis=1)
+        uniq, counts = np.unique(raw, axis=0, return_counts=True)
+        return {(int(a), int(b)): int(c) for (a, b), c in zip(uniq, counts)}
+
+    @cached_property
+    def boundary_edges(self) -> np.ndarray:
+        """Edges that belong to exactly one triangle, shape (Eb, 2)."""
+        tri = self.triangles
+        raw = np.vstack([tri[:, [0, 1]], tri[:, [1, 2]], tri[:, [2, 0]]])
+        raw.sort(axis=1)
+        uniq, counts = np.unique(raw, axis=0, return_counts=True)
+        return uniq[counts == 1]
+
+    @cached_property
+    def boundary_nodes(self) -> np.ndarray:
+        """Sorted indices of nodes lying on the boundary (incident to a boundary edge)."""
+        return np.unique(self.boundary_edges)
+
+    @cached_property
+    def interior_nodes(self) -> np.ndarray:
+        """Sorted indices of nodes not on the boundary."""
+        mask = np.ones(self.num_nodes, dtype=bool)
+        mask[self.boundary_nodes] = False
+        return np.flatnonzero(mask)
+
+    @cached_property
+    def boundary_mask(self) -> np.ndarray:
+        """Boolean mask of length N, True on boundary nodes."""
+        mask = np.zeros(self.num_nodes, dtype=bool)
+        mask[self.boundary_nodes] = True
+        return mask
+
+    @cached_property
+    def adjacency(self) -> sp.csr_matrix:
+        """Sparse symmetric node-adjacency matrix (1 where an edge exists)."""
+        e = self.edges
+        n = self.num_nodes
+        data = np.ones(len(e) * 2)
+        rows = np.concatenate([e[:, 0], e[:, 1]])
+        cols = np.concatenate([e[:, 1], e[:, 0]])
+        return sp.csr_matrix((data, (rows, cols)), shape=(n, n))
+
+    def node_neighbours(self, node: int) -> np.ndarray:
+        """Indices of nodes adjacent to ``node``."""
+        row = self.adjacency.getrow(node)
+        return row.indices.copy()
+
+    @cached_property
+    def directed_edge_index(self) -> np.ndarray:
+        """Directed edge list of shape (2, 2E): every undirected edge in both
+        directions.  This is the GNN message-passing connectivity."""
+        e = self.edges
+        src = np.concatenate([e[:, 0], e[:, 1]])
+        dst = np.concatenate([e[:, 1], e[:, 0]])
+        return np.vstack([src, dst])
+
+    # ------------------------------------------------------------------ #
+    # geometric quantities
+    # ------------------------------------------------------------------ #
+    @cached_property
+    def triangle_areas(self) -> np.ndarray:
+        """Signed areas of all triangles (positive for CCW orientation)."""
+        p = self.nodes[self.triangles]
+        v1 = p[:, 1] - p[:, 0]
+        v2 = p[:, 2] - p[:, 0]
+        return 0.5 * (v1[:, 0] * v2[:, 1] - v1[:, 1] * v2[:, 0])
+
+    @cached_property
+    def total_area(self) -> float:
+        return float(np.abs(self.triangle_areas).sum())
+
+    @cached_property
+    def element_size(self) -> float:
+        """Mean edge length — the characteristic mesh size h."""
+        e = self.edges
+        lengths = np.linalg.norm(self.nodes[e[:, 0]] - self.nodes[e[:, 1]], axis=1)
+        return float(lengths.mean())
+
+    def quality(self) -> Dict[str, float]:
+        """Return basic quality metrics: min/mean aspect quality and area stats.
+
+        Triangle quality is measured by ``4*sqrt(3)*area / sum(l_i^2)`` which
+        equals 1 for equilateral triangles and tends to 0 for slivers.
+        """
+        p = self.nodes[self.triangles]
+        l2 = (
+            np.sum((p[:, 0] - p[:, 1]) ** 2, axis=1)
+            + np.sum((p[:, 1] - p[:, 2]) ** 2, axis=1)
+            + np.sum((p[:, 2] - p[:, 0]) ** 2, axis=1)
+        )
+        areas = np.abs(self.triangle_areas)
+        q = 4.0 * np.sqrt(3.0) * areas / np.maximum(l2, 1e-300)
+        return {
+            "min_quality": float(q.min()) if len(q) else 0.0,
+            "mean_quality": float(q.mean()) if len(q) else 0.0,
+            "min_area": float(areas.min()) if len(areas) else 0.0,
+            "total_area": float(areas.sum()),
+        }
+
+    def graph_diameter_estimate(self, n_sources: int = 3, rng: Optional[np.random.Generator] = None) -> int:
+        """Estimate the graph diameter by double-sweep BFS from a few sources.
+
+        The diameter governs how many message-passing iterations a GNN needs
+        to propagate information across the mesh (Sec. II-B).
+        """
+        rng = rng if rng is not None else np.random.default_rng(0)
+        adj = self.adjacency
+        best = 0
+        sources = rng.choice(self.num_nodes, size=min(n_sources, self.num_nodes), replace=False)
+        for s in sources:
+            dist = _bfs_distances(adj, int(s))
+            far = int(np.argmax(dist))
+            dist2 = _bfs_distances(adj, far)
+            best = max(best, int(dist2.max()))
+        return best
+
+    # ------------------------------------------------------------------ #
+    # sub-mesh extraction
+    # ------------------------------------------------------------------ #
+    def submesh(self, node_indices: Sequence[int]) -> Tuple["TriangularMesh", np.ndarray]:
+        """Extract the sub-mesh induced by ``node_indices``.
+
+        Returns the sub-mesh and the array of *global* node indices for each
+        local node (the local → global map).  Only triangles whose three
+        vertices are all selected are retained.
+        """
+        node_indices = np.asarray(sorted(set(int(i) for i in node_indices)), dtype=np.int64)
+        global_to_local = -np.ones(self.num_nodes, dtype=np.int64)
+        global_to_local[node_indices] = np.arange(len(node_indices))
+        tri_mask = np.all(global_to_local[self.triangles] >= 0, axis=1)
+        local_triangles = global_to_local[self.triangles[tri_mask]]
+        sub = TriangularMesh(self.nodes[node_indices], local_triangles)
+        return sub, node_indices
+
+    # ------------------------------------------------------------------ #
+    # transformations
+    # ------------------------------------------------------------------ #
+    def scaled(self, factor: float) -> "TriangularMesh":
+        """Return a copy with node coordinates scaled by ``factor``."""
+        return TriangularMesh(self.nodes * float(factor), self.triangles.copy())
+
+    def translated(self, offset: Sequence[float]) -> "TriangularMesh":
+        """Return a copy translated by ``offset``."""
+        return TriangularMesh(self.nodes + np.asarray(offset, dtype=np.float64), self.triangles.copy())
+
+
+def _bfs_distances(adjacency: sp.csr_matrix, source: int) -> np.ndarray:
+    """Hop distances from ``source`` using BFS on a CSR adjacency matrix."""
+    n = adjacency.shape[0]
+    dist = np.full(n, -1, dtype=np.int64)
+    dist[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    level = 0
+    indptr, indices = adjacency.indptr, adjacency.indices
+    while len(frontier):
+        level += 1
+        nxt: List[int] = []
+        for u in frontier:
+            neigh = indices[indptr[u]:indptr[u + 1]]
+            new = neigh[dist[neigh] < 0]
+            dist[new] = level
+            nxt.extend(new.tolist())
+        frontier = np.array(nxt, dtype=np.int64)
+    dist[dist < 0] = 0
+    return dist

@@ -1,0 +1,77 @@
+"""Learning-rate schedulers.
+
+The paper uses PyTorch's ``ReduceLROnPlateau`` with a reduction factor of 0.1;
+a step decay scheduler is also provided for ablations.
+"""
+
+from __future__ import annotations
+
+from .optim import Optimizer
+
+__all__ = ["ReduceLROnPlateau", "StepLR"]
+
+
+class ReduceLROnPlateau:
+    """Reduce the learning rate when a monitored metric stops improving.
+
+    Parameters
+    ----------
+    optimizer:
+        The optimiser whose ``lr`` is adjusted in place.
+    factor:
+        Multiplicative factor applied to the learning rate on plateau.
+    patience:
+        Number of epochs with no improvement before reducing.
+    threshold:
+        Minimum relative improvement to count as an improvement.
+    min_lr:
+        Lower bound on the learning rate.
+    """
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        factor: float = 0.1,
+        patience: int = 10,
+        threshold: float = 1e-4,
+        min_lr: float = 0.0,
+    ) -> None:
+        if not (0.0 < factor < 1.0):
+            raise ValueError("factor must lie in (0, 1)")
+        self.optimizer = optimizer
+        self.factor = factor
+        self.patience = patience
+        self.threshold = threshold
+        self.min_lr = min_lr
+        self.best = float("inf")
+        self.num_bad_epochs = 0
+        self.num_reductions = 0
+
+    def step(self, metric: float) -> None:
+        """Record the latest value of the monitored metric (lower is better)."""
+        if metric < self.best * (1.0 - self.threshold):
+            self.best = metric
+            self.num_bad_epochs = 0
+        else:
+            self.num_bad_epochs += 1
+            if self.num_bad_epochs > self.patience:
+                new_lr = max(self.optimizer.lr * self.factor, self.min_lr)
+                if new_lr < self.optimizer.lr:
+                    self.optimizer.lr = new_lr
+                    self.num_reductions += 1
+                self.num_bad_epochs = 0
+
+
+class StepLR:
+    """Decay the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self.epoch = 0
+
+    def step(self) -> None:
+        self.epoch += 1
+        if self.epoch % self.step_size == 0:
+            self.optimizer.lr *= self.gamma

@@ -1,0 +1,14 @@
+"""Shared utilities: timing, table formatting, process-level parallelism."""
+
+from .parallel import available_workers, parallel_map
+from .tables import format_mean_std, format_table
+from .timing import Timer, timed
+
+__all__ = [
+    "Timer",
+    "timed",
+    "format_table",
+    "format_mean_std",
+    "parallel_map",
+    "available_workers",
+]

@@ -1,0 +1,48 @@
+"""Process-level parallel map (simulating the paper's multi-GPU batch parallelism).
+
+The paper solves all local problems concurrently on GPUs.  In this CPU-only
+reproduction the default execution path is *vectorised batching* (one big
+NumPy computation, see :class:`~repro.gnn.batch.GraphBatch`); this module adds
+an optional ``multiprocessing`` fan-out for embarrassingly parallel work such
+as generating many meshes or harvesting datasets, which is the closest CPU
+analogue of "several independent accelerators".
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+__all__ = ["parallel_map", "available_workers"]
+
+
+def available_workers(requested: Optional[int] = None) -> int:
+    """Number of worker processes to use (bounded by the CPU count)."""
+    cpu = os.cpu_count() or 1
+    if requested is None:
+        return max(1, cpu - 1)
+    return max(1, min(int(requested), cpu))
+
+
+def parallel_map(
+    function: Callable[[T], R],
+    items: Sequence[T],
+    workers: Optional[int] = None,
+    chunksize: int = 1,
+) -> List[R]:
+    """Map ``function`` over ``items`` with a process pool.
+
+    Falls back to a serial loop when only one worker is available, when there
+    is a single item, or when running in a context where forking is
+    undesirable (``workers=1``).  The function must be picklable (top-level).
+    """
+    items = list(items)
+    n_workers = available_workers(workers)
+    if n_workers <= 1 or len(items) <= 1:
+        return [function(item) for item in items]
+    with mp.get_context("fork").Pool(processes=n_workers) as pool:
+        return pool.map(function, items, chunksize=max(1, chunksize))

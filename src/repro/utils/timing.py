@@ -1,0 +1,60 @@
+"""Small timing utilities shared by the benchmark harnesses."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+__all__ = ["Timer", "timed"]
+
+
+@dataclass
+class Timer:
+    """Accumulating named timer.
+
+    Usage::
+
+        timer = Timer()
+        with timer.measure("assembly"):
+            ...
+        print(timer.totals["assembly"])
+    """
+
+    totals: Dict[str, float] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.totals[name] = self.totals.get(name, 0.0) + elapsed
+            self.counts[name] = self.counts.get(name, 0) + 1
+
+    def mean(self, name: str) -> float:
+        """Mean duration of all measurements recorded under ``name``."""
+        if name not in self.totals:
+            raise KeyError(f"no measurements recorded for '{name}'")
+        return self.totals[name] / self.counts[name]
+
+    def report(self) -> str:
+        """Multi-line human-readable report sorted by total time."""
+        lines = []
+        for name, total in sorted(self.totals.items(), key=lambda kv: -kv[1]):
+            lines.append(f"{name:30s} total {total:9.4f}s  calls {self.counts[name]:5d}  mean {total / self.counts[name]:9.5f}s")
+        return "\n".join(lines)
+
+
+@contextmanager
+def timed() -> Iterator[List[float]]:
+    """Context manager yielding a single-element list filled with the elapsed time."""
+    box = [0.0]
+    start = time.perf_counter()
+    try:
+        yield box
+    finally:
+        box[0] = time.perf_counter() - start

@@ -1,0 +1,67 @@
+"""Shared fixtures for the test suite.
+
+Meshes, problems and trained-ish models are expensive to build, so the widely
+reused ones are session-scoped.  Sizes are deliberately small: the goal of the
+suite is to exercise every code path and invariant, not to reach paper-scale
+problem sizes (the benchmark harnesses do that).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fem import PoissonProblem, manufactured_solution, random_poisson_problem
+from repro.gnn import DSS, DSSConfig
+from repro.mesh import disk_mesh, random_domain_mesh, structured_rectangle_mesh
+from repro.partition import OverlappingDecomposition, partition_mesh_target_size
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def unit_square_mesh():
+    """Structured 12x12 mesh of the unit square (169 nodes)."""
+    return structured_rectangle_mesh(12, 12)
+
+
+@pytest.fixture(scope="session")
+def small_disk_mesh():
+    """Unstructured disk mesh with a few hundred nodes."""
+    return disk_mesh(radius=1.0, element_size=0.12)
+
+
+@pytest.fixture(scope="session")
+def random_mesh():
+    """A random Bezier-domain mesh (the paper's training distribution, small)."""
+    return random_domain_mesh(radius=1.0, element_size=0.1, rng=np.random.default_rng(7))
+
+
+@pytest.fixture(scope="session")
+def manufactured_problem(unit_square_mesh):
+    """Poisson problem with a known smooth exact solution on the unit square."""
+    u_exact, f, g = manufactured_solution()
+    problem = PoissonProblem.from_fields(unit_square_mesh, f, g)
+    return problem, u_exact
+
+
+@pytest.fixture(scope="session")
+def random_problem(random_mesh):
+    """A random Poisson problem on the random mesh."""
+    return random_poisson_problem(random_mesh, rng=np.random.default_rng(3))
+
+
+@pytest.fixture(scope="session")
+def small_decomposition(random_mesh):
+    """Overlapping decomposition of the random mesh into ~6 sub-domains."""
+    partition = partition_mesh_target_size(random_mesh, 80, rng=np.random.default_rng(0))
+    return OverlappingDecomposition(random_mesh, partition, overlap=2)
+
+
+@pytest.fixture(scope="session")
+def tiny_dss_model():
+    """An untrained, tiny DSS model (weights random but deterministic)."""
+    return DSS(DSSConfig(num_iterations=3, latent_dim=4, seed=1))

@@ -1,0 +1,279 @@
+"""Integration tests of the core package: dataset generation, the DDM-GNN
+preconditioner and the hybrid solver facade (repro.core)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse.linalg as spla
+
+from repro.core import (
+    DDMGNNPreconditioner,
+    HybridSolver,
+    HybridSolverConfig,
+    LocalProblemDataset,
+    build_subdomain_geometries,
+    generate_dataset,
+    harvest_local_problems,
+)
+from repro.core.dataset import SubdomainGeometry
+from repro.ddm import AdditiveSchwarzPreconditioner
+from repro.gnn import DSS, DSSConfig, GraphBatch
+from repro.krylov import preconditioned_conjugate_gradient
+
+
+class _ExactLocalModel:
+    """Duck-typed 'DSS' that solves every local problem exactly with sparse LU.
+
+    Plugging it into :class:`DDMGNNPreconditioner` must make the hybrid
+    preconditioner numerically identical to two-level DDM-LU — this is the
+    consistency anchor of the whole DDM-GNN plumbing (restriction, coarse
+    solve, normalisation, rescaling, gluing).
+    """
+
+    def predict(self, batch: GraphBatch) -> np.ndarray:
+        matrix = batch.block_diagonal_matrix()
+        return spla.spsolve(matrix.tocsc(), batch.source)
+
+
+class _ZeroModel:
+    """A 'DSS' that always returns zero corrections (worst-case local solver)."""
+
+    def predict(self, batch: GraphBatch) -> np.ndarray:
+        return np.zeros(batch.num_nodes)
+
+
+# --------------------------------------------------------------------------- #
+# sub-domain geometries and dataset harvesting
+# --------------------------------------------------------------------------- #
+class TestSubdomainGeometries:
+    def test_geometries_cover_decomposition(self, random_problem, small_decomposition):
+        geoms = build_subdomain_geometries(random_problem.mesh, random_problem.matrix, small_decomposition)
+        assert len(geoms) == small_decomposition.num_subdomains
+        for geom, nodes in zip(geoms, small_decomposition.subdomain_nodes):
+            assert np.array_equal(geom.nodes, np.sort(np.asarray(nodes)))
+            assert geom.matrix.shape == (len(nodes), len(nodes))
+            assert geom.positions.shape == (len(nodes), 2)
+
+    def test_local_matrix_is_submatrix_of_global(self, random_problem, small_decomposition):
+        geoms = build_subdomain_geometries(random_problem.mesh, random_problem.matrix, small_decomposition)
+        csr = random_problem.matrix.tocsr()
+        geom = geoms[0]
+        expected = csr[geom.nodes][:, geom.nodes].toarray()
+        assert np.allclose(geom.matrix.toarray(), expected)
+
+    def test_make_graph_uses_source(self, random_problem, small_decomposition):
+        geom = build_subdomain_geometries(random_problem.mesh, random_problem.matrix, small_decomposition)[0]
+        source = np.random.default_rng(0).normal(size=len(geom.nodes))
+        g = geom.make_graph(source, scaling=2.5)
+        assert np.allclose(g.source, source)
+        assert g.scaling == 2.5
+
+
+class TestHarvesting:
+    def test_harvest_produces_normalised_problems(self, random_problem):
+        problems = harvest_local_problems(
+            random_problem, subdomain_size=80, overlap=2, tolerance=1e-4, rng=np.random.default_rng(0)
+        )
+        assert len(problems) > 0
+        for g in problems[:10]:
+            assert np.isclose(np.linalg.norm(g.source), 1.0)
+            assert g.matrix is not None
+            assert g.scaling > 0.0
+
+    def test_harvest_count_scales_with_iterations_and_subdomains(self, random_problem):
+        """#samples ≈ #PCG applications × #sub-domains."""
+        problems = harvest_local_problems(
+            random_problem, subdomain_size=80, overlap=2, tolerance=1e-4, rng=np.random.default_rng(0)
+        )
+        asm_solver = HybridSolver(HybridSolverConfig(preconditioner="ddm-lu", subdomain_size=80, overlap=2, tolerance=1e-4))
+        result = asm_solver.solve(random_problem)
+        k = result.info["num_subdomains"]
+        # one application before the loop + one per iteration (minus possibly the converged last)
+        assert abs(len(problems) - (result.iterations + 1) * k) <= 2 * k
+
+    def test_generate_dataset_split(self):
+        ds = generate_dataset(
+            num_global_problems=1,
+            mesh_element_size=0.12,
+            subdomain_size=60,
+            tolerance=1e-3,
+            rng=np.random.default_rng(1),
+        )
+        n_train, n_val, n_test = ds.sizes
+        total = n_train + n_val + n_test
+        assert total > 0
+        assert n_train >= n_val >= 0
+        assert n_train >= n_test >= 0
+
+    def test_generate_dataset_invalid_split(self):
+        with pytest.raises(ValueError):
+            generate_dataset(num_global_problems=1, split=(0.5, 0.2, 0.2), rng=np.random.default_rng(0))
+
+    def test_dataset_save_load_roundtrip(self, tmp_path):
+        ds = generate_dataset(
+            num_global_problems=1,
+            mesh_element_size=0.14,
+            subdomain_size=50,
+            tolerance=1e-2,
+            rng=np.random.default_rng(2),
+        )
+        path = str(tmp_path / "dataset.npz")
+        ds.save(path)
+        loaded = LocalProblemDataset.load(path)
+        assert loaded.sizes == ds.sizes
+        original, restored = ds.train[0], loaded.train[0]
+        assert np.allclose(original.positions, restored.positions)
+        assert np.allclose(original.source, restored.source)
+        assert np.allclose(original.matrix.toarray(), restored.matrix.toarray())
+
+
+# --------------------------------------------------------------------------- #
+# DDM-GNN preconditioner
+# --------------------------------------------------------------------------- #
+class TestDDMGNNPreconditioner:
+    def test_exact_local_model_reproduces_ddm_lu(self, random_problem, small_decomposition):
+        """With exact local solves DDM-GNN *is* two-level ASM (the consistency anchor)."""
+        gnn_pre = DDMGNNPreconditioner(
+            random_problem.matrix,
+            random_problem.mesh,
+            small_decomposition,
+            model=_ExactLocalModel(),
+            levels=2,
+        )
+        asm_pre = AdditiveSchwarzPreconditioner(random_problem.matrix, small_decomposition, levels=2)
+        r = np.random.default_rng(0).normal(size=random_problem.num_dofs)
+        assert np.allclose(gnn_pre.apply(r), asm_pre.apply(r), atol=1e-8)
+
+    def test_exact_local_model_same_pcg_iterations(self, random_problem, small_decomposition):
+        gnn_pre = DDMGNNPreconditioner(
+            random_problem.matrix, random_problem.mesh, small_decomposition, model=_ExactLocalModel(), levels=2
+        )
+        asm_pre = AdditiveSchwarzPreconditioner(random_problem.matrix, small_decomposition, levels=2)
+        r_gnn = preconditioned_conjugate_gradient(random_problem.matrix, random_problem.rhs, gnn_pre, tolerance=1e-8)
+        r_asm = preconditioned_conjugate_gradient(random_problem.matrix, random_problem.rhs, asm_pre, tolerance=1e-8)
+        assert r_gnn.converged and r_asm.converged
+        assert abs(r_gnn.iterations - r_asm.iterations) <= 1
+
+    def test_zero_model_reduces_to_coarse_only(self, random_problem, small_decomposition):
+        """With a zero local solver the correction is exactly the coarse correction."""
+        pre = DDMGNNPreconditioner(
+            random_problem.matrix, random_problem.mesh, small_decomposition, model=_ZeroModel(), levels=2
+        )
+        r = np.random.default_rng(1).normal(size=random_problem.num_dofs)
+        assert np.allclose(pre.apply(r), pre.coarse_space.apply(r), atol=1e-12)
+
+    def test_one_level_skips_coarse(self, random_problem, small_decomposition):
+        pre = DDMGNNPreconditioner(
+            random_problem.matrix, random_problem.mesh, small_decomposition, model=_ZeroModel(), levels=1
+        )
+        assert pre.coarse_space is None
+        r = np.random.default_rng(2).normal(size=random_problem.num_dofs)
+        assert np.allclose(pre.apply(r), 0.0)
+
+    def test_batch_size_does_not_change_result(self, random_problem, small_decomposition, tiny_dss_model):
+        r = np.random.default_rng(3).normal(size=random_problem.num_dofs)
+        full = DDMGNNPreconditioner(
+            random_problem.matrix, random_problem.mesh, small_decomposition, tiny_dss_model, batch_size=None
+        ).apply(r)
+        chunked = DDMGNNPreconditioner(
+            random_problem.matrix, random_problem.mesh, small_decomposition, tiny_dss_model, batch_size=2
+        ).apply(r)
+        assert np.allclose(full, chunked, atol=1e-10)
+
+    def test_zero_residual_gives_zero_correction_from_locals(self, random_problem, small_decomposition, tiny_dss_model):
+        pre = DDMGNNPreconditioner(
+            random_problem.matrix, random_problem.mesh, small_decomposition, tiny_dss_model, levels=1
+        )
+        assert np.allclose(pre.apply(np.zeros(random_problem.num_dofs)), 0.0)
+
+    def test_inference_stats_accumulate(self, random_problem, small_decomposition, tiny_dss_model):
+        pre = DDMGNNPreconditioner(
+            random_problem.matrix, random_problem.mesh, small_decomposition, tiny_dss_model
+        )
+        r = np.random.default_rng(4).normal(size=random_problem.num_dofs)
+        pre.apply(r)
+        pre.apply(r)
+        stats = pre.inference_stats()
+        assert stats["applications"] == 2
+        assert stats["total_inference_time"] > 0.0
+
+    def test_invalid_levels(self, random_problem, small_decomposition, tiny_dss_model):
+        with pytest.raises(ValueError):
+            DDMGNNPreconditioner(
+                random_problem.matrix, random_problem.mesh, small_decomposition, tiny_dss_model, levels=3
+            )
+
+    def test_normalisation_flag_changes_behaviour(self, random_problem, small_decomposition, tiny_dss_model):
+        """The DSS is nonlinear, so normalising the inputs must change the output."""
+        r = 1e-6 * np.random.default_rng(5).normal(size=random_problem.num_dofs)
+        normalised = DDMGNNPreconditioner(
+            random_problem.matrix, random_problem.mesh, small_decomposition, tiny_dss_model, levels=1,
+            normalize_local_residuals=True,
+        ).apply(r)
+        raw = DDMGNNPreconditioner(
+            random_problem.matrix, random_problem.mesh, small_decomposition, tiny_dss_model, levels=1,
+            normalize_local_residuals=False,
+        ).apply(r)
+        assert not np.allclose(normalised, raw)
+
+
+# --------------------------------------------------------------------------- #
+# hybrid solver facade
+# --------------------------------------------------------------------------- #
+class TestHybridSolver:
+    @pytest.mark.parametrize("kind", ["none", "ic0", "ddm-lu", "ddm-jacobi"])
+    def test_all_classical_preconditioners_converge(self, random_problem, kind):
+        solver = HybridSolver(HybridSolverConfig(preconditioner=kind, subdomain_size=80, tolerance=1e-6))
+        result = solver.solve(random_problem)
+        assert result.converged
+        assert random_problem.relative_residual_norm(result.solution) < 1e-5
+
+    def test_solutions_agree_across_preconditioners(self, random_problem):
+        reference = random_problem.solve_direct()
+        for kind in ("none", "ddm-lu", "ic0"):
+            solver = HybridSolver(HybridSolverConfig(preconditioner=kind, subdomain_size=80, tolerance=1e-10))
+            result = solver.solve(random_problem)
+            assert np.linalg.norm(result.solution - reference) / np.linalg.norm(reference) < 1e-6
+
+    def test_ddm_lu_fewer_iterations_than_cg(self, random_problem):
+        cg = HybridSolver(HybridSolverConfig(preconditioner="none", tolerance=1e-6)).solve(random_problem)
+        lu = HybridSolver(HybridSolverConfig(preconditioner="ddm-lu", subdomain_size=80, tolerance=1e-6)).solve(random_problem)
+        assert lu.iterations < cg.iterations
+
+    def test_ddm_gnn_requires_model(self):
+        with pytest.raises(ValueError):
+            HybridSolver(HybridSolverConfig(preconditioner="ddm-gnn"))
+
+    def test_ddm_gnn_with_untrained_model_runs(self, random_problem, tiny_dss_model):
+        """Even an untrained DSS yields a runnable (if poor) preconditioner."""
+        solver = HybridSolver(
+            HybridSolverConfig(preconditioner="ddm-gnn", subdomain_size=80, tolerance=1e-3, max_iterations=50),
+            model=tiny_dss_model,
+        )
+        result = solver.solve(random_problem)
+        assert result.iterations <= 50
+        assert "gnn_stats" in result.info
+
+    def test_explicit_num_subdomains(self, random_problem):
+        solver = HybridSolver(HybridSolverConfig(preconditioner="ddm-lu", num_subdomains=4, tolerance=1e-6))
+        result = solver.solve(random_problem)
+        assert result.info["num_subdomains"] == 4
+
+    def test_info_contains_decomposition_details(self, random_problem):
+        solver = HybridSolver(HybridSolverConfig(preconditioner="ddm-lu", subdomain_size=80, overlap=3, tolerance=1e-6))
+        result = solver.solve(random_problem)
+        assert result.info["overlap"] == 3
+        assert len(result.info["subdomain_sizes"]) == result.info["num_subdomains"]
+
+    def test_unknown_preconditioner_rejected(self, random_problem):
+        solver = HybridSolver(HybridSolverConfig(preconditioner="none"))
+        solver.config.preconditioner = "whatever"
+        with pytest.raises(ValueError):
+            solver.build_preconditioner(random_problem)
+
+    def test_larger_overlap_not_slower(self, random_problem):
+        """Paper Table I: larger overlap reduces (or keeps) the iteration count."""
+        base = HybridSolver(HybridSolverConfig(preconditioner="ddm-lu", subdomain_size=80, overlap=1, tolerance=1e-8)).solve(random_problem)
+        wide = HybridSolver(HybridSolverConfig(preconditioner="ddm-lu", subdomain_size=80, overlap=4, tolerance=1e-8)).solve(random_problem)
+        assert wide.iterations <= base.iterations

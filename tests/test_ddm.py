@@ -1,0 +1,218 @@
+"""Tests of the domain-decomposition substrate (repro.ddm)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.ddm import (
+    AdditiveSchwarzPreconditioner,
+    IdentityPreconditioner,
+    JacobiLocalSolver,
+    LULocalSolver,
+    NicolaidesCoarseSpace,
+    build_restrictions,
+    extract_local_matrices,
+    partition_of_unity,
+    restriction_matrix,
+)
+from repro.krylov import conjugate_gradient, preconditioned_conjugate_gradient
+from repro.partition import OverlappingDecomposition, partition_mesh_target_size
+
+
+# --------------------------------------------------------------------------- #
+# restriction operators
+# --------------------------------------------------------------------------- #
+class TestRestriction:
+    def test_restriction_selects_rows(self):
+        r = restriction_matrix(np.array([1, 3]), 5)
+        v = np.arange(5.0)
+        assert np.allclose(r @ v, [1.0, 3.0])
+
+    def test_extension_scatters_back(self):
+        r = restriction_matrix(np.array([1, 3]), 5)
+        local = np.array([10.0, 20.0])
+        assert np.allclose(r.T @ local, [0, 10.0, 0, 20.0, 0])
+
+    def test_r_rt_is_identity(self):
+        r = restriction_matrix(np.array([0, 2, 4]), 6)
+        assert np.allclose((r @ r.T).toarray(), np.eye(3))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            restriction_matrix(np.array([7]), 5)
+
+    def test_build_restrictions(self, small_decomposition):
+        n = small_decomposition.mesh.num_nodes
+        rs = build_restrictions(small_decomposition.subdomain_nodes, n)
+        assert len(rs) == small_decomposition.num_subdomains
+        # each R_i is boolean with exactly one 1 per row
+        for r in rs:
+            assert np.allclose(np.asarray(r.sum(axis=1)).ravel(), 1.0)
+
+    def test_partition_of_unity_sums_to_identity(self, small_decomposition):
+        n = small_decomposition.mesh.num_nodes
+        subs = small_decomposition.subdomain_nodes
+        rs = build_restrictions(subs, n)
+        ds = partition_of_unity(subs, n)
+        total = sp.csr_matrix((n, n))
+        for r, d in zip(rs, ds):
+            total = total + r.T @ d @ r
+        assert np.allclose(total.toarray(), np.eye(n), atol=1e-12)
+
+
+# --------------------------------------------------------------------------- #
+# coarse space
+# --------------------------------------------------------------------------- #
+class TestCoarseSpace:
+    def test_coarse_matrix_shape_and_spd(self, random_problem, small_decomposition):
+        cs = NicolaidesCoarseSpace(small_decomposition.subdomain_nodes, random_problem.num_dofs)
+        cs.factorize(random_problem.matrix)
+        k = small_decomposition.num_subdomains
+        assert cs.coarse_matrix.shape == (k, k)
+        eigs = np.linalg.eigvalsh(cs.coarse_matrix)
+        assert eigs.min() > 0.0
+
+    def test_apply_before_factorize_raises(self, random_problem, small_decomposition):
+        cs = NicolaidesCoarseSpace(small_decomposition.subdomain_nodes, random_problem.num_dofs)
+        with pytest.raises(RuntimeError):
+            cs.apply(random_problem.rhs)
+
+    def test_coarse_correction_in_coarse_space(self, random_problem, small_decomposition):
+        """The coarse correction lies in the span of R_0ᵀ."""
+        cs = NicolaidesCoarseSpace(small_decomposition.subdomain_nodes, random_problem.num_dofs)
+        cs.factorize(random_problem.matrix)
+        z = cs.apply(random_problem.rhs)
+        # least-squares projection onto span(R0^T) reproduces z
+        basis = cs.r0.T.toarray()
+        coeffs, *_ = np.linalg.lstsq(basis, z, rcond=None)
+        assert np.allclose(basis @ coeffs, z, atol=1e-8)
+
+    def test_pou_basis_sums_to_one(self, small_decomposition):
+        cs = NicolaidesCoarseSpace(
+            small_decomposition.subdomain_nodes,
+            small_decomposition.mesh.num_nodes,
+            use_partition_of_unity=True,
+        )
+        column_sums = np.asarray(cs.r0.sum(axis=0)).ravel()
+        assert np.allclose(column_sums, 1.0)
+
+
+# --------------------------------------------------------------------------- #
+# local solvers
+# --------------------------------------------------------------------------- #
+class TestLocalSolvers:
+    def test_lu_local_solver_exact(self, random_problem, small_decomposition):
+        locals_ = extract_local_matrices(random_problem.matrix, small_decomposition.subdomain_nodes)
+        solver = LULocalSolver().setup(locals_)
+        rhs = [np.random.default_rng(i).normal(size=m.shape[0]) for i, m in enumerate(locals_)]
+        sols = solver.solve_all(rhs)
+        for m, b, x in zip(locals_, rhs, sols):
+            assert np.linalg.norm(m @ x - b) / np.linalg.norm(b) < 1e-10
+
+    def test_lu_solver_wrong_count_raises(self, random_problem, small_decomposition):
+        locals_ = extract_local_matrices(random_problem.matrix, small_decomposition.subdomain_nodes)
+        solver = LULocalSolver().setup(locals_)
+        with pytest.raises(ValueError):
+            solver.solve_all([np.zeros(locals_[0].shape[0])])
+
+    def test_jacobi_solver_reduces_residual(self, random_problem, small_decomposition):
+        locals_ = extract_local_matrices(random_problem.matrix, small_decomposition.subdomain_nodes)
+        solver = JacobiLocalSolver(sweeps=30, damping=0.6).setup(locals_)
+        rhs = [np.ones(m.shape[0]) for m in locals_]
+        sols = solver.solve_all(rhs)
+        for m, b, x in zip(locals_, rhs, sols):
+            assert np.linalg.norm(m @ x - b) < np.linalg.norm(b)
+
+    def test_jacobi_invalid_sweeps(self):
+        with pytest.raises(ValueError):
+            JacobiLocalSolver(sweeps=0)
+
+    def test_extract_local_matrices_shapes(self, random_problem, small_decomposition):
+        locals_ = extract_local_matrices(random_problem.matrix, small_decomposition.subdomain_nodes)
+        for m, nodes in zip(locals_, small_decomposition.subdomain_nodes):
+            assert m.shape == (len(nodes), len(nodes))
+
+
+# --------------------------------------------------------------------------- #
+# Additive Schwarz preconditioner
+# --------------------------------------------------------------------------- #
+class TestASM:
+    def test_apply_matches_matrix_formula(self, random_problem, small_decomposition):
+        """Operator application equals the explicit Eq. (7) matrix."""
+        asm = AdditiveSchwarzPreconditioner(random_problem.matrix, small_decomposition, levels=2)
+        dense = asm.as_matrix()
+        r = np.random.default_rng(0).normal(size=random_problem.num_dofs)
+        assert np.allclose(asm.apply(r), dense @ r, atol=1e-8)
+
+    def test_one_level_matches_eq6(self, random_problem, small_decomposition):
+        asm = AdditiveSchwarzPreconditioner(random_problem.matrix, small_decomposition, levels=1)
+        dense = asm.as_matrix()
+        r = np.random.default_rng(1).normal(size=random_problem.num_dofs)
+        assert np.allclose(asm.apply(r), dense @ r, atol=1e-8)
+
+    def test_preconditioner_matrix_spd(self, random_problem, small_decomposition):
+        asm = AdditiveSchwarzPreconditioner(random_problem.matrix, small_decomposition, levels=2)
+        dense = asm.as_matrix()
+        assert np.allclose(dense, dense.T, atol=1e-10)
+        eigs = np.linalg.eigvalsh(dense)
+        assert eigs.min() > 0.0
+
+    def test_pcg_with_asm_converges_faster_than_cg(self, random_problem, small_decomposition):
+        asm = AdditiveSchwarzPreconditioner(random_problem.matrix, small_decomposition, levels=2)
+        plain = conjugate_gradient(random_problem.matrix, random_problem.rhs, tolerance=1e-8)
+        pre = preconditioned_conjugate_gradient(
+            random_problem.matrix, random_problem.rhs, preconditioner=asm, tolerance=1e-8
+        )
+        assert pre.converged and plain.converged
+        assert pre.iterations < plain.iterations
+
+    def test_two_level_not_slower_than_one_level(self, random_problem, small_decomposition):
+        one = AdditiveSchwarzPreconditioner(random_problem.matrix, small_decomposition, levels=1)
+        two = AdditiveSchwarzPreconditioner(random_problem.matrix, small_decomposition, levels=2)
+        r1 = preconditioned_conjugate_gradient(random_problem.matrix, random_problem.rhs, preconditioner=one, tolerance=1e-8)
+        r2 = preconditioned_conjugate_gradient(random_problem.matrix, random_problem.rhs, preconditioner=two, tolerance=1e-8)
+        assert r2.iterations <= r1.iterations + 2
+
+    def test_solutions_agree_with_direct(self, random_problem, small_decomposition):
+        asm = AdditiveSchwarzPreconditioner(random_problem.matrix, small_decomposition, levels=2)
+        result = preconditioned_conjugate_gradient(
+            random_problem.matrix, random_problem.rhs, preconditioner=asm, tolerance=1e-10
+        )
+        direct = random_problem.solve_direct()
+        assert np.linalg.norm(result.solution - direct) / np.linalg.norm(direct) < 1e-6
+
+    def test_fixed_point_iteration_reduces_residual(self, random_problem, small_decomposition):
+        asm = AdditiveSchwarzPreconditioner(random_problem.matrix, small_decomposition, levels=2)
+        u = asm.fixed_point_iteration(random_problem.rhs, iterations=5)
+        assert random_problem.relative_residual_norm(u) < 1.0
+
+    def test_ras_variant_with_jacobi(self, random_problem, small_decomposition):
+        asm = AdditiveSchwarzPreconditioner(
+            random_problem.matrix,
+            small_decomposition,
+            levels=1,
+            variant="ras",
+            local_solver=LULocalSolver(),
+        )
+        z = asm.apply(random_problem.rhs)
+        assert np.all(np.isfinite(z))
+
+    def test_invalid_levels_and_variant(self, random_problem, small_decomposition):
+        with pytest.raises(ValueError):
+            AdditiveSchwarzPreconditioner(random_problem.matrix, small_decomposition, levels=3)
+        with pytest.raises(ValueError):
+            AdditiveSchwarzPreconditioner(random_problem.matrix, small_decomposition, variant="xyz")
+
+    def test_identity_preconditioner(self):
+        ident = IdentityPreconditioner(4)
+        r = np.arange(4.0)
+        assert np.allclose(ident.apply(r), r)
+        assert ident.shape == (4, 4)
+
+    def test_aslinearoperator_wrapper(self, random_problem, small_decomposition):
+        asm = AdditiveSchwarzPreconditioner(random_problem.matrix, small_decomposition, levels=2)
+        op = asm.aslinearoperator()
+        r = np.random.default_rng(2).normal(size=random_problem.num_dofs)
+        assert np.allclose(op @ r, asm.apply(r))

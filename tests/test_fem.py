@@ -1,0 +1,223 @@
+"""Tests of the P1 finite-element substrate (repro.fem)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fem import (
+    PoissonProblem,
+    PolynomialField,
+    apply_dirichlet,
+    assemble_load,
+    assemble_mass,
+    assemble_stiffness,
+    centroid_rule,
+    constant_field,
+    gradient_operators,
+    manufactured_solution,
+    random_boundary,
+    random_forcing,
+    random_poisson_problem,
+    six_point_rule,
+    three_point_rule,
+)
+from repro.mesh import structured_rectangle_mesh
+
+
+# --------------------------------------------------------------------------- #
+# quadrature
+# --------------------------------------------------------------------------- #
+class TestQuadrature:
+    @pytest.mark.parametrize("rule", [centroid_rule(), three_point_rule(), six_point_rule()])
+    def test_weights_sum_to_one(self, rule):
+        assert rule.weights.sum() == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("rule", [centroid_rule(), three_point_rule(), six_point_rule()])
+    def test_barycentric_coordinates_valid(self, rule):
+        assert np.allclose(rule.barycentric.sum(axis=1), 1.0)
+        assert np.all(rule.barycentric >= 0.0)
+
+    def test_three_point_rule_exact_for_quadratics(self):
+        """∫_T x² over the reference triangle (0,0)-(1,0)-(0,1) equals 1/12."""
+        rule = three_point_rule()
+        vertices = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        pts = rule.points(vertices)
+        area = 0.5
+        integral = area * np.sum(rule.weights * pts[:, 0] ** 2)
+        assert integral == pytest.approx(1.0 / 12.0)
+
+    def test_points_mapping_inside_triangle(self):
+        rule = six_point_rule()
+        vertices = np.array([[0.0, 0.0], [2.0, 0.0], [0.0, 3.0]])
+        pts = rule.points(vertices)
+        # all points inside the triangle: positive barycentric wrt the physical triangle
+        assert np.all(pts[:, 0] >= 0) and np.all(pts[:, 1] >= 0)
+        assert np.all(pts[:, 0] / 2.0 + pts[:, 1] / 3.0 <= 1.0 + 1e-12)
+
+
+# --------------------------------------------------------------------------- #
+# assembly
+# --------------------------------------------------------------------------- #
+class TestAssembly:
+    def test_stiffness_symmetric(self, unit_square_mesh):
+        K = assemble_stiffness(unit_square_mesh)
+        assert abs(K - K.T).max() < 1e-12
+
+    def test_stiffness_zero_row_sum(self, unit_square_mesh):
+        """Constants are in the kernel of the (pre-BC) stiffness matrix."""
+        K = assemble_stiffness(unit_square_mesh)
+        assert np.allclose(K @ np.ones(unit_square_mesh.num_nodes), 0.0, atol=1e-12)
+
+    def test_stiffness_positive_semidefinite(self, unit_square_mesh):
+        K = assemble_stiffness(unit_square_mesh).toarray()
+        eigs = np.linalg.eigvalsh(K)
+        assert eigs.min() > -1e-10
+
+    def test_mass_matrix_integrates_constants(self, unit_square_mesh):
+        """1ᵀ M 1 equals the domain area."""
+        M = assemble_mass(unit_square_mesh)
+        ones = np.ones(unit_square_mesh.num_nodes)
+        assert ones @ (M @ ones) == pytest.approx(unit_square_mesh.total_area)
+
+    def test_lumped_mass_same_total(self, unit_square_mesh):
+        M = assemble_mass(unit_square_mesh)
+        ML = assemble_mass(unit_square_mesh, lumped=True)
+        assert ML.sum() == pytest.approx(M.sum())
+        assert (ML - sp.diags(ML.diagonal())).nnz == 0
+
+    def test_load_vector_constant_source(self, unit_square_mesh):
+        """For f = 1 the load vector sums to the area of the domain."""
+        b = assemble_load(unit_square_mesh, constant_field(1.0))
+        assert b.sum() == pytest.approx(unit_square_mesh.total_area)
+
+    def test_gradient_operators_shapes(self, unit_square_mesh):
+        grads, areas = gradient_operators(unit_square_mesh)
+        assert grads.shape == (unit_square_mesh.num_triangles, 3, 2)
+        assert areas.shape == (unit_square_mesh.num_triangles,)
+        # gradients of the three hat functions sum to zero on every element
+        assert np.allclose(grads.sum(axis=1), 0.0, atol=1e-12)
+
+    def test_apply_dirichlet_symmetric_keeps_spd(self, unit_square_mesh):
+        K = assemble_stiffness(unit_square_mesh)
+        b = assemble_load(unit_square_mesh, constant_field(1.0))
+        bn = unit_square_mesh.boundary_nodes
+        A, rhs = apply_dirichlet(K, b, bn, np.zeros(len(bn)), mode="symmetric")
+        assert abs(A - A.T).max() < 1e-12
+        eigs = np.linalg.eigvalsh(A.toarray())
+        assert eigs.min() > 0.0
+
+    def test_apply_dirichlet_row_mode_identity_rows(self, unit_square_mesh):
+        K = assemble_stiffness(unit_square_mesh)
+        b = assemble_load(unit_square_mesh, constant_field(1.0))
+        bn = unit_square_mesh.boundary_nodes
+        values = np.arange(len(bn), dtype=float)
+        A, rhs = apply_dirichlet(K, b, bn, values, mode="row")
+        for node, val in zip(bn, values):
+            row = A.getrow(node)
+            assert row.nnz == 1 and row[0, node] == pytest.approx(1.0)
+            assert rhs[node] == pytest.approx(val)
+
+    def test_apply_dirichlet_modes_same_solution(self, unit_square_mesh):
+        u_exact, f, g = manufactured_solution()
+        p_sym = PoissonProblem.from_fields(unit_square_mesh, f, g, dirichlet_mode="symmetric")
+        p_row = PoissonProblem.from_fields(unit_square_mesh, f, g, dirichlet_mode="row")
+        assert np.allclose(p_sym.solve_direct(), p_row.solve_direct(), atol=1e-10)
+
+    def test_apply_dirichlet_validates_input(self, unit_square_mesh):
+        K = assemble_stiffness(unit_square_mesh)
+        b = np.zeros(unit_square_mesh.num_nodes)
+        with pytest.raises(ValueError):
+            apply_dirichlet(K, b, np.array([0, 1]), np.array([0.0]))
+        with pytest.raises(ValueError):
+            apply_dirichlet(K, b, np.array([0]), np.array([0.0]), mode="banana")
+
+
+# --------------------------------------------------------------------------- #
+# Poisson problems
+# --------------------------------------------------------------------------- #
+class TestPoissonProblem:
+    def test_boundary_values_reproduced(self, manufactured_problem):
+        problem, u_exact = manufactured_problem
+        u = problem.solve_direct()
+        bn = problem.mesh.boundary_nodes
+        expected = u_exact(problem.mesh.nodes[bn, 0], problem.mesh.nodes[bn, 1])
+        assert np.allclose(u[bn], expected, atol=1e-12)
+
+    def test_manufactured_solution_accuracy(self, manufactured_problem):
+        problem, u_exact = manufactured_problem
+        u = problem.solve_direct()
+        assert problem.l2_error(u, u_exact) < 5e-3
+
+    def test_fem_convergence_order(self):
+        """Halving h divides the nodal L2 error by about 4 (second order)."""
+        u_exact, f, g = manufactured_solution()
+        errors = []
+        for n in (8, 16, 32):
+            mesh = structured_rectangle_mesh(n, n)
+            problem = PoissonProblem.from_fields(mesh, f, g)
+            errors.append(problem.l2_error(problem.solve_direct(), u_exact))
+        assert errors[0] / errors[1] > 3.0
+        assert errors[1] / errors[2] > 3.0
+
+    def test_relative_residual_of_direct_solution(self, random_problem):
+        u = random_problem.solve_direct()
+        assert random_problem.relative_residual_norm(u) < 1e-10
+
+    def test_residual_definition(self, random_problem):
+        u = np.zeros(random_problem.num_dofs)
+        assert np.allclose(random_problem.residual(u), random_problem.rhs)
+
+    def test_energy_norm_nonnegative(self, random_problem):
+        u = random_problem.solve_direct()
+        assert random_problem.energy_norm(u) >= 0.0
+
+    def test_laplace_problem_maximum_principle(self, unit_square_mesh):
+        """With f=0 the discrete solution attains max/min on the boundary."""
+        g = PolynomialField(d=1.0, e=-0.5, f=0.2)
+        problem = PoissonProblem.from_fields(unit_square_mesh, constant_field(0.0), g)
+        u = problem.solve_direct()
+        boundary_vals = u[unit_square_mesh.boundary_nodes]
+        interior_vals = u[unit_square_mesh.interior_nodes]
+        assert interior_vals.max() <= boundary_vals.max() + 1e-9
+        assert interior_vals.min() >= boundary_vals.min() - 1e-9
+
+
+# --------------------------------------------------------------------------- #
+# random fields (paper Eqs. 24-25)
+# --------------------------------------------------------------------------- #
+class TestFields:
+    def test_polynomial_field_evaluation(self):
+        field = PolynomialField(a=1.0, b=2.0, c=3.0, d=4.0, e=5.0, f=6.0)
+        x, y = np.array([2.0]), np.array([0.5])
+        expected = 1 * 4 + 2 * 0.25 + 3 * 1.0 + 4 * 2 + 5 * 0.5 + 6
+        assert field(x, y)[0] == pytest.approx(expected)
+
+    def test_rescaled_field(self):
+        field = PolynomialField(a=1.0)
+        rescaled = field.rescaled(2.0)
+        assert rescaled(np.array([2.0]), np.array([0.0]))[0] == pytest.approx(field(np.array([1.0]), np.array([0.0]))[0])
+
+    def test_random_forcing_structure(self):
+        """The forcing r1(x-1)² + r2 y² + r3 has no xy, no y-linear term."""
+        f = random_forcing(np.random.default_rng(0))
+        assert f.c == 0.0 and f.e == 0.0
+        # value at x=1,y=0 equals r2*0 + r3 -> equals f.f + f.a + f.d  (consistency of expansion)
+        val = f(np.array([1.0]), np.array([0.0]))[0]
+        assert val == pytest.approx(f.a + f.d + f.f)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_random_fields_bounded_coefficients(self, seed):
+        rng = np.random.default_rng(seed)
+        g = random_boundary(rng)
+        assert all(abs(c) <= 10.0 for c in (g.a, g.b, g.c, g.d, g.e, g.f))
+
+    def test_random_poisson_problem_reproducible(self, unit_square_mesh):
+        p1 = random_poisson_problem(unit_square_mesh, rng=np.random.default_rng(11))
+        p2 = random_poisson_problem(unit_square_mesh, rng=np.random.default_rng(11))
+        assert np.allclose(p1.rhs, p2.rhs)
+        assert (p1.matrix != p2.matrix).nnz == 0

@@ -1,0 +1,94 @@
+"""Additional cross-module coverage: remaining tensor ops, Krylov × DDM
+combinations, and solver behaviour on alternative geometries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ddm import AdditiveSchwarzPreconditioner, JacobiLocalSolver
+from repro.fem import PoissonProblem, constant_field, random_poisson_problem
+from repro.krylov import bicgstab, gmres, preconditioned_conjugate_gradient
+from repro.mesh import lshape_mesh, structured_rectangle_mesh
+from repro.nn import Tensor
+from repro.partition import OverlappingDecomposition, partition_mesh_target_size
+
+
+class TestRemainingTensorOps:
+    def test_sigmoid_range_and_grad(self):
+        x = Tensor(np.linspace(-4, 4, 9), requires_grad=True)
+        y = x.sigmoid()
+        assert np.all((y.numpy() > 0) & (y.numpy() < 1))
+        y.sum().backward()
+        # derivative of sigmoid is at most 0.25
+        assert np.all(x.grad <= 0.25 + 1e-12)
+
+    def test_exp_log_inverse(self):
+        x = Tensor(np.array([0.5, 1.0, 2.0]))
+        assert np.allclose(x.exp().log().numpy(), x.numpy())
+
+    def test_abs_gradient_sign(self):
+        x = Tensor(np.array([-2.0, 3.0]), requires_grad=True)
+        x.abs().sum().backward()
+        assert np.allclose(x.grad, [-1.0, 1.0])
+
+    def test_sqrt_matches_numpy(self):
+        x = Tensor(np.array([4.0, 9.0]), requires_grad=True)
+        y = x.sqrt()
+        assert np.allclose(y.numpy(), [2.0, 3.0])
+        y.sum().backward()
+        assert np.allclose(x.grad, [0.25, 1.0 / 6.0])
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor(np.ones(2)) ** np.ones(2)
+
+    def test_detach_cuts_graph(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = (x * 2).detach()
+        assert y.requires_grad is False
+
+
+class TestKrylovWithDDM:
+    def test_gmres_with_asm_preconditioner(self, random_problem, small_decomposition):
+        asm = AdditiveSchwarzPreconditioner(random_problem.matrix, small_decomposition, levels=2)
+        result = gmres(random_problem.matrix, random_problem.rhs, preconditioner=asm, tolerance=1e-8, restart=40)
+        assert result.converged
+        assert random_problem.relative_residual_norm(result.solution) < 1e-6
+
+    def test_bicgstab_with_ras_preconditioner(self, random_problem, small_decomposition):
+        ras = AdditiveSchwarzPreconditioner(
+            random_problem.matrix, small_decomposition, levels=1, variant="ras"
+        )
+        result = bicgstab(random_problem.matrix, random_problem.rhs, preconditioner=ras, tolerance=1e-8)
+        assert result.converged
+
+    def test_pcg_with_jacobi_local_solver(self, random_problem, small_decomposition):
+        asm = AdditiveSchwarzPreconditioner(
+            random_problem.matrix, small_decomposition, levels=2, local_solver=JacobiLocalSolver(sweeps=20)
+        )
+        result = preconditioned_conjugate_gradient(
+            random_problem.matrix, random_problem.rhs, preconditioner=asm, tolerance=1e-6
+        )
+        assert result.converged
+
+
+class TestAlternativeGeometries:
+    def test_full_pipeline_on_lshape(self):
+        mesh = lshape_mesh(size=1.0, element_size=0.07)
+        problem = random_poisson_problem(mesh, rng=np.random.default_rng(0))
+        partition = partition_mesh_target_size(mesh, 70, rng=np.random.default_rng(1))
+        decomposition = OverlappingDecomposition(mesh, partition, overlap=2)
+        asm = AdditiveSchwarzPreconditioner(problem.matrix, decomposition, levels=2)
+        result = preconditioned_conjugate_gradient(problem.matrix, problem.rhs, preconditioner=asm, tolerance=1e-8)
+        assert result.converged
+        direct = problem.solve_direct()
+        assert np.linalg.norm(result.solution - direct) / np.linalg.norm(direct) < 1e-5
+
+    def test_constant_forcing_zero_boundary_positive_solution(self):
+        """-Δu = 1 with u=0 on ∂Ω has a strictly positive interior solution."""
+        mesh = structured_rectangle_mesh(16, 16)
+        problem = PoissonProblem.from_fields(mesh, constant_field(1.0), constant_field(0.0))
+        u = problem.solve_direct()
+        assert np.all(u[mesh.interior_nodes] > 0.0)
+        assert np.allclose(u[mesh.boundary_nodes], 0.0, atol=1e-12)

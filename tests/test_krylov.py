@@ -1,0 +1,216 @@
+"""Tests of the Krylov solvers and the IC(0) preconditioner (repro.krylov)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ddm import AdditiveSchwarzPreconditioner
+from repro.krylov import (
+    IncompleteCholeskyPreconditioner,
+    SolveResult,
+    bicgstab,
+    conjugate_gradient,
+    gmres,
+    incomplete_cholesky,
+    preconditioned_conjugate_gradient,
+)
+
+
+def _spd_matrix(n: int, seed: int = 0, density: float = 0.2) -> sp.csr_matrix:
+    """Random sparse SPD matrix (diagonally dominant)."""
+    rng = np.random.default_rng(seed)
+    a = sp.random(n, n, density=density, random_state=np.random.RandomState(seed), format="csr")
+    a = a + a.T
+    a = a + sp.diags(np.abs(a).sum(axis=1).A1 + 1.0)
+    return a.tocsr()
+
+
+class TestCG:
+    def test_cg_solves_spd_system(self):
+        a = _spd_matrix(50, 0)
+        x_true = np.random.default_rng(1).normal(size=50)
+        b = a @ x_true
+        result = conjugate_gradient(a, b, tolerance=1e-10)
+        assert result.converged
+        assert np.linalg.norm(result.solution - x_true) / np.linalg.norm(x_true) < 1e-7
+
+    def test_cg_matches_scipy(self):
+        a = _spd_matrix(40, 2)
+        b = np.random.default_rng(3).normal(size=40)
+        ours = conjugate_gradient(a, b, tolerance=1e-10).solution
+        theirs, info = sp.linalg.cg(a, b, rtol=1e-12, atol=0.0)
+        assert info == 0
+        assert np.allclose(ours, theirs, atol=1e-6)
+
+    def test_residual_history_monotone_overall(self, random_problem):
+        """The recorded relative residual ends below the tolerance and starts at 1."""
+        result = conjugate_gradient(random_problem.matrix, random_problem.rhs, tolerance=1e-8)
+        assert result.residual_history[0] == pytest.approx(1.0)
+        assert result.residual_history[-1] < 1e-8
+        assert result.iterations + 1 == len(result.residual_history)
+
+    def test_zero_rhs(self):
+        a = _spd_matrix(10, 4)
+        result = conjugate_gradient(a, np.zeros(10))
+        assert result.converged
+        assert np.allclose(result.solution, 0.0)
+
+    def test_initial_guess_respected(self):
+        a = _spd_matrix(30, 5)
+        x_true = np.random.default_rng(6).normal(size=30)
+        b = a @ x_true
+        warm = preconditioned_conjugate_gradient(a, b, initial_guess=x_true, tolerance=1e-10)
+        assert warm.iterations == 0
+        assert warm.converged
+
+    def test_max_iterations_cap(self, random_problem):
+        result = conjugate_gradient(random_problem.matrix, random_problem.rhs, tolerance=1e-14, max_iterations=3)
+        assert result.iterations == 3
+        assert not result.converged
+
+    def test_dense_matrix_accepted(self):
+        a = _spd_matrix(20, 7).toarray()
+        b = np.ones(20)
+        result = conjugate_gradient(a, b, tolerance=1e-10)
+        assert result.converged
+
+    def test_non_spd_matrix_stops_gracefully(self):
+        a = sp.diags([-1.0] * 5).tocsr()
+        result = conjugate_gradient(a, np.ones(5), tolerance=1e-10, max_iterations=10)
+        assert not result.converged
+
+    def test_callback_invoked(self, random_problem):
+        calls = []
+        preconditioned_conjugate_gradient(
+            random_problem.matrix,
+            random_problem.rhs,
+            tolerance=1e-6,
+            callback=lambda k, res: calls.append((k, res)),
+        )
+        assert len(calls) > 0
+        assert calls[-1][1] < 1e-6
+
+    def test_solve_result_summary(self):
+        result = SolveResult(solution=np.zeros(2), converged=True, iterations=3, residual_history=[1.0, 1e-7])
+        text = result.summary()
+        assert "3 iterations" in text
+        assert result.final_relative_residual == pytest.approx(1e-7)
+
+    @given(st.integers(0, 500), st.integers(10, 40))
+    @settings(max_examples=15, deadline=None)
+    def test_cg_error_decreases_in_a_norm(self, seed, n):
+        """Property: the A-norm of the CG error decreases monotonically."""
+        a = _spd_matrix(n, seed)
+        rng = np.random.default_rng(seed + 1)
+        x_true = rng.normal(size=n)
+        b = a @ x_true
+        errors = []
+
+        iterates = []
+
+        def callback(k, res):
+            pass
+
+        # run CG manually tracking iterates via increasing max_iterations
+        prev = None
+        for iters in (1, 3, 6):
+            result = conjugate_gradient(a, b, tolerance=0.0, max_iterations=iters)
+            e = result.solution - x_true
+            errors.append(float(e @ (a @ e)))
+        assert errors[0] >= errors[1] - 1e-9
+        assert errors[1] >= errors[2] - 1e-9
+
+
+class TestPCG:
+    def test_pcg_with_asm_solution_matches_unpreconditioned(self, random_problem, small_decomposition):
+        asm = AdditiveSchwarzPreconditioner(random_problem.matrix, small_decomposition, levels=2)
+        with_pre = preconditioned_conjugate_gradient(
+            random_problem.matrix, random_problem.rhs, preconditioner=asm, tolerance=1e-10
+        )
+        without = conjugate_gradient(random_problem.matrix, random_problem.rhs, tolerance=1e-10)
+        assert np.allclose(with_pre.solution, without.solution, atol=1e-5)
+
+    def test_preconditioner_time_recorded(self, random_problem, small_decomposition):
+        asm = AdditiveSchwarzPreconditioner(random_problem.matrix, small_decomposition, levels=2)
+        result = preconditioned_conjugate_gradient(
+            random_problem.matrix, random_problem.rhs, preconditioner=asm, tolerance=1e-8
+        )
+        assert 0.0 < result.preconditioner_time <= result.elapsed_time
+
+
+class TestIC0:
+    def test_factor_has_tril_pattern(self, random_problem):
+        L = incomplete_cholesky(random_problem.matrix)
+        assert (sp.triu(L, k=1)).nnz == 0
+        # pattern included in tril(A)
+        pattern_a = sp.tril(random_problem.matrix).astype(bool)
+        pattern_l = L.astype(bool)
+        assert (pattern_l > pattern_a).nnz == 0
+
+    def test_exact_on_diagonal_matrix(self):
+        a = sp.diags([4.0, 9.0, 16.0]).tocsr()
+        L = incomplete_cholesky(a)
+        assert np.allclose(L.toarray(), np.diag([2.0, 3.0, 4.0]))
+
+    def test_exact_on_tridiagonal(self):
+        """IC(0) on a tridiagonal SPD matrix is the exact Cholesky factor."""
+        n = 20
+        a = sp.diags([-1.0 * np.ones(n - 1), 2.0 * np.ones(n), -1.0 * np.ones(n - 1)], [-1, 0, 1]).tocsr()
+        L = incomplete_cholesky(a)
+        assert np.allclose((L @ L.T).toarray(), a.toarray(), atol=1e-10)
+
+    def test_rejects_non_positive_diagonal(self):
+        a = sp.diags([1.0, -2.0, 3.0]).tocsr()
+        with pytest.raises(ValueError):
+            incomplete_cholesky(a)
+
+    def test_ic0_preconditioner_accelerates_cg(self, random_problem):
+        plain = conjugate_gradient(random_problem.matrix, random_problem.rhs, tolerance=1e-8)
+        ic = IncompleteCholeskyPreconditioner(random_problem.matrix)
+        pre = preconditioned_conjugate_gradient(
+            random_problem.matrix, random_problem.rhs, preconditioner=ic, tolerance=1e-8
+        )
+        assert pre.converged
+        assert pre.iterations < plain.iterations
+
+    def test_ic0_apply_is_spd(self, random_problem):
+        """z ↦ M⁻¹z defined by IC(0) is symmetric positive definite (sampled check)."""
+        ic = IncompleteCholeskyPreconditioner(random_problem.matrix)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            v = rng.normal(size=random_problem.num_dofs)
+            w = rng.normal(size=random_problem.num_dofs)
+            assert v @ ic.apply(w) == pytest.approx(w @ ic.apply(v), rel=1e-8)
+            assert v @ ic.apply(v) > 0.0
+
+
+class TestOtherKrylov:
+    def test_bicgstab_solves(self, random_problem):
+        result = bicgstab(random_problem.matrix, random_problem.rhs, tolerance=1e-8)
+        assert result.converged
+        assert random_problem.relative_residual_norm(result.solution) < 1e-6
+
+    def test_bicgstab_zero_rhs(self):
+        a = _spd_matrix(10, 8)
+        assert bicgstab(a, np.zeros(10)).converged
+
+    def test_gmres_solves_spd(self, random_problem):
+        result = gmres(random_problem.matrix, random_problem.rhs, tolerance=1e-8, restart=60)
+        assert result.converged
+        assert random_problem.relative_residual_norm(result.solution) < 1e-6
+
+    def test_gmres_nonsymmetric(self):
+        rng = np.random.default_rng(0)
+        a = sp.csr_matrix(np.diag(np.arange(1.0, 21.0)) + 0.1 * rng.normal(size=(20, 20)))
+        x_true = rng.normal(size=20)
+        result = gmres(a, a @ x_true, tolerance=1e-10, restart=20)
+        assert result.converged
+        assert np.allclose(result.solution, x_true, atol=1e-5)
+
+    def test_gmres_zero_rhs(self):
+        a = _spd_matrix(10, 9)
+        assert gmres(a, np.zeros(10)).converged

@@ -1,0 +1,196 @@
+"""Tests of the geometry and meshing substrate (repro.mesh)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mesh import (
+    ClosedCurve,
+    TriangularMesh,
+    circle_curve,
+    disk_mesh,
+    formula1_mesh,
+    lshape_mesh,
+    mesh_for_target_size,
+    polygon_contains,
+    random_boundary_curve,
+    random_domain_mesh,
+    resample_polygon,
+    structured_rectangle_mesh,
+    triangulate,
+)
+
+
+# --------------------------------------------------------------------------- #
+# curves
+# --------------------------------------------------------------------------- #
+class TestCurves:
+    def test_closed_curve_sampling_shape(self):
+        curve = circle_curve(radius=2.0, n_points=12)
+        poly = curve.sample(points_per_segment=10)
+        assert poly.shape == (120, 2)
+
+    def test_circle_curve_radius(self):
+        poly = circle_curve(radius=3.0).sample()
+        radii = np.linalg.norm(poly, axis=1)
+        assert np.all(np.abs(radii - 3.0) < 0.15)
+
+    def test_closed_curve_needs_three_points(self):
+        with pytest.raises(ValueError):
+            ClosedCurve(np.zeros((2, 2))).sample()
+
+    def test_random_boundary_reproducible(self):
+        a = random_boundary_curve(rng=np.random.default_rng(5)).control_points
+        b = random_boundary_curve(rng=np.random.default_rng(5)).control_points
+        assert np.allclose(a, b)
+
+    def test_random_boundary_radius_scaling(self):
+        small = random_boundary_curve(radius=1.0, rng=np.random.default_rng(1)).control_points
+        large = random_boundary_curve(radius=3.0, rng=np.random.default_rng(1)).control_points
+        assert np.allclose(large, 3.0 * small)
+
+    def test_polygon_contains_square(self):
+        square = np.array([[0, 0], [1, 0], [1, 1], [0, 1]], dtype=float)
+        inside = polygon_contains(square, np.array([[0.5, 0.5], [1.5, 0.5], [-0.1, 0.2]]))
+        assert inside.tolist() == [True, False, False]
+
+    @given(st.floats(0.2, 3.0), st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_polygon_contains_circle_property(self, radius, seed):
+        """Points sampled inside a disk are classified inside its polygonal boundary."""
+        rng = np.random.default_rng(seed)
+        poly = circle_curve(radius=radius).sample()
+        r = radius * 0.8 * np.sqrt(rng.uniform(0, 1, size=20))
+        theta = rng.uniform(0, 2 * np.pi, size=20)
+        pts = np.column_stack([r * np.cos(theta), r * np.sin(theta)])
+        assert polygon_contains(poly, pts).all()
+
+    def test_resample_polygon_spacing(self):
+        square = np.array([[0, 0], [1, 0], [1, 1], [0, 1]], dtype=float)
+        pts = resample_polygon(square, spacing=0.1)
+        # perimeter 4 -> about 40 points
+        assert 35 <= len(pts) <= 45
+
+
+# --------------------------------------------------------------------------- #
+# TriangularMesh data structure
+# --------------------------------------------------------------------------- #
+class TestTriangularMesh:
+    def test_structured_mesh_counts(self):
+        mesh = structured_rectangle_mesh(4, 3)
+        assert mesh.num_nodes == 5 * 4
+        assert mesh.num_triangles == 2 * 4 * 3
+
+    def test_boundary_nodes_of_unit_square(self):
+        mesh = structured_rectangle_mesh(4, 4)
+        expected = 4 * 4  # perimeter nodes of a 5x5 grid
+        assert len(mesh.boundary_nodes) == expected
+        assert len(mesh.interior_nodes) == mesh.num_nodes - expected
+
+    def test_boundary_and_interior_partition_nodes(self, random_mesh):
+        union = np.union1d(random_mesh.boundary_nodes, random_mesh.interior_nodes)
+        assert np.array_equal(union, np.arange(random_mesh.num_nodes))
+
+    def test_adjacency_symmetric(self, random_mesh):
+        adj = random_mesh.adjacency
+        assert (adj != adj.T).nnz == 0
+
+    def test_directed_edges_are_double_undirected(self, random_mesh):
+        assert random_mesh.directed_edge_index.shape[1] == 2 * len(random_mesh.edges)
+
+    def test_total_area_of_unit_square(self):
+        mesh = structured_rectangle_mesh(6, 6)
+        assert mesh.total_area == pytest.approx(1.0)
+
+    def test_triangle_areas_positive_after_generation(self, random_mesh):
+        assert np.all(random_mesh.triangle_areas > 0)
+
+    def test_quality_metrics_range(self, random_mesh):
+        q = random_mesh.quality()
+        assert 0.0 < q["min_quality"] <= q["mean_quality"] <= 1.0 + 1e-12
+
+    def test_submesh_roundtrip(self, random_mesh):
+        nodes = np.arange(0, random_mesh.num_nodes, 2)
+        sub, global_ids = random_mesh.submesh(nodes)
+        assert np.array_equal(np.sort(global_ids), np.sort(np.asarray(nodes)))
+        assert np.allclose(sub.nodes, random_mesh.nodes[global_ids])
+        # every sub triangle must exist (as a set of global nodes) in the parent
+        parent_sets = {frozenset(t) for t in random_mesh.triangles.tolist()}
+        for tri in sub.triangles:
+            assert frozenset(global_ids[tri].tolist()) in parent_sets
+
+    def test_scaled_and_translated(self, unit_square_mesh):
+        scaled = unit_square_mesh.scaled(2.0)
+        assert scaled.total_area == pytest.approx(4.0 * unit_square_mesh.total_area)
+        moved = unit_square_mesh.translated([1.0, -2.0])
+        assert np.allclose(moved.nodes.mean(axis=0), unit_square_mesh.nodes.mean(axis=0) + [1.0, -2.0])
+
+    def test_invalid_triangle_index_rejected(self):
+        with pytest.raises(ValueError):
+            TriangularMesh(np.zeros((3, 2)), np.array([[0, 1, 5]]))
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            TriangularMesh(np.zeros((3, 3)), np.array([[0, 1, 2]]))
+        with pytest.raises(ValueError):
+            TriangularMesh(np.zeros((3, 2)), np.array([[0, 1]]))
+
+    def test_graph_diameter_estimate_positive(self, unit_square_mesh):
+        diam = unit_square_mesh.graph_diameter_estimate()
+        # 12x12 grid: diameter is about 12..24 hops depending on diagonals
+        assert 10 <= diam <= 30
+
+    def test_node_neighbours(self):
+        mesh = structured_rectangle_mesh(2, 2)
+        centre = 4  # middle node of a 3x3 grid
+        assert len(mesh.node_neighbours(centre)) >= 4
+
+
+# --------------------------------------------------------------------------- #
+# triangulation of domains
+# --------------------------------------------------------------------------- #
+class TestTriangulation:
+    def test_disk_mesh_properties(self, small_disk_mesh):
+        assert small_disk_mesh.num_nodes > 100
+        # area close to pi
+        assert abs(small_disk_mesh.total_area - np.pi) / np.pi < 0.05
+        # boundary nodes approximately at radius 1
+        radii = np.linalg.norm(small_disk_mesh.nodes[small_disk_mesh.boundary_nodes], axis=1)
+        assert np.all(radii > 0.9)
+
+    def test_random_domain_mesh_node_count_scales_with_radius(self):
+        small = random_domain_mesh(radius=0.7, element_size=0.1, rng=np.random.default_rng(3))
+        large = random_domain_mesh(radius=1.4, element_size=0.1, rng=np.random.default_rng(3))
+        assert large.num_nodes > 2.5 * small.num_nodes
+
+    def test_mesh_quality_reasonable(self, random_mesh):
+        assert random_mesh.quality()["mean_quality"] > 0.7
+
+    def test_lshape_mesh(self):
+        mesh = lshape_mesh(size=1.0, element_size=0.1)
+        assert abs(mesh.total_area - 0.75) < 0.05
+
+    def test_formula1_mesh_with_holes_has_smaller_area(self):
+        with_holes = formula1_mesh(length=5.0, element_size=0.15, with_holes=True)
+        without = formula1_mesh(length=5.0, element_size=0.15, with_holes=False)
+        assert with_holes.total_area < without.total_area
+        assert with_holes.num_nodes > 100
+
+    def test_mesh_for_target_size(self):
+        mesh = mesh_for_target_size(800, element_size=0.08, rng=np.random.default_rng(2))
+        assert 400 <= mesh.num_nodes <= 1400
+
+    def test_element_size_respected(self):
+        mesh = disk_mesh(radius=1.0, element_size=0.2)
+        assert 0.1 < mesh.element_size < 0.3
+
+    def test_invalid_element_size_raises(self):
+        with pytest.raises(ValueError):
+            triangulate(circle_curve(radius=1.0), element_size=0.0)
+
+    def test_structured_mesh_validates_arguments(self):
+        with pytest.raises(ValueError):
+            structured_rectangle_mesh(0, 3)

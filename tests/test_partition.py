@@ -1,0 +1,144 @@
+"""Tests of the partitioning substrate (repro.partition)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mesh import structured_rectangle_mesh
+from repro.partition import (
+    OverlappingDecomposition,
+    Partition,
+    analyse_partition,
+    expand_overlap,
+    overlapping_subdomains,
+    partition_graph,
+    partition_mesh,
+    partition_mesh_target_size,
+)
+
+
+class TestPartition:
+    def test_every_node_assigned(self, random_mesh):
+        part = partition_mesh(random_mesh, 6, rng=np.random.default_rng(0))
+        assert part.assignment.min() >= 0
+        assert part.assignment.max() < 6
+        assert len(part.assignment) == random_mesh.num_nodes
+
+    def test_sizes_sum_to_total(self, random_mesh):
+        part = partition_mesh(random_mesh, 5, rng=np.random.default_rng(1))
+        assert part.sizes().sum() == random_mesh.num_nodes
+
+    def test_balance(self, random_mesh):
+        part = partition_mesh(random_mesh, 6, rng=np.random.default_rng(2))
+        assert part.imbalance() < 1.3
+
+    def test_target_size_partitioning(self, random_mesh):
+        part = partition_mesh_target_size(random_mesh, 80, rng=np.random.default_rng(3))
+        expected_parts = int(round(random_mesh.num_nodes / 80))
+        assert part.num_parts == max(expected_parts, 1)
+
+    def test_single_partition(self, random_mesh):
+        part = partition_mesh(random_mesh, 1)
+        assert np.all(part.assignment == 0)
+        assert part.edge_cut(random_mesh.adjacency) == 0
+
+    def test_too_many_parts_rejected(self):
+        mesh = structured_rectangle_mesh(2, 2)
+        with pytest.raises(ValueError):
+            partition_mesh(mesh, mesh.num_nodes + 1)
+
+    def test_invalid_num_parts(self, random_mesh):
+        with pytest.raises(ValueError):
+            partition_mesh(random_mesh, 0)
+
+    def test_partition_assignment_validation(self):
+        with pytest.raises(ValueError):
+            Partition(np.array([0, 1, 5]), num_parts=2)
+
+    def test_edge_cut_reported(self, random_mesh):
+        part = partition_mesh(random_mesh, 4, rng=np.random.default_rng(4))
+        cut = part.edge_cut(random_mesh.adjacency)
+        total = int(sp.triu(random_mesh.adjacency, k=1).nnz)
+        assert 0 < cut < total
+
+    def test_most_parts_connected(self, random_mesh):
+        part = partition_mesh(random_mesh, 6, rng=np.random.default_rng(5))
+        report = analyse_partition(random_mesh, part)
+        assert report.connected_parts >= report.num_parts - 1
+
+    def test_partition_reproducible_with_seed(self, random_mesh):
+        a = partition_mesh(random_mesh, 4, rng=np.random.default_rng(9)).assignment
+        b = partition_mesh(random_mesh, 4, rng=np.random.default_rng(9)).assignment
+        assert np.array_equal(a, b)
+
+    @given(st.integers(2, 8), st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_partition_property_structured_grid(self, k, seed):
+        """Any k-way partition of a grid covers all nodes with balanced parts."""
+        mesh = structured_rectangle_mesh(8, 8)
+        part = partition_mesh(mesh, k, rng=np.random.default_rng(seed))
+        sizes = part.sizes()
+        assert sizes.sum() == mesh.num_nodes
+        assert sizes.min() >= 1
+        assert part.imbalance() < 2.0
+
+
+class TestOverlap:
+    def test_expand_overlap_grows_set(self, random_mesh):
+        nodes = np.arange(10)
+        grown = expand_overlap(random_mesh.adjacency, nodes, overlap=2)
+        assert len(grown) > len(nodes)
+        assert np.all(np.isin(nodes, grown))
+
+    def test_expand_overlap_zero_is_identity(self, random_mesh):
+        nodes = np.array([3, 7, 11])
+        assert np.array_equal(expand_overlap(random_mesh.adjacency, nodes, 0), np.sort(nodes))
+
+    def test_expand_overlap_negative_rejected(self, random_mesh):
+        with pytest.raises(ValueError):
+            expand_overlap(random_mesh.adjacency, np.array([0]), -1)
+
+    def test_larger_overlap_gives_larger_subdomains(self, random_mesh):
+        part = partition_mesh_target_size(random_mesh, 80, rng=np.random.default_rng(0))
+        d2 = OverlappingDecomposition(random_mesh, part, overlap=2)
+        d4 = OverlappingDecomposition(random_mesh, part, overlap=4)
+        assert np.all(d4.sizes() >= d2.sizes())
+        assert d4.sizes().sum() > d2.sizes().sum()
+
+    def test_decomposition_covers_all_nodes(self, small_decomposition):
+        assert small_decomposition.covers_all_nodes()
+
+    def test_multiplicity_at_least_one(self, small_decomposition):
+        assert small_decomposition.multiplicity().min() >= 1
+
+    def test_overlap_multiplicity_exceeds_one_somewhere(self, small_decomposition):
+        """With overlap >= 1 some nodes must belong to several sub-domains."""
+        assert small_decomposition.multiplicity().max() >= 2
+
+    def test_core_nodes_subset_of_subdomain(self, small_decomposition):
+        for core, full in zip(small_decomposition.core_nodes, small_decomposition.subdomain_nodes):
+            assert np.all(np.isin(core, full))
+
+    def test_overlapping_subdomains_helper(self, random_mesh):
+        part = partition_mesh_target_size(random_mesh, 100, rng=np.random.default_rng(1))
+        subs = overlapping_subdomains(random_mesh, part, overlap=1)
+        assert len(subs) == part.num_parts
+
+
+class TestQualityReport:
+    def test_report_dict_keys(self, random_mesh):
+        part = partition_mesh(random_mesh, 4, rng=np.random.default_rng(2))
+        report = analyse_partition(random_mesh, part).as_dict()
+        for key in ("num_parts", "imbalance", "edge_cut", "connected_parts"):
+            assert key in report
+
+    def test_single_part_report(self, random_mesh):
+        part = partition_mesh(random_mesh, 1)
+        report = analyse_partition(random_mesh, part)
+        assert report.edge_cut == 0
+        assert report.num_parts == 1
+        assert report.connected_parts == 1

@@ -1,0 +1,71 @@
+"""Tests of the shared utilities (repro.utils)."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils import Timer, available_workers, format_mean_std, format_table, parallel_map, timed
+
+
+class TestTimer:
+    def test_measure_accumulates(self):
+        timer = Timer()
+        with timer.measure("work"):
+            time.sleep(0.01)
+        with timer.measure("work"):
+            time.sleep(0.01)
+        assert timer.counts["work"] == 2
+        assert timer.totals["work"] >= 0.02
+        assert timer.mean("work") >= 0.01
+
+    def test_mean_unknown_key_raises(self):
+        with pytest.raises(KeyError):
+            Timer().mean("nope")
+
+    def test_report_contains_names(self):
+        timer = Timer()
+        with timer.measure("assembly"):
+            pass
+        assert "assembly" in timer.report()
+
+    def test_timed_context(self):
+        with timed() as box:
+            time.sleep(0.01)
+        assert box[0] >= 0.01
+
+
+class TestTables:
+    def test_format_mean_std(self):
+        assert format_mean_std(22.0, 1.0, digits=0) == "22±1"
+        assert format_mean_std(3.14159, 0.2, digits=2) == "3.14±0.20"
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2], [333, 4]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_empty_rows(self):
+        text = format_table(["x"], [])
+        assert "x" in text
+
+
+def _square(x: float) -> float:
+    return x * x
+
+
+class TestParallel:
+    def test_available_workers_bounds(self):
+        assert available_workers(1) == 1
+        assert available_workers(10_000) >= 1
+
+    def test_parallel_map_matches_serial(self):
+        items = list(range(10))
+        assert parallel_map(_square, items, workers=2) == [x * x for x in items]
+
+    def test_parallel_map_single_worker(self):
+        assert parallel_map(_square, [3.0], workers=1) == [9.0]
