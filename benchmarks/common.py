@@ -35,6 +35,22 @@ ARTIFACT_DIR.mkdir(exist_ok=True)
 PRETRAINED_CONFIG = DSSConfig(num_iterations=20, latent_dim=10, alpha=0.1, seed=0)
 PRETRAINED_PATH = ARTIFACT_DIR / "dss_k20_d10.npz"
 
+#: reference model for the heterogeneous (variable-coefficient) benches —
+#: same architecture, trained on equilibrated checkerboard-κ local problems.
+#: Deliberately κ-blind (default edge_attr_dim=3/node_input_dim=1): the
+#: equilibration is the mechanism that absorbs the contrast, and at this
+#: training budget the κ-aware feature channels measurably hurt (test
+#: residual 0.049 vs 0.032, non-convergent at 1e-6); pass edge_attr_dim=4,
+#: node_input_dim=2 to explore them at larger budgets.
+HETEROGENEOUS_CONFIG = DSSConfig(num_iterations=20, latent_dim=10, alpha=0.1, seed=0)
+HETEROGENEOUS_PATH = ARTIFACT_DIR / "dss_het_k20_d10.npz"
+#: training recipe proven to reach 1e-6 on checkerboard contrast 1e4
+HET_ELEMENT_SIZE = 0.08
+HET_SUBDOMAIN_SIZE = 110
+#: training contrast — the model specialises to high-contrast local problems
+#: (the homogeneous pretrained model covers the κ ≡ 1 end of the sweep)
+HET_TRAIN_CONTRAST = 1e4
+
 #: characteristic sub-domain size of the scaled-down experiments (1000 in the paper)
 SUBDOMAIN_SIZE = 110
 #: mesh element size of the scaled-down experiments (0.024 in the paper ≈ 7000-node meshes)
@@ -189,6 +205,47 @@ def get_pretrained_model() -> DSS:
     trainer.fit(dataset.train[: bench_scale().train_samples], dataset.validation[:60], verbose=False)
     model.eval()
     model.save(str(PRETRAINED_PATH))
+    return model
+
+
+def get_heterogeneous_model() -> DSS:
+    """The reference DSS model for the variable-coefficient diffusion benches.
+
+    Trained on local problems harvested from ``diffusion-checkerboard``
+    solves at contrast 10⁴ — the sub-domain systems are diagonally
+    equilibrated by the dataset layer, so the model sees Poisson-like
+    matrices regardless of the contrast and transfers across contrast ratios.
+    Cached to an artifact like :func:`get_pretrained_model`.
+    """
+    model = DSS(HETEROGENEOUS_CONFIG)
+    if HETEROGENEOUS_PATH.exists():
+        model.load(str(HETEROGENEOUS_PATH))
+        model.eval()
+        return model
+    rng = np.random.default_rng(0)
+    dataset = generate_dataset(
+        num_global_problems=4,
+        mesh_element_size=HET_ELEMENT_SIZE,
+        subdomain_size=HET_SUBDOMAIN_SIZE,
+        overlap=2,
+        rng=rng,
+        problem_family="diffusion-checkerboard",
+        problem_kwargs={"contrast": HET_TRAIN_CONTRAST},
+    )
+    trainer = DSSTrainer(
+        model,
+        TrainingConfig(
+            epochs=bench_epochs(12),
+            batch_size=40,
+            learning_rate=1e-2,
+            gradient_clip=1e-2,
+            scheduler_patience=4,
+            seed=0,
+        ),
+    )
+    trainer.fit(dataset.train, dataset.validation[:40], verbose=False)
+    model.eval()
+    model.save(str(HETEROGENEOUS_PATH))
     return model
 
 

@@ -1,4 +1,38 @@
-"""Setup shim for environments without the `wheel` package (offline legacy install)."""
-from setuptools import setup
+"""Package metadata for the DDM-GNN reproduction.
 
-setup()
+Plain ``setup.py`` (no pyproject required) with the package under ``src/``.
+``pip install -e .`` is the supported path; on legacy/offline environments
+whose pip cannot build editable wheels (no ``wheel`` package available),
+``python setup.py develop`` installs the same egg-link.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-ddm-gnn",
+    version="1.1.0",
+    description=(
+        "NumPy reproduction of 'Multi-Level GNN Preconditioner for Solving "
+        "Large Scale Problems' (DDM-GNN / Deep Statistical Solver), with a "
+        "heterogeneous variable-coefficient problem registry"
+    ),
+    long_description=open("README.md", encoding="utf-8").read(),
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    install_requires=[
+        "numpy>=1.22",
+        "scipy>=1.8",
+    ],
+    extras_require={
+        "test": ["pytest", "pytest-benchmark", "hypothesis"],
+    },
+    classifiers=[
+        "Programming Language :: Python :: 3",
+        "Topic :: Scientific/Engineering :: Mathematics",
+        "License :: OSI Approved :: MIT License",
+    ],
+)

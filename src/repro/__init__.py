@@ -4,7 +4,10 @@ The package is organised bottom-up (see DESIGN.md):
 
 * :mod:`repro.nn` — NumPy autodiff + neural-network substrate (PyTorch substitute);
 * :mod:`repro.mesh` — random-domain generation and unstructured triangulation (GMSH substitute);
-* :mod:`repro.fem` — P1 finite elements for the Poisson equation;
+* :mod:`repro.fem` — P1 finite elements for Poisson and variable-coefficient
+  diffusion with mixed Dirichlet/Neumann/Robin boundary conditions;
+* :mod:`repro.problems` — named problem registry
+  (``make_problem("diffusion-checkerboard", ...)``);
 * :mod:`repro.partition` — k-way mesh partitioning with overlap (METIS substitute);
 * :mod:`repro.ddm` — restriction operators, Nicolaides coarse space, Additive Schwarz;
 * :mod:`repro.krylov` — CG / PCG / BiCGStab / GMRES and the IC(0) baseline;
@@ -27,14 +30,15 @@ Typical usage::
     print(result.summary())
 """
 
-from . import core, ddm, fem, gnn, krylov, mesh, nn, partition, utils
+from . import core, ddm, fem, gnn, krylov, mesh, nn, partition, problems, utils
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "nn",
     "mesh",
     "fem",
+    "problems",
     "partition",
     "ddm",
     "krylov",

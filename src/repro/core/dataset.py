@@ -26,13 +26,14 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..ddm.asm import AdditiveSchwarzPreconditioner
-from ..fem.poisson import PoissonProblem, random_poisson_problem
+from ..fem.problem import Problem
 from ..gnn.graph import GraphProblem, graph_from_mesh
 from ..krylov.cg import preconditioned_conjugate_gradient
 from ..mesh.mesh import TriangularMesh
 from ..mesh.shapes import random_domain_mesh
 from ..partition.overlap import OverlappingDecomposition
 from ..partition.partitioner import partition_mesh_target_size
+from ..problems import make_problem
 
 __all__ = ["SubdomainGeometry", "build_subdomain_geometries", "harvest_local_problems", "generate_dataset", "LocalProblemDataset"]
 
@@ -45,14 +46,35 @@ class SubdomainGeometry:
     sub-mesh geometry and edge structure, the local operator, and the local
     Dirichlet mask (global physical boundary nodes that fall inside the
     sub-domain).
+
+    For heterogeneous problems the local operator is symmetrically
+    **equilibrated**: with ``S = diag(A_i)^(-1/2)`` the GNN sees
+    ``Ã_i = S A_i S`` and sources ``S R_i r`` (then normalised), and its
+    output is mapped back through ``S``.  Since
+    ``R_iᵀ S Ã_i⁻¹ S R_i = R_iᵀ A_i⁻¹ R_i``, an exact local solver yields
+    exactly the classical ASM correction — the transformation only changes
+    what the *learned* solver sees, pulling κ-contrast out of the matrix
+    entries and back into the κ features, so local problems stay inside the
+    training distribution regardless of the contrast ratio.
     """
 
     nodes: np.ndarray                 # global indices of the sub-domain nodes
     positions: np.ndarray             # (k_i, 2) coordinates
     edge_index: np.ndarray            # (2, E_i) directed edges (local indexing)
-    edge_attr: np.ndarray             # (E_i, 3)
+    edge_attr: np.ndarray             # (E_i, 3) geometric, (E_i, 4) κ-aware
     dirichlet_mask: np.ndarray        # (k_i,) bool
-    matrix: sp.csr_matrix             # R_i A R_iᵀ
+    matrix: sp.csr_matrix             # R_i A R_iᵀ (raw, un-equilibrated)
+    node_attr: Optional[np.ndarray] = None  # (k_i, 1) log κ for heterogeneous problems
+    equilibration: Optional[np.ndarray] = None  # s = diag(A_i)^(-1/2), None = identity
+    graph_matrix: sp.csr_matrix = None         # matrix attached to graphs (Ã_i or A_i)
+
+    def __post_init__(self) -> None:
+        if self.graph_matrix is None:
+            if self.equilibration is not None:
+                s = sp.diags(self.equilibration)
+                self.graph_matrix = (s @ self.matrix @ s).tocsr()
+            else:
+                self.graph_matrix = self.matrix
 
     def make_graph(self, source: np.ndarray, scaling: float = 1.0) -> GraphProblem:
         """Instantiate a :class:`GraphProblem` for a given (normalised) source."""
@@ -62,9 +84,26 @@ class SubdomainGeometry:
             edge_attr=self.edge_attr,
             source=source,
             dirichlet_mask=self.dirichlet_mask,
-            matrix=self.matrix,
+            matrix=self.graph_matrix,
             scaling=scaling,
+            node_attr=self.node_attr,
         )
+
+    # ------------------------------------------------------------------ #
+    # residual ↔ GNN-variable transformations
+    # ------------------------------------------------------------------ #
+    def source_from_residual(self, local_residual: np.ndarray) -> Tuple[np.ndarray, float]:
+        """Map a raw local residual ``R_i r`` to ``(normalised source, norm)``."""
+        z = local_residual if self.equilibration is None else self.equilibration * local_residual
+        norm = float(np.linalg.norm(z))
+        if norm > 0.0:
+            return z / norm, norm
+        return z, norm
+
+    def solution_from_output(self, output: np.ndarray, scaling: float = 1.0) -> np.ndarray:
+        """Map a GNN output back to the local solution (undo the equilibration)."""
+        u = scaling * output
+        return u if self.equilibration is None else self.equilibration * u
 
 
 def build_subdomain_geometries(
@@ -72,11 +111,28 @@ def build_subdomain_geometries(
     matrix: sp.spmatrix,
     decomposition: OverlappingDecomposition,
     global_dirichlet_mask: Optional[np.ndarray] = None,
+    node_diffusion: Optional[np.ndarray] = None,
+    equilibrate: Optional[bool] = None,
 ) -> List[SubdomainGeometry]:
-    """Precompute the static per-sub-domain data used by dataset generation and DDM-GNN."""
+    """Precompute the static per-sub-domain data used by dataset generation and DDM-GNN.
+
+    ``global_dirichlet_mask`` marks the physical Dirichlet nodes (defaults to
+    the whole mesh boundary — correct for pure-Dirichlet problems; mixed-BC
+    problems pass their own mask).  ``node_diffusion`` carries per-node κ for
+    heterogeneous problems; it is sliced per sub-domain and turned into the
+    κ-aware graph features by :func:`~repro.gnn.graph.graph_from_mesh`.
+
+    ``equilibrate`` enables the symmetric diagonal scaling of the local
+    operators (see :class:`SubdomainGeometry`); the default (None) turns it
+    on exactly when a κ field is present, so the homogeneous pipeline
+    reproduces the paper bit-for-bit while heterogeneous problems get local
+    systems the DSS can handle at any contrast ratio.
+    """
     csr = matrix.tocsr()
     if global_dirichlet_mask is None:
         global_dirichlet_mask = mesh.boundary_mask
+    if equilibrate is None:
+        equilibrate = node_diffusion is not None
     geometries: List[SubdomainGeometry] = []
     for nodes in decomposition.subdomain_nodes:
         nodes = np.asarray(nodes, dtype=np.int64)
@@ -89,7 +145,14 @@ def build_subdomain_geometries(
             source=np.zeros(submesh.num_nodes),
             dirichlet_mask=local_dirichlet,
             matrix=local_matrix,
+            diffusion=None if node_diffusion is None else node_diffusion[global_ids],
         )
+        equilibration = None
+        if equilibrate:
+            diagonal = local_matrix.diagonal()
+            if np.any(diagonal <= 0.0):
+                raise ValueError("cannot equilibrate a local matrix with non-positive diagonal")
+            equilibration = 1.0 / np.sqrt(diagonal)
         geometries.append(
             SubdomainGeometry(
                 nodes=global_ids,
@@ -98,6 +161,8 @@ def build_subdomain_geometries(
                 edge_attr=template.edge_attr,
                 dirichlet_mask=template.dirichlet_mask,
                 matrix=local_matrix,
+                node_attr=template.node_attr,
+                equilibration=equilibration,
             )
         )
     return geometries
@@ -113,27 +178,38 @@ class _HarvestingPreconditioner(AdditiveSchwarzPreconditioner):
 
     def apply(self, residual: np.ndarray) -> np.ndarray:
         for geometry, restriction in zip(self._geometries, self.restrictions):
-            local_residual = restriction @ residual
-            norm = float(np.linalg.norm(local_residual))
+            source, norm = geometry.source_from_residual(restriction @ residual)
             if norm <= 0.0:
                 continue
-            self.harvested.append(geometry.make_graph(local_residual / norm, scaling=norm))
+            self.harvested.append(geometry.make_graph(source, scaling=norm))
         return super().apply(residual)
 
 
 def harvest_local_problems(
-    problem: PoissonProblem,
+    problem: Problem,
     subdomain_size: int = 1000,
     overlap: int = 2,
     tolerance: float = 1e-6,
     rng: Optional[np.random.Generator] = None,
     max_iterations: Optional[int] = None,
 ) -> List[GraphProblem]:
-    """Solve one global problem with ASM-PCG and return all harvested local problems."""
+    """Solve one global problem with ASM-PCG and return all harvested local problems.
+
+    Works for any registered :class:`~repro.fem.problem.Problem`: the actual
+    Dirichlet node set and the per-node κ field (when present) are threaded
+    into the harvested graphs, so heterogeneous training samples carry the
+    κ-aware features the DDM-GNN preconditioner will see at solve time.
+    """
     rng = rng if rng is not None else np.random.default_rng()
     partition = partition_mesh_target_size(problem.mesh, subdomain_size, rng=rng)
     decomposition = OverlappingDecomposition(problem.mesh, partition, overlap=overlap)
-    geometries = build_subdomain_geometries(problem.mesh, problem.matrix, decomposition)
+    geometries = build_subdomain_geometries(
+        problem.mesh,
+        problem.matrix,
+        decomposition,
+        global_dirichlet_mask=getattr(problem, "dirichlet_mask", None),
+        node_diffusion=getattr(problem, "node_diffusion", None),
+    )
     preconditioner = _HarvestingPreconditioner(
         problem.matrix, decomposition, levels=2, geometries=geometries
     )
@@ -173,6 +249,8 @@ class LocalProblemDataset:
                 payload[f"{prefix}_source"] = g.source
                 payload[f"{prefix}_dirichlet"] = g.dirichlet_mask
                 payload[f"{prefix}_scaling"] = np.array(g.scaling)
+                if g.node_attr is not None:
+                    payload[f"{prefix}_node_attr"] = g.node_attr
                 if g.matrix is not None:
                     coo = g.matrix.tocoo()
                     payload[f"{prefix}_mat_row"] = coo.row
@@ -206,6 +284,7 @@ class LocalProblemDataset:
                             dirichlet_mask=data[f"{prefix}_dirichlet"],
                             matrix=matrix,
                             scaling=float(data[f"{prefix}_scaling"]),
+                            node_attr=data[f"{prefix}_node_attr"] if f"{prefix}_node_attr" in data.files else None,
                         )
                     )
                 setattr(dataset, split_name, problems)
@@ -222,20 +301,28 @@ def generate_dataset(
     split: Tuple[float, float, float] = (0.6, 0.2, 0.2),
     rng: Optional[np.random.Generator] = None,
     max_pcg_iterations: Optional[int] = None,
+    problem_family: str = "poisson",
+    problem_kwargs: Optional[dict] = None,
 ) -> LocalProblemDataset:
     """Generate a full training dataset following the paper's recipe.
 
     The paper solves 500 global problems on meshes of 6k–8k nodes with 1000-node
     sub-domains, which yields ~117k samples split 60/20/20.  The defaults here
     keep the same structure; tests and offline runs pass smaller numbers.
+
+    ``problem_family`` selects any registered problem family (see
+    :func:`repro.problems.make_problem`) — e.g.
+    ``problem_family="diffusion-checkerboard", problem_kwargs={"contrast": 1e4}``
+    harvests heterogeneous local problems whose graphs carry κ-aware features.
     """
     rng = rng if rng is not None else np.random.default_rng()
     if abs(sum(split) - 1.0) > 1e-9:
         raise ValueError("split fractions must sum to 1")
+    problem_kwargs = dict(problem_kwargs or {})
     samples: List[GraphProblem] = []
     for _ in range(num_global_problems):
         mesh = random_domain_mesh(radius=mesh_radius, element_size=mesh_element_size, rng=rng)
-        problem = random_poisson_problem(mesh, rng=rng)
+        problem = make_problem(problem_family, mesh=mesh, rng=rng, **problem_kwargs)
         samples.extend(
             harvest_local_problems(
                 problem,

@@ -61,6 +61,16 @@ class DDMGNNPreconditioner(Preconditioner):
     normalize_local_residuals:
         The paper's residual normalisation.  Disabling it (ablation) shows the
         stagnation the paper describes in Sec. III-A.
+    global_dirichlet_mask:
+        Physical Dirichlet node mask of the problem (defaults to the whole
+        mesh boundary; mixed-BC problems pass their own).
+    node_diffusion:
+        Per-node κ values of a heterogeneous problem; when given, the
+        sub-domain graphs carry κ-aware node/edge features.
+    equilibrate:
+        Diagonal equilibration of the local solves (see
+        :class:`~repro.core.dataset.SubdomainGeometry`); None (default)
+        enables it exactly when ``node_diffusion`` is present.
     """
 
     def __init__(
@@ -73,6 +83,8 @@ class DDMGNNPreconditioner(Preconditioner):
         batch_size: Optional[int] = None,
         normalize_local_residuals: bool = True,
         global_dirichlet_mask: Optional[np.ndarray] = None,
+        node_diffusion: Optional[np.ndarray] = None,
+        equilibrate: Optional[bool] = None,
     ) -> None:
         if levels not in (1, 2):
             raise ValueError("levels must be 1 or 2")
@@ -88,7 +100,12 @@ class DDMGNNPreconditioner(Preconditioner):
         subdomains = decomposition.subdomain_nodes
         self.restrictions = build_restrictions(subdomains, n)
         self.geometries: List[SubdomainGeometry] = build_subdomain_geometries(
-            mesh, self.matrix, decomposition, global_dirichlet_mask=global_dirichlet_mask
+            mesh,
+            self.matrix,
+            decomposition,
+            global_dirichlet_mask=global_dirichlet_mask,
+            node_diffusion=node_diffusion,
+            equilibrate=equilibrate,
         )
         self.coarse_space: Optional[NicolaidesCoarseSpace] = None
         if self.levels == 2:
@@ -137,18 +154,21 @@ class DDMGNNPreconditioner(Preconditioner):
         # 2. + 3. batched local GNN solves, rescaled and glued back
         t0 = time.perf_counter()
         local_residuals: List[np.ndarray] = [r_i @ residual for r_i in self.restrictions]
-        norms = np.array([np.linalg.norm(lr) for lr in local_residuals])
+        # equilibrated residuals and their norms (identity transform when κ ≡ 1)
+        sources_and_norms = [
+            self.geometries[i].source_from_residual(lr) for i, lr in enumerate(local_residuals)
+        ]
+        norms = np.array([norm for _, norm in sources_and_norms])
 
         for batch, members in zip(self._batches, self._batch_membership):
             # refresh the node inputs of the pre-built batch in place
             sources = []
             for i in members:
-                lr = local_residuals[i]
-                norm = norms[i]
+                normalised, norm = sources_and_norms[i]
                 if self.normalize_local_residuals and norm > 0.0:
-                    sources.append(lr / norm)
+                    sources.append(normalised)
                 else:
-                    sources.append(lr)
+                    sources.append(normalised * norm)  # undo the normalisation (ablation)
             batch.source = np.concatenate(sources)
             predictions = self.model.predict(batch)
             per_graph = batch.split_node_values(predictions)
@@ -156,7 +176,9 @@ class DDMGNNPreconditioner(Preconditioner):
                 scale = norms[i] if (self.normalize_local_residuals and norms[i] > 0.0) else 1.0
                 if norms[i] == 0.0:
                     continue
-                correction += self.restrictions[i].T @ (scale * local_solution)
+                correction += self.restrictions[i].T @ self.geometries[i].solution_from_output(
+                    local_solution, scale
+                )
         self.total_inference_time += time.perf_counter() - t0
         return correction
 

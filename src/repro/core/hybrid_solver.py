@@ -1,9 +1,16 @@
 """End-to-end hybrid solver facade (paper Fig. 1).
 
-:class:`HybridSolver` wires together the whole pipeline for one global Poisson
-problem: partition the mesh into overlapping sub-domains, build the requested
-preconditioner (DDM-GNN, DDM-LU, IC(0), Jacobi-ASM or none) and run the
-Preconditioned Conjugate Gradient to a target relative residual.
+:class:`HybridSolver` wires together the whole pipeline for one global
+elliptic problem: partition the mesh into overlapping sub-domains, build the
+requested preconditioner (DDM-GNN, DDM-LU, IC(0), Jacobi-ASM or none) and run
+the Preconditioned Conjugate Gradient to a target relative residual.
+
+It accepts any :class:`~repro.fem.problem.Problem` — the paper's homogeneous
+Poisson problems as well as every family built by
+:func:`repro.problems.make_problem` (variable-coefficient diffusion, mixed
+Dirichlet/Neumann/Robin boundaries): the problem's Dirichlet node set and
+per-node κ field are threaded into the DDM-GNN sub-domain graphs
+automatically.
 
 It is the object the examples and every benchmark harness use, and its
 configuration mirrors the knobs varied across the paper's tables: global size
@@ -20,7 +27,7 @@ import numpy as np
 
 from ..ddm.asm import AdditiveSchwarzPreconditioner, IdentityPreconditioner, Preconditioner
 from ..ddm.local_solvers import JacobiLocalSolver
-from ..fem.poisson import PoissonProblem
+from ..fem.problem import Problem
 from ..gnn.dss import DSS
 from ..krylov.cg import preconditioned_conjugate_gradient
 from ..krylov.ic import IncompleteCholeskyPreconditioner
@@ -57,6 +64,10 @@ class HybridSolverConfig:
         Iteration cap for PCG.
     gnn_batch_size:
         Number of sub-domain graphs per DSS inference call (None = all at once).
+    gnn_equilibrate:
+        Diagonal equilibration of the DDM-GNN local solves; None (default)
+        enables it exactly when the problem carries a κ field, False forces
+        the paper's raw local systems (e.g. for a model trained without it).
     seed:
         Seed for the partitioner.
     """
@@ -69,12 +80,13 @@ class HybridSolverConfig:
     tolerance: float = 1e-6
     max_iterations: Optional[int] = None
     gnn_batch_size: Optional[int] = None
+    gnn_equilibrate: Optional[bool] = None
     jacobi_sweeps: int = 10
     seed: int = 0
 
 
 class HybridSolver:
-    """Solve discretised Poisson problems with a configurable preconditioned CG."""
+    """Solve discretised elliptic problems with a configurable preconditioned CG."""
 
     def __init__(self, config: HybridSolverConfig = HybridSolverConfig(), model: Optional[DSS] = None) -> None:
         if config.preconditioner == "ddm-gnn" and model is None:
@@ -86,7 +98,7 @@ class HybridSolver:
         self.last_decomposition: Optional[OverlappingDecomposition] = None
 
     # ------------------------------------------------------------------ #
-    def _build_decomposition(self, problem: PoissonProblem) -> OverlappingDecomposition:
+    def _build_decomposition(self, problem: Problem) -> OverlappingDecomposition:
         cfg = self.config
         rng = np.random.default_rng(cfg.seed)
         if cfg.num_subdomains is not None:
@@ -95,7 +107,7 @@ class HybridSolver:
             partition = partition_mesh_target_size(problem.mesh, cfg.subdomain_size, rng=rng)
         return OverlappingDecomposition(problem.mesh, partition, overlap=cfg.overlap)
 
-    def build_preconditioner(self, problem: PoissonProblem) -> Preconditioner:
+    def build_preconditioner(self, problem: Problem) -> Preconditioner:
         """Construct (and cache) the preconditioner for a given problem."""
         cfg = self.config
         start = time.perf_counter()
@@ -112,6 +124,9 @@ class HybridSolver:
                     self.model,
                     levels=cfg.levels,
                     batch_size=cfg.gnn_batch_size,
+                    global_dirichlet_mask=getattr(problem, "dirichlet_mask", None),
+                    node_diffusion=getattr(problem, "node_diffusion", None),
+                    equilibrate=cfg.gnn_equilibrate,
                 )
             elif cfg.preconditioner == "ddm-lu":
                 preconditioner = AdditiveSchwarzPreconditioner(
@@ -135,7 +150,7 @@ class HybridSolver:
         return preconditioner
 
     # ------------------------------------------------------------------ #
-    def solve(self, problem: PoissonProblem, initial_guess: Optional[np.ndarray] = None) -> SolveResult:
+    def solve(self, problem: Problem, initial_guess: Optional[np.ndarray] = None) -> SolveResult:
         """Run the full pipeline on a problem and return the PCG result.
 
         The result's ``info`` dict carries the decomposition statistics and the

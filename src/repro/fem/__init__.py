@@ -1,13 +1,22 @@
-"""P1 finite-element substrate for the Poisson equation.
+"""P1 finite-element substrate for second-order elliptic PDEs.
 
 Public surface:
 
-* :func:`~repro.fem.assembly.assemble_stiffness`,
+* :func:`~repro.fem.assembly.assemble_stiffness` (κ-weighted),
   :func:`~repro.fem.assembly.assemble_mass`,
   :func:`~repro.fem.assembly.assemble_load`,
+  :func:`~repro.fem.assembly.assemble_boundary_mass`,
+  :func:`~repro.fem.assembly.assemble_boundary_load`,
   :func:`~repro.fem.assembly.apply_dirichlet` — matrix/vector assembly.
-* :class:`~repro.fem.poisson.PoissonProblem`,
+* :class:`~repro.fem.problem.Problem`,
+  :class:`~repro.fem.poisson.PoissonProblem`,
+  :class:`~repro.fem.problem.DiffusionProblem`,
   :func:`~repro.fem.poisson.random_poisson_problem` — problem objects.
+* :class:`~repro.fem.problem.BoundaryCondition` with the
+  :func:`~repro.fem.problem.dirichlet_bc` / :func:`~repro.fem.problem.neumann_bc`
+  / :func:`~repro.fem.problem.robin_bc` helpers — mixed boundary conditions.
+* :mod:`repro.fem.coefficients` — named diffusion-coefficient families
+  (checkerboard, channel, lognormal, radial bump).
 * :class:`~repro.fem.functions.PolynomialField`,
   :func:`~repro.fem.functions.random_forcing`,
   :func:`~repro.fem.functions.random_boundary`,
@@ -15,7 +24,25 @@ Public surface:
 * :mod:`repro.fem.quadrature` — quadrature rules on triangles.
 """
 
-from .assembly import apply_dirichlet, assemble_load, assemble_mass, assemble_stiffness, gradient_operators
+from .assembly import (
+    apply_dirichlet,
+    assemble_boundary_load,
+    assemble_boundary_mass,
+    assemble_load,
+    assemble_mass,
+    assemble_stiffness,
+    evaluate_on_triangles,
+    gradient_operators,
+    triangle_centroids,
+)
+from .coefficients import (
+    CheckerboardField,
+    ChannelField,
+    DiffusionField,
+    LognormalField,
+    RadialField,
+    field_contrast,
+)
 from .functions import (
     PolynomialField,
     constant_field,
@@ -24,16 +51,44 @@ from .functions import (
     random_forcing,
 )
 from .poisson import PoissonProblem, random_poisson_problem
+from .problem import (
+    BoundaryCondition,
+    DiffusionProblem,
+    Problem,
+    dirichlet_bc,
+    neumann_bc,
+    node_averaged_diffusion,
+    robin_bc,
+    split_boundary_edges,
+)
 from .quadrature import TriangleQuadrature, centroid_rule, six_point_rule, three_point_rule
 
 __all__ = [
     "assemble_stiffness",
     "assemble_mass",
     "assemble_load",
+    "assemble_boundary_mass",
+    "assemble_boundary_load",
     "apply_dirichlet",
     "gradient_operators",
+    "triangle_centroids",
+    "evaluate_on_triangles",
+    "Problem",
     "PoissonProblem",
+    "DiffusionProblem",
     "random_poisson_problem",
+    "BoundaryCondition",
+    "dirichlet_bc",
+    "neumann_bc",
+    "robin_bc",
+    "split_boundary_edges",
+    "node_averaged_diffusion",
+    "DiffusionField",
+    "CheckerboardField",
+    "ChannelField",
+    "LognormalField",
+    "RadialField",
+    "field_contrast",
     "PolynomialField",
     "random_forcing",
     "random_boundary",

@@ -1,22 +1,22 @@
 """Discretised Poisson problems (paper Eq. 1 → Eq. 2).
 
-A :class:`PoissonProblem` bundles the mesh, the assembled system ``A u = b``
-and helpers to evaluate residuals, solve directly and compute error norms.
-It is the object the whole solver stack operates on.
+:class:`PoissonProblem` is the homogeneous-coefficient member of the
+:class:`~repro.fem.problem.Problem` hierarchy: ``-Δu = f`` with Dirichlet
+conditions on the whole boundary, which is the setting of all the paper's
+experiments.  The residual/solve/error helpers live on the shared base class.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Literal, Optional
 
 import numpy as np
-import scipy.sparse as sp
-import scipy.sparse.linalg as spla
 
 from ..mesh.mesh import TriangularMesh
 from .assembly import apply_dirichlet, assemble_load, assemble_stiffness
-from .functions import PolynomialField, random_boundary, random_forcing
+from .functions import random_boundary, random_forcing
+from .problem import Problem
 
 __all__ = ["PoissonProblem", "random_poisson_problem"]
 
@@ -24,29 +24,13 @@ ScalarField = Callable[[np.ndarray, np.ndarray], np.ndarray]
 
 
 @dataclass
-class PoissonProblem:
+class PoissonProblem(Problem):
     """A discretised Poisson problem with Dirichlet boundary conditions.
 
-    Attributes
-    ----------
-    mesh:
-        The underlying triangular mesh.
-    matrix:
-        Sparse system matrix A (after boundary-condition elimination).
-    rhs:
-        Right-hand side b.
-    stiffness:
-        The raw (pre-elimination) stiffness matrix, kept for error norms.
-    boundary_values:
-        Dirichlet values at ``mesh.boundary_nodes``.
+    See :class:`~repro.fem.problem.Problem` for the attribute documentation;
+    here ``dirichlet_nodes`` is always the full ``mesh.boundary_nodes`` set
+    and ``node_diffusion`` stays None (κ ≡ 1).
     """
-
-    mesh: TriangularMesh
-    matrix: sp.csr_matrix
-    rhs: np.ndarray
-    stiffness: sp.csr_matrix
-    boundary_values: np.ndarray
-    dirichlet_mode: str = "symmetric"
 
     # ------------------------------------------------------------------ #
     # constructors
@@ -73,44 +57,8 @@ class PoissonProblem:
             stiffness=stiffness,
             boundary_values=bvalues,
             dirichlet_mode=dirichlet_mode,
+            dirichlet_nodes=bnodes,
         )
-
-    # ------------------------------------------------------------------ #
-    # basic properties
-    # ------------------------------------------------------------------ #
-    @property
-    def num_dofs(self) -> int:
-        return int(self.matrix.shape[0])
-
-    def residual(self, u: np.ndarray) -> np.ndarray:
-        """Return the algebraic residual ``b - A u``."""
-        return self.rhs - self.matrix @ u
-
-    def relative_residual_norm(self, u: np.ndarray) -> float:
-        """‖b - A u‖ / ‖b‖ (the convergence metric used throughout the paper)."""
-        denom = np.linalg.norm(self.rhs)
-        if denom == 0.0:
-            return float(np.linalg.norm(self.residual(u)))
-        return float(np.linalg.norm(self.residual(u)) / denom)
-
-    # ------------------------------------------------------------------ #
-    # direct solution and error norms
-    # ------------------------------------------------------------------ #
-    def solve_direct(self) -> np.ndarray:
-        """Solve the system with a sparse LU factorisation (reference solution)."""
-        return spla.spsolve(self.matrix.tocsc(), self.rhs)
-
-    def l2_error(self, u: np.ndarray, exact: ScalarField) -> float:
-        """Discrete relative L2 error against an exact solution evaluated at the nodes."""
-        u_exact = np.asarray(exact(self.mesh.nodes[:, 0], self.mesh.nodes[:, 1]), dtype=np.float64)
-        denom = np.linalg.norm(u_exact)
-        if denom == 0.0:
-            return float(np.linalg.norm(u - u_exact))
-        return float(np.linalg.norm(u - u_exact) / denom)
-
-    def energy_norm(self, u: np.ndarray) -> float:
-        """Energy (stiffness) semi-norm ``sqrt(u^T K u)`` using the raw stiffness."""
-        return float(np.sqrt(max(u @ (self.stiffness @ u), 0.0)))
 
 
 def random_poisson_problem(

@@ -1,0 +1,347 @@
+"""Discretised elliptic problems: the ``Problem`` hierarchy.
+
+:class:`Problem` bundles a mesh, the assembled system ``A u = b`` and helpers
+to evaluate residuals, solve directly and compute error norms.  It is the
+object the whole solver stack (:class:`~repro.core.hybrid_solver.HybridSolver`,
+the DDM preconditioners, the dataset harvester) operates on; none of those
+layers assume more than the attributes defined here.
+
+Two concrete families exist:
+
+* :class:`~repro.fem.poisson.PoissonProblem` — homogeneous-coefficient
+  Poisson with Dirichlet boundary conditions (the paper's setting);
+* :class:`DiffusionProblem` — variable-coefficient diffusion
+  ``-∇·(κ ∇u) = f`` with mixed Dirichlet/Neumann/Robin conditions, built
+  from a list of :class:`BoundaryCondition` regions.
+
+New problem families should subclass :class:`Problem` and register a factory
+in :mod:`repro.problems` so ``make_problem("family-name")`` can build them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Literal, Optional, Sequence, Tuple, Union
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from ..mesh.mesh import TriangularMesh
+from .assembly import (
+    CoefficientLike,
+    apply_dirichlet,
+    assemble_boundary_load,
+    assemble_boundary_mass,
+    assemble_load,
+    assemble_stiffness,
+    evaluate_on_triangles,
+)
+
+__all__ = [
+    "Problem",
+    "DiffusionProblem",
+    "BoundaryCondition",
+    "dirichlet_bc",
+    "neumann_bc",
+    "robin_bc",
+    "split_boundary_edges",
+    "node_averaged_diffusion",
+]
+
+ScalarField = Callable[[np.ndarray, np.ndarray], np.ndarray]
+#: predicate over boundary-edge midpoints selecting where a BC applies
+RegionSelector = Callable[[np.ndarray, np.ndarray], np.ndarray]
+BCKind = Literal["dirichlet", "neumann", "robin"]
+
+
+def _as_field(value: Union[float, ScalarField]) -> ScalarField:
+    """Promote a scalar to a constant field; pass callables through."""
+    if callable(value):
+        return value
+    const = float(value)
+    return lambda x, y: np.full_like(np.asarray(x, dtype=np.float64), const)
+
+
+@dataclass(frozen=True)
+class BoundaryCondition:
+    """One boundary condition applied on a region of ∂Ω.
+
+    Attributes
+    ----------
+    kind:
+        ``"dirichlet"`` (``u = value``), ``"neumann"``
+        (``κ ∂u/∂n = value``) or ``"robin"``
+        (``κ ∂u/∂n + coefficient · u = value``).
+    value:
+        Boundary data ``g`` — a scalar or a callable ``g(x, y)``.
+    coefficient:
+        Robin weight α (scalar or callable); ignored for the other kinds.
+    where:
+        Optional region selector: a boolean-valued callable evaluated at
+        boundary-edge midpoints.  ``None`` matches every edge not claimed by
+        an earlier condition in the list.
+    """
+
+    kind: BCKind
+    value: Union[float, ScalarField] = 0.0
+    coefficient: Union[float, ScalarField] = 1.0
+    where: Optional[RegionSelector] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("dirichlet", "neumann", "robin"):
+            raise ValueError(f"unknown boundary-condition kind '{self.kind}'")
+
+
+def dirichlet_bc(value: Union[float, ScalarField] = 0.0, where: Optional[RegionSelector] = None) -> BoundaryCondition:
+    """Dirichlet condition ``u = value`` on the selected region."""
+    return BoundaryCondition(kind="dirichlet", value=value, where=where)
+
+
+def neumann_bc(flux: Union[float, ScalarField] = 0.0, where: Optional[RegionSelector] = None) -> BoundaryCondition:
+    """Neumann condition ``κ ∂u/∂n = flux`` on the selected region."""
+    return BoundaryCondition(kind="neumann", value=flux, where=where)
+
+
+def robin_bc(
+    coefficient: Union[float, ScalarField],
+    value: Union[float, ScalarField] = 0.0,
+    where: Optional[RegionSelector] = None,
+) -> BoundaryCondition:
+    """Robin condition ``κ ∂u/∂n + coefficient · u = value`` on the region."""
+    return BoundaryCondition(kind="robin", value=value, coefficient=coefficient, where=where)
+
+
+def split_boundary_edges(
+    mesh: TriangularMesh, conditions: Sequence[BoundaryCondition]
+) -> List[np.ndarray]:
+    """Partition ``mesh.boundary_edges`` among the boundary conditions.
+
+    Each edge is assigned to the first condition whose ``where`` selector is
+    True at the edge midpoint (``where=None`` matches everything still
+    unassigned).  Returns one (E_i, 2) edge array per condition; edges claimed
+    by no condition are left out (they get the natural zero-Neumann treatment).
+    """
+    edges = mesh.boundary_edges
+    midpoints = 0.5 * (mesh.nodes[edges[:, 0]] + mesh.nodes[edges[:, 1]])
+    unassigned = np.ones(edges.shape[0], dtype=bool)
+    pieces: List[np.ndarray] = []
+    for bc in conditions:
+        if bc.where is None:
+            selected = unassigned.copy()
+        else:
+            selected = unassigned & np.asarray(
+                bc.where(midpoints[:, 0], midpoints[:, 1]), dtype=bool
+            )
+        pieces.append(edges[selected])
+        unassigned &= ~selected
+    return pieces
+
+
+def node_averaged_diffusion(mesh: TriangularMesh, triangle_values: np.ndarray) -> np.ndarray:
+    """Area-weighted average of per-triangle κ onto the nodes.
+
+    This is the per-node κ feature the GNN consumes: each node receives the
+    area-weighted mean of the κ values of its incident triangles, so
+    piecewise-constant fields stay exact away from material interfaces and
+    get a single-layer transition across them.
+    """
+    triangle_values = np.broadcast_to(
+        np.asarray(triangle_values, dtype=np.float64), (mesh.num_triangles,)
+    )
+    areas = np.abs(mesh.triangle_areas)
+    weighted = np.zeros(mesh.num_nodes)
+    weight = np.zeros(mesh.num_nodes)
+    np.add.at(weighted, mesh.triangles.ravel(), np.repeat(triangle_values * areas, 3))
+    np.add.at(weight, mesh.triangles.ravel(), np.repeat(areas, 3))
+    return weighted / np.maximum(weight, 1e-300)
+
+
+@dataclass
+class Problem:
+    """A discretised linear elliptic problem ``A u = b``.
+
+    Attributes
+    ----------
+    mesh:
+        The underlying triangular mesh.
+    matrix:
+        Sparse system matrix A (after boundary-condition elimination).
+    rhs:
+        Right-hand side b.
+    stiffness:
+        The raw (pre-elimination) stiffness matrix, kept for error norms.
+    boundary_values:
+        Dirichlet values at ``dirichlet_nodes``.
+    dirichlet_mode:
+        Elimination strategy used ("symmetric" or "row").
+    dirichlet_nodes:
+        Node indices carrying a Dirichlet condition; defaults to all of
+        ``mesh.boundary_nodes`` (the pure-Dirichlet case).
+    node_diffusion:
+        Per-node κ values (None for constant-coefficient problems); consumed
+        by the κ-aware GNN features.
+    """
+
+    mesh: TriangularMesh
+    matrix: sp.csr_matrix
+    rhs: np.ndarray
+    stiffness: sp.csr_matrix
+    boundary_values: np.ndarray
+    dirichlet_mode: str = "symmetric"
+    dirichlet_nodes: Optional[np.ndarray] = None
+    node_diffusion: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def num_dofs(self) -> int:
+        return int(self.matrix.shape[0])
+
+    @property
+    def dirichlet_mask(self) -> np.ndarray:
+        """Boolean mask of nodes carrying a Dirichlet condition."""
+        if self.dirichlet_nodes is None:
+            return self.mesh.boundary_mask
+        mask = np.zeros(self.mesh.num_nodes, dtype=bool)
+        mask[np.asarray(self.dirichlet_nodes, dtype=np.int64)] = True
+        return mask
+
+    def residual(self, u: np.ndarray) -> np.ndarray:
+        """Return the algebraic residual ``b - A u``."""
+        return self.rhs - self.matrix @ u
+
+    def relative_residual_norm(self, u: np.ndarray) -> float:
+        """‖b - A u‖ / ‖b‖ (the convergence metric used throughout the paper)."""
+        denom = np.linalg.norm(self.rhs)
+        if denom == 0.0:
+            return float(np.linalg.norm(self.residual(u)))
+        return float(np.linalg.norm(self.residual(u)) / denom)
+
+    # ------------------------------------------------------------------ #
+    # direct solution and error norms
+    # ------------------------------------------------------------------ #
+    def solve_direct(self) -> np.ndarray:
+        """Solve the system with a sparse LU factorisation (reference solution)."""
+        return spla.spsolve(self.matrix.tocsc(), self.rhs)
+
+    def l2_error(self, u: np.ndarray, exact: ScalarField) -> float:
+        """Discrete relative L2 error against an exact solution evaluated at the nodes."""
+        u_exact = np.asarray(exact(self.mesh.nodes[:, 0], self.mesh.nodes[:, 1]), dtype=np.float64)
+        denom = np.linalg.norm(u_exact)
+        if denom == 0.0:
+            return float(np.linalg.norm(u - u_exact))
+        return float(np.linalg.norm(u - u_exact) / denom)
+
+    def energy_norm(self, u: np.ndarray) -> float:
+        """Energy (stiffness) semi-norm ``sqrt(u^T K u)`` using the raw stiffness."""
+        return float(np.sqrt(max(u @ (self.stiffness @ u), 0.0)))
+
+
+@dataclass
+class DiffusionProblem(Problem):
+    """Variable-coefficient diffusion ``-∇·(κ ∇u) = f`` with mixed BCs.
+
+    On top of the base :class:`Problem` attributes it keeps the per-triangle
+    κ values (``triangle_diffusion``) and the original coefficient object
+    (``diffusion``) so benchmarks can report the contrast ratio.
+    """
+
+    diffusion: Optional[CoefficientLike] = None
+    triangle_diffusion: Optional[np.ndarray] = None
+
+    @property
+    def contrast(self) -> float:
+        """Contrast ratio κ_max / κ_min over the mesh triangles."""
+        if self.triangle_diffusion is None:
+            return 1.0
+        values = np.asarray(self.triangle_diffusion, dtype=np.float64)
+        return float(values.max() / values.min())
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_fields(
+        cls,
+        mesh: TriangularMesh,
+        diffusion: CoefficientLike,
+        forcing: ScalarField,
+        boundary_conditions: Optional[Sequence[BoundaryCondition]] = None,
+        dirichlet_mode: Literal["symmetric", "row"] = "symmetric",
+    ) -> "DiffusionProblem":
+        """Assemble the P1 discretisation of ``-∇·(κ ∇u) = f``.
+
+        ``boundary_conditions`` is an ordered list of
+        :class:`BoundaryCondition` regions; boundary edges are assigned
+        first-match-wins (see :func:`split_boundary_edges`), edges claimed by
+        no condition receive the natural zero-Neumann treatment, and nodes
+        shared between a Dirichlet and a non-Dirichlet region are Dirichlet
+        (the standard convention).  The default is homogeneous Dirichlet on
+        the whole boundary.
+
+        The assembled system must be non-singular: at least one Dirichlet
+        node or one Robin edge with positive coefficient is required.
+        """
+        if boundary_conditions is None:
+            boundary_conditions = [dirichlet_bc(0.0)]
+        triangle_diffusion = evaluate_on_triangles(mesh, diffusion)
+        stiffness = assemble_stiffness(mesh, diffusion=triangle_diffusion)
+        load = assemble_load(mesh, forcing)
+
+        system = stiffness.copy()
+        pieces = split_boundary_edges(mesh, boundary_conditions)
+        dirichlet_value_of: dict = {}
+        has_robin = False
+        for bc, edges in zip(boundary_conditions, pieces):
+            if edges.shape[0] == 0:
+                continue
+            if bc.kind == "dirichlet":
+                nodes = np.unique(edges)
+                values = _as_field(bc.value)(mesh.nodes[nodes, 0], mesh.nodes[nodes, 1])
+                values = np.broadcast_to(np.asarray(values, dtype=np.float64), nodes.shape)
+                for node, value in zip(nodes, values):
+                    dirichlet_value_of[int(node)] = float(value)
+            elif bc.kind == "neumann":
+                load = load + assemble_boundary_load(mesh, bc.value, edges=edges)
+            else:  # robin
+                midpoints = 0.5 * (mesh.nodes[edges[:, 0]] + mesh.nodes[edges[:, 1]])
+                alpha = np.broadcast_to(
+                    np.asarray(
+                        _as_field(bc.coefficient)(midpoints[:, 0], midpoints[:, 1]),
+                        dtype=np.float64,
+                    ),
+                    (edges.shape[0],),
+                )
+                if np.any(alpha < 0.0):
+                    raise ValueError("Robin coefficient must be non-negative (SPD system)")
+                system = system + assemble_boundary_mass(mesh, alpha, edges=edges)
+                load = load + assemble_boundary_load(mesh, bc.value, edges=edges)
+                # a Robin region only regularises the system if α > 0 somewhere
+                has_robin = has_robin or bool(np.any(alpha > 0.0))
+
+        if not dirichlet_value_of and not has_robin:
+            raise ValueError(
+                "pure-Neumann problem is singular: add a Dirichlet or Robin region"
+            )
+
+        if dirichlet_value_of:
+            dnodes = np.array(sorted(dirichlet_value_of), dtype=np.int64)
+            dvalues = np.array([dirichlet_value_of[int(i)] for i in dnodes])
+            matrix, rhs = apply_dirichlet(system, load, dnodes, dvalues, mode=dirichlet_mode)
+        else:
+            dnodes = np.zeros(0, dtype=np.int64)
+            dvalues = np.zeros(0)
+            matrix, rhs = system.tocsr(), load
+
+        return cls(
+            mesh=mesh,
+            matrix=matrix,
+            rhs=rhs,
+            stiffness=stiffness,
+            boundary_values=dvalues,
+            dirichlet_mode=dirichlet_mode,
+            dirichlet_nodes=dnodes,
+            node_diffusion=node_averaged_diffusion(mesh, triangle_diffusion),
+            diffusion=diffusion,
+            triangle_diffusion=triangle_diffusion,
+        )

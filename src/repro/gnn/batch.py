@@ -10,7 +10,7 @@ computations into one large vectorised computation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 import scipy.sparse as sp
@@ -18,6 +18,15 @@ import scipy.sparse as sp
 from .graph import GraphProblem
 
 __all__ = ["GraphBatch"]
+
+
+def _pad_columns(array: np.ndarray, width: int) -> np.ndarray:
+    """Zero-pad a 2-D feature array on the right to ``width`` columns."""
+    if array.shape[1] == width:
+        return array
+    padded = np.zeros((array.shape[0], width))
+    padded[:, : array.shape[1]] = array
+    return padded
 
 
 @dataclass
@@ -38,6 +47,7 @@ class GraphBatch:
     dirichlet_mask: np.ndarray
     node_offsets: np.ndarray
     node_graph_index: np.ndarray
+    node_attr: Optional[np.ndarray] = None
 
     @classmethod
     def from_graphs(cls, graphs: Sequence[GraphProblem]) -> "GraphBatch":
@@ -49,10 +59,28 @@ class GraphBatch:
         edge_index = np.hstack(
             [g.edge_index + offsets[i] for i, g in enumerate(graphs)]
         ) if any(g.num_edges for g in graphs) else np.zeros((2, 0), dtype=np.int64)
-        edge_attr = np.vstack([g.edge_attr for g in graphs]) if edge_index.shape[1] else np.zeros((0, 3))
+        # graphs may mix κ-aware (4-column) and plain (3-column) edge
+        # attributes; zero-pad to the widest (log10 κ = 0 means κ = 1)
+        edge_attr_dim = max(g.edge_attr.shape[1] for g in graphs)
+        edge_attr = (
+            np.vstack([_pad_columns(g.edge_attr, edge_attr_dim) for g in graphs])
+            if edge_index.shape[1]
+            else np.zeros((0, edge_attr_dim))
+        )
         source = np.concatenate([g.source for g in graphs])
         dirichlet = np.concatenate([g.dirichlet_mask for g in graphs])
         node_graph_index = np.repeat(np.arange(len(graphs)), sizes)
+        # κ node features: zero-fill graphs that carry none instead of
+        # silently dropping the feature for the whole batch
+        node_attr = None
+        if any(g.node_attr is not None for g in graphs):
+            node_attr_dim = max(g.node_attr.shape[1] for g in graphs if g.node_attr is not None)
+            node_attr = np.vstack([
+                _pad_columns(g.node_attr, node_attr_dim)
+                if g.node_attr is not None
+                else np.zeros((g.num_nodes, node_attr_dim))
+                for g in graphs
+            ])
         return cls(
             graphs=list(graphs),
             positions=positions,
@@ -62,6 +90,7 @@ class GraphBatch:
             dirichlet_mask=dirichlet,
             node_offsets=offsets,
             node_graph_index=node_graph_index,
+            node_attr=node_attr,
         )
 
     # ------------------------------------------------------------------ #
@@ -114,4 +143,5 @@ class GraphBatch:
             edge_attr=self.edge_attr,
             source=self.source,
             dirichlet_mask=self.dirichlet_mask,
+            node_attr=self.node_attr,
         )

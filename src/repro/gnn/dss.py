@@ -24,7 +24,7 @@ import numpy as np
 
 from ..nn.modules import Module
 from ..nn.tensor import Tensor, no_grad
-from .batch import GraphBatch
+from .batch import GraphBatch, _pad_columns
 from .graph import GraphProblem
 from .loss import residual_loss
 from .mpnn import Decoder, DSSBlock
@@ -38,18 +38,33 @@ class DSSConfig:
 
     ``num_iterations`` is the paper's k̄ and ``latent_dim`` its d; the paper's
     reference configuration is k̄=30, d=10 with α=1e-3.
+
+    ``edge_attr_dim`` / ``node_input_dim`` size the feature inputs of every
+    message-passing block.  The defaults (3 geometric edge attributes, the
+    scalar residual as node input) reproduce the paper exactly; κ-aware
+    models for heterogeneous problems use ``edge_attr_dim=4`` (adds the log
+    harmonic-mean κ of each edge) and ``node_input_dim=2`` (adds log κ per
+    node).  Graphs carrying more features than the model consumes are
+    truncated, and missing κ features are zero-filled (log κ = 0, i.e. κ = 1),
+    so models and graphs mix freely.
     """
 
     num_iterations: int = 30
     latent_dim: int = 10
     alpha: float = 1e-3
     seed: int = 0
+    edge_attr_dim: int = 3
+    node_input_dim: int = 1
 
     def __post_init__(self) -> None:
         if self.num_iterations < 1:
             raise ValueError("num_iterations must be >= 1")
         if self.latent_dim < 1:
             raise ValueError("latent_dim must be >= 1")
+        if self.edge_attr_dim < 3:
+            raise ValueError("edge_attr_dim must be >= 3 (dx, dy, distance)")
+        if self.node_input_dim < 1:
+            raise ValueError("node_input_dim must be >= 1 (the residual channel)")
 
 
 class DSS(Module):
@@ -62,7 +77,13 @@ class DSS(Module):
         self.blocks: List[DSSBlock] = []
         self.decoders: List[Decoder] = []
         for k in range(config.num_iterations):
-            block = DSSBlock(config.latent_dim, alpha=config.alpha, rng=rng)
+            block = DSSBlock(
+                config.latent_dim,
+                alpha=config.alpha,
+                rng=rng,
+                edge_attr_dim=config.edge_attr_dim,
+                node_input_dim=config.node_input_dim,
+            )
             decoder = Decoder(config.latent_dim, rng=rng)
             setattr(self, f"block_{k}", block)
             setattr(self, f"decoder_{k}", decoder)
@@ -85,8 +106,8 @@ class DSS(Module):
         """
         num_nodes = problem.num_nodes if isinstance(problem, GraphProblem) else problem.num_nodes
         edge_index = problem.edge_index
-        edge_attr = problem.edge_attr
-        node_input = Tensor(problem.source.reshape(-1, 1))
+        edge_attr = self._prepare_edge_attr(problem.edge_attr)
+        node_input = Tensor(self._prepare_node_input(problem))
 
         latent = Tensor(np.zeros((num_nodes, self.config.latent_dim)))
         outputs: List[Tensor] = []
@@ -97,6 +118,28 @@ class DSS(Module):
         if return_intermediate:
             return outputs
         return self.decoders[-1](latent)
+
+    # ------------------------------------------------------------------ #
+    # feature preparation (κ-aware ↔ κ-unaware interoperability)
+    # ------------------------------------------------------------------ #
+    def _prepare_edge_attr(self, edge_attr: np.ndarray) -> np.ndarray:
+        """Truncate or zero-pad edge attributes to the configured width."""
+        want = self.config.edge_attr_dim
+        if edge_attr.shape[1] >= want:
+            return edge_attr[:, :want]
+        return _pad_columns(edge_attr, want)
+
+    def _prepare_node_input(self, problem: Union[GraphProblem, GraphBatch]) -> np.ndarray:
+        """Stack the residual channel with extra node features (zero-padded)."""
+        want = self.config.node_input_dim
+        source = problem.source.reshape(-1, 1)
+        if want == 1:
+            return source
+        node_attr = problem.node_attr
+        features = source if node_attr is None else np.hstack([source, node_attr])
+        if features.shape[1] >= want:
+            return features[:, :want]
+        return _pad_columns(features, want)
 
     # ------------------------------------------------------------------ #
     # convenience inference / training helpers

@@ -1,10 +1,18 @@
-"""Graph representation of discretised (local) Poisson problems.
+"""Graph representation of discretised (local) elliptic problems.
 
 A :class:`GraphProblem` is the object fed to the DSS model (paper Eq. 15/17):
 it carries the node coordinates, the directed edge list with geometric edge
 attributes (relative position + distance, Sec. III-B), the normalised source
 term per node, the Dirichlet mask, and — for training only — the local sparse
 matrix ``A_i`` and right-hand side used by the physics-informed residual loss.
+
+For heterogeneous problems (variable-coefficient diffusion) the graph also
+carries κ-aware features: ``node_attr`` holds ``log10 κ`` per node and the edge
+attributes gain a fourth column with the log10 harmonic mean of κ across the
+edge (the conductance a two-point flux approximation would assign to it).
+Models configured with the default feature dimensions simply ignore the extra
+columns, so κ-aware graphs remain usable with κ-unaware models and vice
+versa.
 """
 
 from __future__ import annotations
@@ -33,9 +41,9 @@ class GraphProblem:
         edge are present, except that edges *into* Dirichlet nodes are removed
         (the paper: "boundary nodes' edges point toward the interior").
     edge_attr:
-        (E, 3) geometric attributes per directed edge: ``(dx, dy, ‖d‖)`` of the
-        vector from destination to source node (the relative position the MLPs
-        consume).
+        (E, 3+) attributes per directed edge: ``(dx, dy, ‖d‖)`` of the vector
+        from destination to source node (the relative position the MLPs
+        consume), optionally followed by κ-aware columns.
     source:
         (n,) node input ``c`` — for DDM-GNN this is the *normalised* local
         residual ``R_i r / ‖R_i r‖``.
@@ -49,6 +57,9 @@ class GraphProblem:
         context; equals ``source * scaling``).
     scaling:
         The norm ``‖R_i r‖`` divided out of the source (1.0 when not used).
+    node_attr:
+        Optional (n, k) extra node features — ``log10 κ`` for heterogeneous
+        problems; None for the homogeneous Poisson case.
     """
 
     positions: np.ndarray
@@ -59,6 +70,7 @@ class GraphProblem:
     matrix: Optional[sp.csr_matrix] = None
     rhs: Optional[np.ndarray] = None
     scaling: float = 1.0
+    node_attr: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
         self.positions = np.asarray(self.positions, dtype=np.float64)
@@ -72,6 +84,12 @@ class GraphProblem:
             raise ValueError("edge_attr must have one row per directed edge")
         if len(self.source) != len(self.positions) or len(self.dirichlet_mask) != len(self.positions):
             raise ValueError("source and dirichlet_mask must have one entry per node")
+        if self.node_attr is not None:
+            self.node_attr = np.asarray(self.node_attr, dtype=np.float64)
+            if self.node_attr.ndim == 1:
+                self.node_attr = self.node_attr.reshape(-1, 1)
+            if self.node_attr.shape[0] != len(self.positions):
+                raise ValueError("node_attr must have one row per node")
 
     @property
     def num_nodes(self) -> int:
@@ -101,6 +119,7 @@ def graph_from_mesh(
     rhs: Optional[np.ndarray] = None,
     scaling: float = 1.0,
     drop_edges_into_dirichlet: bool = True,
+    diffusion: Optional[np.ndarray] = None,
 ) -> GraphProblem:
     """Build a :class:`GraphProblem` from a (sub-)mesh and a per-node source.
 
@@ -113,6 +132,13 @@ def graph_from_mesh(
         If True (paper behaviour) edges whose destination is a Dirichlet node
         are removed, so boundary values are never overwritten by messages and
         boundary information only flows inward.
+    diffusion:
+        Optional per-node κ values.  When given, ``node_attr`` is set to
+        ``log10 κ`` and the edge attributes gain a fourth column with the
+        log10 harmonic mean of the endpoint κ values (the two-point-flux edge
+        conductance), making the graph κ-aware.  The decimal log keeps the
+        feature range moderate (≤ 4 even at contrast 10⁴) so the κ channel
+        does not drown the O(h) geometric attributes.
     """
     positions = mesh.nodes
     edge_index = mesh.directed_edge_index.copy()
@@ -129,6 +155,18 @@ def graph_from_mesh(
     dist = np.linalg.norm(rel, axis=1, keepdims=True)
     edge_attr = np.hstack([rel, dist])
 
+    node_attr = None
+    if diffusion is not None:
+        kappa = np.asarray(diffusion, dtype=np.float64).ravel()
+        if kappa.shape[0] != positions.shape[0]:
+            raise ValueError("diffusion must have one κ value per node")
+        if kappa.size and float(kappa.min()) <= 0.0:
+            raise ValueError("diffusion values must be strictly positive")
+        node_attr = np.log10(kappa).reshape(-1, 1)
+        k_src, k_dst = kappa[src], kappa[dst]
+        harmonic = 2.0 * k_src * k_dst / (k_src + k_dst)
+        edge_attr = np.hstack([edge_attr, np.log10(harmonic).reshape(-1, 1)])
+
     return GraphProblem(
         positions=positions,
         edge_index=edge_index,
@@ -138,4 +176,5 @@ def graph_from_mesh(
         matrix=matrix.tocsr() if matrix is not None else None,
         rhs=rhs,
         scaling=float(scaling),
+        node_attr=node_attr,
     )

@@ -30,15 +30,26 @@ __all__ = ["DSSBlock", "Decoder"]
 class DSSBlock(Module):
     """One message-passing + update block ``M_θ^{k}`` (paper Eq. 21)."""
 
-    def __init__(self, latent_dim: int, alpha: float = 1e-3, rng: Optional[np.random.Generator] = None) -> None:
+    def __init__(
+        self,
+        latent_dim: int,
+        alpha: float = 1e-3,
+        rng: Optional[np.random.Generator] = None,
+        edge_attr_dim: int = 3,
+        node_input_dim: int = 1,
+    ) -> None:
         super().__init__()
         if latent_dim < 1:
             raise ValueError("latent_dim must be >= 1")
+        if edge_attr_dim < 3 or node_input_dim < 1:
+            raise ValueError("edge_attr_dim must be >= 3 and node_input_dim >= 1")
         self.latent_dim = int(latent_dim)
         self.alpha = float(alpha)
+        self.edge_attr_dim = int(edge_attr_dim)
+        self.node_input_dim = int(node_input_dim)
         d = self.latent_dim
-        edge_in = 2 * d + 3      # h_dst, h_src, (dx, dy, ||d||)
-        update_in = 3 * d + 1    # h, c, phi_fwd, phi_bwd
+        edge_in = 2 * d + self.edge_attr_dim      # h_dst, h_src, (dx, dy, ||d||, extras)
+        update_in = 3 * d + self.node_input_dim   # h, c (+ node extras), phi_fwd, phi_bwd
         self.phi_forward = MLP(edge_in, [d], d, activation="relu", rng=rng)
         self.phi_backward = MLP(edge_in, [d], d, activation="relu", rng=rng)
         self.psi = MLP(update_in, [d], d, activation="relu", rng=rng)
@@ -57,12 +68,13 @@ class DSSBlock(Module):
         latent:
             (n, d) latent node states ``H^k``.
         node_input:
-            (n, 1) node inputs ``c`` (normalised residual).
+            (n, node_input_dim) node inputs — the normalised residual ``c``,
+            plus extra per-node features (e.g. log κ) when configured.
         edge_index:
             (2, E) directed edges ``src → dst``.
         edge_attr:
-            (E, 3) attributes ``(dx, dy, ‖d‖)`` of the vector from source to
-            destination node.
+            (E, edge_attr_dim) attributes: ``(dx, dy, ‖d‖)`` of the vector
+            from source to destination node, plus optional extra columns.
         """
         num_nodes = latent.shape[0]
         src, dst = edge_index[0], edge_index[1]

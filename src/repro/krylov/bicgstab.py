@@ -30,7 +30,14 @@ def bicgstab(
     tolerance: float = 1e-6,
     max_iterations: Optional[int] = None,
 ) -> SolveResult:
-    """Right-preconditioned BiCGStab with relative-residual stopping test."""
+    """Right-preconditioned BiCGStab with relative-residual stopping test.
+
+    >>> import numpy as np
+    >>> A = np.array([[3.0, 1.0], [-1.0, 2.0]])   # non-symmetric is fine
+    >>> result = bicgstab(A, np.array([1.0, 1.0]), tolerance=1e-12)
+    >>> result.converged, bool(np.allclose(A @ result.solution, [1.0, 1.0]))
+    (True, True)
+    """
     rhs = np.asarray(rhs, dtype=np.float64)
     n = rhs.shape[0]
     if sp.issparse(matrix):

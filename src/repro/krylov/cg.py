@@ -58,6 +58,13 @@ def preconditioned_conjugate_gradient(
         Hard iteration cap (defaults to 10·N).
     callback:
         Optional ``callback(iteration, relative_residual)`` invoked per iteration.
+
+    >>> import numpy as np
+    >>> A = np.array([[4.0, 1.0], [1.0, 3.0]])
+    >>> b = np.array([1.0, 2.0])
+    >>> result = preconditioned_conjugate_gradient(A, b, tolerance=1e-12)
+    >>> result.converged, bool(np.allclose(A @ result.solution, b))
+    (True, True)
     """
     rhs = np.asarray(rhs, dtype=np.float64)
     n = rhs.shape[0]
@@ -135,7 +142,13 @@ def conjugate_gradient(
     tolerance: float = 1e-6,
     max_iterations: Optional[int] = None,
 ) -> SolveResult:
-    """Unpreconditioned Conjugate Gradient (the "CG" baseline of the paper)."""
+    """Unpreconditioned Conjugate Gradient (the "CG" baseline of the paper).
+
+    >>> import numpy as np
+    >>> result = conjugate_gradient(np.diag([1.0, 2.0, 3.0]), np.ones(3))
+    >>> result.converged, result.info["solver"]
+    (True, 'cg')
+    """
     result = preconditioned_conjugate_gradient(
         matrix,
         rhs,

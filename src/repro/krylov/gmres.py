@@ -30,7 +30,14 @@ def gmres(
     restart: int = 50,
     max_iterations: Optional[int] = None,
 ) -> SolveResult:
-    """Right-preconditioned restarted GMRES(m) with Givens rotations."""
+    """Right-preconditioned restarted GMRES(m) with Givens rotations.
+
+    >>> import numpy as np
+    >>> A = np.array([[2.0, 1.0], [0.0, 1.5]])    # non-symmetric is fine
+    >>> result = gmres(A, np.array([3.0, 3.0]), tolerance=1e-12)
+    >>> result.converged, bool(np.allclose(A @ result.solution, [3.0, 3.0]))
+    (True, True)
+    """
     rhs = np.asarray(rhs, dtype=np.float64)
     n = rhs.shape[0]
     if sp.issparse(matrix):

@@ -39,6 +39,12 @@ def incomplete_cholesky(matrix: sp.spmatrix, shift: float = 0.0, max_shift_attem
     Returns
     -------
     L such that ``A ≈ L @ L.T`` with the sparsity of ``tril(A)``.
+
+    >>> import numpy as np, scipy.sparse as sp
+    >>> A = sp.diags([[-1.0, -1.0], [2.0, 2.0, 2.0], [-1.0, -1.0]], [-1, 0, 1])
+    >>> L = incomplete_cholesky(A.tocsr())
+    >>> bool(np.allclose((L @ L.T).toarray(), A.toarray()))  # tridiag: IC(0) is exact
+    True
     """
     base = matrix.tocsr()
     n = base.shape[0]
@@ -107,7 +113,14 @@ def _ic0_factor(lower: sp.csc_matrix) -> Optional[sp.csc_matrix]:
 
 
 class IncompleteCholeskyPreconditioner(Preconditioner):
-    """Apply ``M⁻¹ r`` with ``M = L Lᵀ`` through two sparse triangular solves."""
+    """Apply ``M⁻¹ r`` with ``M = L Lᵀ`` through two sparse triangular solves.
+
+    >>> import numpy as np, scipy.sparse as sp
+    >>> A = sp.diags([[-1.0, -1.0], [2.0, 2.0, 2.0], [-1.0, -1.0]], [-1, 0, 1]).tocsr()
+    >>> M = IncompleteCholeskyPreconditioner(A)
+    >>> bool(np.allclose(A @ M.apply(np.array([1.0, 0.0, 1.0])), [1.0, 0.0, 1.0]))
+    True
+    """
 
     def __init__(self, matrix: sp.spmatrix, shift: float = 0.0) -> None:
         self.factor = incomplete_cholesky(matrix, shift=shift)

@@ -50,11 +50,23 @@ class SolveResult:
 
     @property
     def final_relative_residual(self) -> float:
-        """The last entry of the residual history (or inf if empty)."""
+        """The last entry of the residual history (or inf if empty).
+
+        >>> import numpy as np
+        >>> r = SolveResult(np.zeros(2), True, 3, residual_history=[1.0, 0.1, 1e-7])
+        >>> r.final_relative_residual
+        1e-07
+        """
         return self.residual_history[-1] if self.residual_history else float("inf")
 
     def summary(self) -> str:
-        """One-line human-readable summary."""
+        """One-line human-readable summary.
+
+        >>> import numpy as np
+        >>> r = SolveResult(np.zeros(2), True, 3, residual_history=[1e-7], info={"solver": "pcg"})
+        >>> r.summary().startswith("pcg: converged in 3 iterations")
+        True
+        """
         status = "converged" if self.converged else "NOT converged"
         return (
             f"{self.info.get('solver', 'solver')}: {status} in {self.iterations} iterations, "

@@ -221,3 +221,81 @@ class TestFields:
         p2 = random_poisson_problem(unit_square_mesh, rng=np.random.default_rng(11))
         assert np.allclose(p1.rhs, p2.rhs)
         assert (p1.matrix != p2.matrix).nnz == 0
+
+
+# --------------------------------------------------------------------------- #
+# variable-coefficient (κ-weighted) assembly and boundary terms
+# --------------------------------------------------------------------------- #
+class TestDiffusionAssembly:
+    def test_constant_kappa_scales_stiffness(self, unit_square_mesh):
+        base = assemble_stiffness(unit_square_mesh)
+        scaled = assemble_stiffness(unit_square_mesh, diffusion=3.5)
+        assert np.allclose(scaled.toarray(), 3.5 * base.toarray())
+
+    def test_callable_and_array_kappa_agree(self, unit_square_mesh):
+        from repro.fem import evaluate_on_triangles
+
+        kappa = lambda x, y: 1.0 + x + 2.0 * y
+        values = evaluate_on_triangles(unit_square_mesh, kappa)
+        by_callable = assemble_stiffness(unit_square_mesh, diffusion=kappa)
+        by_array = assemble_stiffness(unit_square_mesh, diffusion=values)
+        assert np.allclose(by_callable.toarray(), by_array.toarray())
+
+    def test_nonpositive_kappa_rejected(self, unit_square_mesh):
+        with pytest.raises(ValueError):
+            assemble_stiffness(unit_square_mesh, diffusion=0.0)
+        with pytest.raises(ValueError):
+            assemble_stiffness(unit_square_mesh, diffusion=lambda x, y: x - 10.0)
+
+    def test_weighted_stiffness_stays_symmetric_spd_on_interior(self, unit_square_mesh):
+        from repro.fem import CheckerboardField
+
+        kappa = CheckerboardField(contrast=1e4, cell_size=0.25, origin=(0.0, 0.0))
+        K = assemble_stiffness(unit_square_mesh, diffusion=kappa)
+        assert np.abs((K - K.T)).max() < 1e-10
+        interior = unit_square_mesh.interior_nodes
+        dense = K.toarray()[np.ix_(interior, interior)]
+        eigenvalues = np.linalg.eigvalsh(dense)
+        assert eigenvalues.min() > 0.0
+
+
+class TestBoundaryTerms:
+    def test_boundary_mass_total_is_perimeter(self, unit_square_mesh):
+        from repro.fem import assemble_boundary_mass
+
+        B = assemble_boundary_mass(unit_square_mesh)
+        assert B.sum() == pytest.approx(4.0)
+
+    def test_boundary_mass_exact_for_linear_data(self, unit_square_mesh):
+        """u ↦ ∫ u v ds is exact for P1 data: ∫_∂Ω x·1 ds on the unit square = 2."""
+        from repro.fem import assemble_boundary_mass
+
+        B = assemble_boundary_mass(unit_square_mesh)
+        x = unit_square_mesh.nodes[:, 0]
+        ones = np.ones(unit_square_mesh.num_nodes)
+        assert ones @ (B @ x) == pytest.approx(2.0)
+
+    def test_boundary_mass_edge_subset_and_coefficient(self, unit_square_mesh):
+        from repro.fem import assemble_boundary_mass
+
+        edges = unit_square_mesh.boundary_edges
+        mids = 0.5 * (unit_square_mesh.nodes[edges[:, 0]] + unit_square_mesh.nodes[edges[:, 1]])
+        right = edges[mids[:, 0] > 1.0 - 1e-9]
+        B = assemble_boundary_mass(unit_square_mesh, coefficient=2.0, edges=right)
+        assert B.sum() == pytest.approx(2.0)  # α · |right edge| = 2 · 1
+
+    def test_boundary_load_total_is_perimeter_integral(self, unit_square_mesh):
+        from repro.fem import assemble_boundary_load
+
+        b = assemble_boundary_load(unit_square_mesh, 1.0)
+        assert b.sum() == pytest.approx(4.0)
+        # linear flux g = x: ∫_∂Ω x ds = 0·1 + 1·1 + 2·(1/2) = 2
+        b = assemble_boundary_load(unit_square_mesh, lambda x, y: x)
+        assert b.sum() == pytest.approx(2.0)
+
+    def test_empty_edge_subset(self, unit_square_mesh):
+        from repro.fem import assemble_boundary_load, assemble_boundary_mass
+
+        empty = np.zeros((0, 2), dtype=np.int64)
+        assert assemble_boundary_mass(unit_square_mesh, edges=empty).nnz == 0
+        assert np.allclose(assemble_boundary_load(unit_square_mesh, 1.0, edges=empty), 0.0)
