@@ -1,0 +1,220 @@
+"""Setup vs per-iteration cost of the solver stack — the perf trajectory bench.
+
+For every mesh size this harness builds each preconditioner once (setup cost),
+measures the median wall time of a single ``apply`` (the per-Krylov-iteration
+cost), and runs a full PCG solve (iterations and total time, split into
+preconditioner vs Krylov machinery).  Solvers covered:
+
+* ``ic0``         — incomplete Cholesky PCG,
+* ``ddm-lu``      — two-level ASM with exact local LU solves,
+* ``ddm-gnn``     — the paper's GNN preconditioner on the inference fast path
+  (precompiled plans, stacked restrictions, allocation-free DSS engine),
+* ``ddm-gnn-ref`` — the same preconditioner through the pre-fast-path
+  reference implementation (per-sub-domain loops, tape forward), kept so the
+  fast-path speedup is measured rather than assumed.
+
+Results are appended to stdout as a table and written to ``BENCH_perf.json``
+(schema per record: ``solver, n, K, setup_s, apply_ms_p50, iters, total_s``)
+so the repository's performance trajectory accumulates across PRs.
+
+Usage::
+
+    python benchmarks/bench_perf.py            # sizes from REPRO_BENCH_SCALE
+    python benchmarks/bench_perf.py --smoke    # one tiny mesh (CI smoke job)
+    python benchmarks/bench_perf.py --output /tmp/perf.json --repeats 15
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without `pip install -e .`
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.core import HybridSolver, HybridSolverConfig
+from repro.fem import random_poisson_problem
+from repro.krylov import preconditioned_conjugate_gradient
+from repro.mesh import mesh_for_target_size
+from repro.utils import format_table, format_timing_split
+
+from common import ELEMENT_SIZE, SUBDOMAIN_SIZE, bench_scale, get_pretrained_model
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+TOLERANCE = 1e-3  # the tolerance of the paper's timing experiments (Table III)
+SMOKE_TARGET_N = 640
+
+
+class _ReferenceAdapter:
+    """Expose a DDM-GNN preconditioner through its pre-fast-path apply."""
+
+    def __init__(self, preconditioner) -> None:
+        self._preconditioner = preconditioner
+
+    def apply(self, residual: np.ndarray) -> np.ndarray:
+        return self._preconditioner.apply_reference(residual)
+
+    @property
+    def shape(self) -> tuple:
+        return self._preconditioner.shape
+
+
+def median_apply_ms(apply_fn, residual: np.ndarray, repeats: int) -> float:
+    """Median wall time of one preconditioner application, in milliseconds."""
+    apply_fn(residual)  # warm-up (first call may fault in buffers)
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        apply_fn(residual)
+        times.append(time.perf_counter() - t0)
+    return float(np.median(times) * 1e3)
+
+
+def median_apply_ms_paired(fn_a, fn_b, residual: np.ndarray, repeats: int):
+    """Median apply times of two implementations, measured interleaved.
+
+    Alternating the calls keeps machine drift (frequency scaling, cache
+    pressure from neighbouring processes) from biasing one side, which
+    matters for the fast-vs-reference speedup ratio.
+    """
+    fn_a(residual)
+    fn_b(residual)
+    times_a, times_b = [], []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn_a(residual)
+        times_a.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        fn_b(residual)
+        times_b.append(time.perf_counter() - t0)
+    return float(np.median(times_a) * 1e3), float(np.median(times_b) * 1e3)
+
+
+def bench_problem(problem, model, repeats: int, max_iterations: int = 4000):
+    """All per-solver records for one global problem."""
+    records = []
+    solves = {}
+    for kind in ("ic0", "ddm-lu", "ddm-gnn"):
+        solver = HybridSolver(
+            HybridSolverConfig(
+                preconditioner=kind,
+                subdomain_size=SUBDOMAIN_SIZE,
+                overlap=2,
+                tolerance=TOLERANCE,
+                max_iterations=max_iterations,
+            ),
+            model=model if kind == "ddm-gnn" else None,
+        )
+        preconditioner = solver.build_preconditioner(problem)
+        if kind == "ddm-gnn":
+            reference = _ReferenceAdapter(preconditioner)
+            apply_ms, ref_apply_ms = median_apply_ms_paired(
+                preconditioner.apply, reference.apply, problem.rhs, repeats
+            )
+        else:
+            apply_ms = median_apply_ms(preconditioner.apply, problem.rhs, repeats)
+        result = preconditioned_conjugate_gradient(
+            problem.matrix,
+            problem.rhs,
+            preconditioner=preconditioner,
+            tolerance=TOLERANCE,
+            max_iterations=max_iterations,
+        )
+        solves[kind] = result
+        records.append({
+            "solver": kind,
+            "n": int(problem.num_dofs),
+            "K": int(getattr(preconditioner, "num_subdomains", 0)),
+            "setup_s": round(solver.setup_time, 6),
+            "apply_ms_p50": round(apply_ms, 4),
+            "iters": int(result.iterations),
+            "total_s": round(result.elapsed_time, 6),
+        })
+        if kind == "ddm-gnn":
+            # the same preconditioner, driven through the pre-PR apply path
+            ref_result = preconditioned_conjugate_gradient(
+                problem.matrix,
+                problem.rhs,
+                preconditioner=reference,
+                tolerance=TOLERANCE,
+                max_iterations=max_iterations,
+            )
+            solves["ddm-gnn-ref"] = ref_result
+            records.append({
+                "solver": "ddm-gnn-ref",
+                "n": int(problem.num_dofs),
+                "K": int(preconditioner.num_subdomains),
+                "setup_s": round(solver.setup_time, 6),
+                "apply_ms_p50": round(ref_apply_ms, 4),
+                "iters": int(ref_result.iterations),
+                "total_s": round(ref_result.elapsed_time, 6),
+            })
+    return records, solves
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help=f"single ~{SMOKE_TARGET_N}-node mesh, few repeats (CI smoke job)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="apply timing repetitions (default: scale preset)")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help=f"where to write the JSON records (default: {DEFAULT_OUTPUT})")
+    args = parser.parse_args(argv)
+
+    scale = bench_scale()
+    if args.smoke:
+        sizes = (SMOKE_TARGET_N,)
+        repeats = args.repeats if args.repeats is not None else 3
+    else:
+        sizes = scale.table3_sizes
+        repeats = args.repeats if args.repeats is not None else max(scale.repetitions, 9)
+
+    model = get_pretrained_model()
+    rng = np.random.default_rng(1)
+
+    all_records = []
+    speedups = {}
+    for target_n in sizes:
+        mesh = mesh_for_target_size(target_n, element_size=ELEMENT_SIZE, rng=rng)
+        problem = random_poisson_problem(mesh, rng=rng)
+        records, solves = bench_problem(problem, model, repeats)
+        all_records.extend(records)
+        by_solver = {r["solver"]: r for r in records}
+        speedup = by_solver["ddm-gnn-ref"]["apply_ms_p50"] / by_solver["ddm-gnn"]["apply_ms_p50"]
+        speedups[problem.num_dofs] = speedup
+        print(f"\nn={problem.num_dofs}  (K={by_solver['ddm-gnn']['K']}, tolerance={TOLERANCE:g})")
+        print(format_table(
+            ["solver", "setup_s", "apply_ms_p50", "iters", "total_s", "timing split"],
+            [
+                [r["solver"], f"{r['setup_s']:.3f}", f"{r['apply_ms_p50']:.2f}",
+                 r["iters"], f"{r['total_s']:.3f}", format_timing_split(solves[r["solver"]])]
+                for r in records
+            ],
+        ))
+        print(f"DDM-GNN fast-path apply speedup vs pre-PR path: {speedup:.2f}x")
+
+    payload = {
+        "bench": "bench_perf",
+        "scale": scale.name,
+        "tolerance": TOLERANCE,
+        "smoke": bool(args.smoke),
+        "schema": ["solver", "n", "K", "setup_s", "apply_ms_p50", "iters", "total_s"],
+        "records": all_records,
+        "fastpath_apply_speedup": {str(n): round(s, 3) for n, s in speedups.items()},
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {len(all_records)} records to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

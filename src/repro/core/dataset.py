@@ -177,8 +177,9 @@ class _HarvestingPreconditioner(AdditiveSchwarzPreconditioner):
         self.harvested: List[GraphProblem] = []
 
     def apply(self, residual: np.ndarray) -> np.ndarray:
-        for geometry, restriction in zip(self._geometries, self.restrictions):
-            source, norm = geometry.source_from_residual(restriction @ residual)
+        stacked = self.stacked_restriction.extract(np.asarray(residual, dtype=np.float64))
+        for geometry, local in zip(self._geometries, self.stacked_restriction.split(stacked)):
+            source, norm = geometry.source_from_residual(local)
             if norm <= 0.0:
                 continue
             self.harvested.append(geometry.make_graph(source, scaling=norm))

@@ -13,12 +13,14 @@ Public surface:
 * :func:`~repro.ddm.restriction.restriction_matrix`,
   :func:`~repro.ddm.restriction.build_restrictions`,
   :func:`~repro.ddm.restriction.partition_of_unity` — R_i operators.
+* :class:`~repro.ddm.restriction.StackedRestriction` — all R_i stacked into
+  one block operator (the loop-free preconditioner hot path).
 """
 
 from .asm import AdditiveSchwarzPreconditioner, IdentityPreconditioner, Preconditioner
 from .coarse import NicolaidesCoarseSpace
 from .local_solvers import JacobiLocalSolver, LocalSolver, LULocalSolver, extract_local_matrices
-from .restriction import build_restrictions, partition_of_unity, restriction_matrix
+from .restriction import StackedRestriction, build_restrictions, partition_of_unity, restriction_matrix
 
 __all__ = [
     "AdditiveSchwarzPreconditioner",
@@ -32,4 +34,5 @@ __all__ = [
     "restriction_matrix",
     "build_restrictions",
     "partition_of_unity",
+    "StackedRestriction",
 ]

@@ -23,7 +23,7 @@ import scipy.sparse.linalg as spla
 from ..partition.overlap import OverlappingDecomposition
 from .coarse import NicolaidesCoarseSpace
 from .local_solvers import LocalSolver, LULocalSolver, extract_local_matrices
-from .restriction import build_restrictions, partition_of_unity
+from .restriction import StackedRestriction, build_restrictions, partition_of_unity
 
 __all__ = ["AdditiveSchwarzPreconditioner", "Preconditioner", "IdentityPreconditioner"]
 
@@ -100,9 +100,19 @@ class AdditiveSchwarzPreconditioner(Preconditioner):
 
         subdomains = decomposition.subdomain_nodes
         self.restrictions = build_restrictions(subdomains, n)
+        self.stacked_restriction = StackedRestriction(subdomains, n)
         self.local_matrices = extract_local_matrices(self.matrix, subdomains)
         self.local_solver = (local_solver or LULocalSolver()).setup(self.local_matrices)
         self._pou = partition_of_unity(subdomains, n) if variant == "ras" else None
+        # stacked partition-of-unity weights (one row per stacked local dof)
+        self._pou_weights = (
+            np.concatenate([d.diagonal() for d in self._pou]) if self._pou is not None else None
+        )
+        # per-application scratch buffers (reused; `apply` allocates nothing
+        # beyond the glued result and the coarse correction)
+        total = self.stacked_restriction.total_rows
+        self._stacked_residual = np.empty(total)
+        self._stacked_solution = np.empty(total)
 
         self.coarse_space: Optional[NicolaidesCoarseSpace] = None
         if self.levels == 2:
@@ -120,21 +130,24 @@ class AdditiveSchwarzPreconditioner(Preconditioner):
     # ------------------------------------------------------------------ #
     def local_residuals(self, residual: np.ndarray) -> List[np.ndarray]:
         """Restrict a global residual to every sub-domain (``R_i r``)."""
-        return [r_i @ residual for r_i in self.restrictions]
+        return self.stacked_restriction.split(self.stacked_restriction.extract(residual))
 
     def apply(self, residual: np.ndarray) -> np.ndarray:
-        """Apply the preconditioner: ``z = M⁻¹ r`` (Eq. 6 or 7)."""
-        residual = np.asarray(residual, dtype=np.float64)
-        local_rhs = self.local_residuals(residual)
-        local_solutions = self.local_solver.solve_all(local_rhs)
+        """Apply the preconditioner: ``z = M⁻¹ r`` (Eq. 6 or 7).
 
-        correction = np.zeros_like(residual)
-        if self._pou is None:
-            for r_i, v_i in zip(self.restrictions, local_solutions):
-                correction += r_i.T @ v_i
-        else:
-            for r_i, d_i, v_i in zip(self.restrictions, self._pou, local_solutions):
-                correction += r_i.T @ (d_i @ v_i)
+        The hot path is loop-free: one stacked gather extracts every local
+        residual, the local solver fills one stacked solution buffer, and one
+        SpMV (``Rᵀ w``) glues all sub-domain corrections — numerically
+        bit-identical to the classical per-sub-domain loop.
+        """
+        residual = np.asarray(residual, dtype=np.float64)
+        stacked = self.stacked_restriction.extract(residual, out=self._stacked_residual)
+        solutions = self.local_solver.solve_stacked(
+            stacked, self.stacked_restriction.offsets, out=self._stacked_solution
+        )
+        if self._pou_weights is not None:
+            np.multiply(solutions, self._pou_weights, out=solutions)
+        correction = self.stacked_restriction.glue(solutions)
 
         if self.coarse_space is not None:
             correction += self.coarse_space.apply(residual)

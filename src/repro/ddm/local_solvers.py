@@ -40,6 +40,31 @@ class LocalSolver(ABC):
     def setup(self, local_matrices: Sequence[sp.spmatrix]) -> "LocalSolver":
         """Prepare (e.g. factorise) the local operators; returns self."""
 
+    def solve_stacked(
+        self,
+        stacked_residuals: np.ndarray,
+        offsets: np.ndarray,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Solve all local systems given one stacked residual vector.
+
+        Segment ``i`` of ``stacked_residuals`` (delimited by ``offsets``) is the
+        residual of sub-domain ``i``; the solutions are written back in the same
+        layout, into ``out`` when given (the preconditioner hot path reuses one
+        buffer across iterations).  The base implementation delegates to
+        :meth:`solve_all`; solvers can override it to avoid the intermediate
+        list entirely.
+        """
+        stacked_residuals = np.asarray(stacked_residuals, dtype=np.float64)
+        if out is None:
+            out = np.empty_like(stacked_residuals)
+        segments = [
+            stacked_residuals[offsets[i]:offsets[i + 1]] for i in range(len(offsets) - 1)
+        ]
+        for i, solution in enumerate(self.solve_all(segments)):
+            out[offsets[i]:offsets[i + 1]] = solution
+        return out
+
 
 class LULocalSolver(LocalSolver):
     """Exact local solves via sparse LU factorisation (the DDM-LU baseline)."""
@@ -55,6 +80,22 @@ class LULocalSolver(LocalSolver):
         if len(local_residuals) != len(self._factors):
             raise ValueError("number of residuals does not match the number of factorised sub-domains")
         return [factor.solve(np.asarray(r, dtype=np.float64)) for factor, r in zip(self._factors, local_residuals)]
+
+    def solve_stacked(
+        self,
+        stacked_residuals: np.ndarray,
+        offsets: np.ndarray,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        if len(offsets) - 1 != len(self._factors):
+            raise ValueError("number of segments does not match the number of factorised sub-domains")
+        stacked_residuals = np.asarray(stacked_residuals, dtype=np.float64)
+        if out is None:
+            out = np.empty_like(stacked_residuals)
+        for i, factor in enumerate(self._factors):
+            lo, hi = offsets[i], offsets[i + 1]
+            out[lo:hi] = factor.solve(stacked_residuals[lo:hi])
+        return out
 
 
 class JacobiLocalSolver(LocalSolver):

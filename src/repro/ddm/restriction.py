@@ -5,16 +5,26 @@ matrix ``R_i`` (paper Sec. II-A) selects the rows of a global vector that
 belong to sub-domain ``i``; its transpose extends a local vector by zero.
 A partition-of-unity variant (used by Restricted Additive Schwarz) weights the
 extension by the inverse multiplicity of each node.
+
+:class:`StackedRestriction` assembles all K operators into one block matrix
+``R = [R_1; …; R_K]`` so the whole restriction step of a Schwarz application
+is a single gather and the gluing step a single SpMV — this replaces the
+per-sub-domain Python loops on the preconditioner hot path.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 import scipy.sparse as sp
 
-__all__ = ["restriction_matrix", "build_restrictions", "partition_of_unity"]
+__all__ = [
+    "restriction_matrix",
+    "build_restrictions",
+    "partition_of_unity",
+    "StackedRestriction",
+]
 
 
 def restriction_matrix(nodes: np.ndarray, num_global: int) -> sp.csr_matrix:
@@ -35,6 +45,94 @@ def restriction_matrix(nodes: np.ndarray, num_global: int) -> sp.csr_matrix:
 def build_restrictions(subdomain_nodes: Sequence[np.ndarray], num_global: int) -> List[sp.csr_matrix]:
     """Build one restriction matrix per sub-domain."""
     return [restriction_matrix(nodes, num_global) for nodes in subdomain_nodes]
+
+
+class StackedRestriction:
+    """All K restriction operators stacked into one CSR block matrix.
+
+    ``R = [R_1; …; R_K]`` has shape ``(Σ_i k_i, n)``.  Because every row holds
+    a single unit entry:
+
+    * ``extract`` (``R @ v``, all local residuals at once) degenerates to a
+      pure gather, so with an ``out=`` buffer it is allocation-free;
+    * ``glue`` (``Rᵀ @ w``, the Σ_i R_iᵀ w_i extension) is one CSR SpMV whose
+      per-node accumulation order matches the classical ascending-sub-domain
+      loop bit for bit (the transpose is stored with sorted indices).
+
+    ``offsets`` delimit the per-sub-domain segments of a stacked vector:
+    segment ``i`` is ``stacked[offsets[i]:offsets[i + 1]]``.
+    """
+
+    def __init__(self, subdomain_nodes: Sequence[np.ndarray], num_global: int) -> None:
+        nodes = [np.asarray(n, dtype=np.int64) for n in subdomain_nodes]
+        if not nodes:
+            raise ValueError("cannot stack an empty list of sub-domains")
+        self.num_global = int(num_global)
+        self.sizes = np.array([len(n) for n in nodes], dtype=np.int64)
+        self.offsets = np.concatenate([[0], np.cumsum(self.sizes)])
+        self.total_rows = int(self.offsets[-1])
+        self.node_indices = np.concatenate(nodes) if self.total_rows else np.zeros(0, dtype=np.int64)
+        if self.total_rows and (self.node_indices.min() < 0 or self.node_indices.max() >= num_global):
+            raise ValueError("node index out of range for stacked restriction")
+        #: sub-domain id of every stacked row (for per-segment scatter/gather)
+        self.segment_ids = np.repeat(np.arange(len(nodes)), self.sizes)
+        indptr = np.arange(self.total_rows + 1, dtype=np.int64)
+        self.matrix = sp.csr_matrix(
+            (np.ones(self.total_rows), self.node_indices.copy(), indptr),
+            shape=(self.total_rows, self.num_global),
+        )
+        # Rᵀ in CSR with sorted indices: row = global node, columns = its
+        # stacked positions in ascending sub-domain order (the loop order).
+        self._transpose = self.matrix.T.tocsr()
+        self._transpose.sort_indices()
+
+    @property
+    def num_subdomains(self) -> int:
+        return int(len(self.sizes))
+
+    @property
+    def shape(self) -> tuple:
+        return self.matrix.shape
+
+    # ------------------------------------------------------------------ #
+    def extract(self, global_vector: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """``R @ v``: every local residual, concatenated into one vector."""
+        v = np.asarray(global_vector, dtype=np.float64)
+        return np.take(v, self.node_indices, out=out)
+
+    def split(self, stacked: np.ndarray) -> List[np.ndarray]:
+        """Views of the per-sub-domain segments of a stacked vector."""
+        return [
+            stacked[self.offsets[i]:self.offsets[i + 1]]
+            for i in range(self.num_subdomains)
+        ]
+
+    def glue(self, stacked_values: np.ndarray) -> np.ndarray:
+        """``Rᵀ @ w``: sum every sub-domain's extended contribution (one SpMV)."""
+        return self._transpose @ np.asarray(stacked_values, dtype=np.float64)
+
+    def segment_norms(
+        self,
+        stacked: np.ndarray,
+        out: Optional[np.ndarray] = None,
+        squares: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Euclidean norm of every per-sub-domain segment (``‖R_i r‖`` for all i).
+
+        ``out`` (K,) and ``squares`` (total_rows,) are optional scratch
+        buffers; the preconditioner hot path passes both so the per-iteration
+        norm computation allocates nothing.
+        """
+        stacked = np.asarray(stacked, dtype=np.float64)
+        if squares is None:
+            squares = stacked * stacked
+        else:
+            np.multiply(stacked, stacked, out=squares)
+        if out is None:
+            return np.sqrt(np.add.reduceat(squares, self.offsets[:-1]))
+        np.add.reduceat(squares, self.offsets[:-1], out=out)
+        np.sqrt(out, out=out)
+        return out
 
 
 def partition_of_unity(subdomain_nodes: Sequence[np.ndarray], num_global: int) -> List[sp.csr_matrix]:

@@ -7,6 +7,9 @@ Public surface:
 * :class:`~repro.gnn.graph.GraphProblem`,
   :func:`~repro.gnn.graph.graph_from_mesh` — graph-structured local problems.
 * :class:`~repro.gnn.batch.GraphBatch` — disjoint-union batching.
+* :class:`~repro.gnn.batch.BatchPlan`,
+  :class:`~repro.gnn.infer.InferencePlan` — precompiled iteration-time fast
+  path (``DSS.compile_plan`` / ``DSS.infer``).
 * :class:`~repro.gnn.mpnn.DSSBlock`, :class:`~repro.gnn.mpnn.Decoder` —
   message-passing building blocks.
 * :func:`~repro.gnn.loss.residual_loss`, :func:`~repro.gnn.loss.relative_error`
@@ -16,9 +19,10 @@ Public surface:
   :func:`~repro.gnn.training.evaluate_model` — training pipeline.
 """
 
-from .batch import GraphBatch
+from .batch import BatchPlan, GraphBatch
 from .dss import DSS, DSSConfig
 from .graph import GraphProblem, graph_from_mesh
+from .infer import InferencePlan
 from .loss import relative_error, residual_loss
 from .mpnn import Decoder, DSSBlock
 from .training import DSSTrainer, EvaluationMetrics, EpochStats, TrainingConfig, evaluate_model
@@ -29,6 +33,8 @@ __all__ = [
     "GraphProblem",
     "graph_from_mesh",
     "GraphBatch",
+    "BatchPlan",
+    "InferencePlan",
     "DSSBlock",
     "Decoder",
     "residual_loss",

@@ -17,13 +17,15 @@ import scipy.sparse as sp
 
 from .graph import GraphProblem
 
-__all__ = ["GraphBatch"]
+__all__ = ["GraphBatch", "BatchPlan"]
 
 
 def _pad_columns(array: np.ndarray, width: int) -> np.ndarray:
     """Zero-pad a 2-D feature array on the right to ``width`` columns."""
     if array.shape[1] == width:
         return array
+    if array.shape[1] > width:
+        raise ValueError(f"cannot pad a {array.shape[1]}-column array to {width} columns")
     padded = np.zeros((array.shape[0], width))
     padded[:, : array.shape[1]] = array
     return padded
@@ -50,7 +52,20 @@ class GraphBatch:
     node_attr: Optional[np.ndarray] = None
 
     @classmethod
-    def from_graphs(cls, graphs: Sequence[GraphProblem]) -> "GraphBatch":
+    def from_graphs(
+        cls,
+        graphs: Sequence[GraphProblem],
+        edge_attr_dim: Optional[int] = None,
+        node_attr_dim: Optional[int] = None,
+    ) -> "GraphBatch":
+        """Concatenate ``graphs`` into one disjoint-union batch.
+
+        ``edge_attr_dim`` / ``node_attr_dim`` let callers that batch the same
+        graph population repeatedly (preconditioner setup, the training chunk
+        loop) pass the feature widths once instead of re-scanning every graph
+        with ``max()`` on each call; ``node_attr_dim=0`` states explicitly
+        that no graph carries node attributes.
+        """
         if not graphs:
             raise ValueError("cannot batch an empty list of graphs")
         sizes = np.array([g.num_nodes for g in graphs], dtype=np.int64)
@@ -61,7 +76,8 @@ class GraphBatch:
         ) if any(g.num_edges for g in graphs) else np.zeros((2, 0), dtype=np.int64)
         # graphs may mix κ-aware (4-column) and plain (3-column) edge
         # attributes; zero-pad to the widest (log10 κ = 0 means κ = 1)
-        edge_attr_dim = max(g.edge_attr.shape[1] for g in graphs)
+        if edge_attr_dim is None:
+            edge_attr_dim = max(g.edge_attr.shape[1] for g in graphs)
         edge_attr = (
             np.vstack([_pad_columns(g.edge_attr, edge_attr_dim) for g in graphs])
             if edge_index.shape[1]
@@ -72,9 +88,14 @@ class GraphBatch:
         node_graph_index = np.repeat(np.arange(len(graphs)), sizes)
         # κ node features: zero-fill graphs that carry none instead of
         # silently dropping the feature for the whole batch
+        if node_attr_dim is None:
+            node_attr_dim = (
+                max(g.node_attr.shape[1] for g in graphs if g.node_attr is not None)
+                if any(g.node_attr is not None for g in graphs)
+                else 0
+            )
         node_attr = None
-        if any(g.node_attr is not None for g in graphs):
-            node_attr_dim = max(g.node_attr.shape[1] for g in graphs if g.node_attr is not None)
+        if node_attr_dim:
             node_attr = np.vstack([
                 _pad_columns(g.node_attr, node_attr_dim)
                 if g.node_attr is not None
@@ -92,6 +113,23 @@ class GraphBatch:
             node_graph_index=node_graph_index,
             node_attr=node_attr,
         )
+
+    @staticmethod
+    def feature_dims(graphs: Sequence) -> tuple:
+        """``(edge_attr_dim, node_attr_dim)`` of a graph population, scanned once.
+
+        Accepts any objects carrying ``edge_attr``/``node_attr`` arrays
+        (:class:`GraphProblem`, :class:`~repro.core.dataset.SubdomainGeometry`).
+        Feed the result back into :meth:`from_graphs` when batching subsets of
+        the same population repeatedly.
+        """
+        edge_dim = max(g.edge_attr.shape[1] for g in graphs)
+        node_dim = (
+            max(g.node_attr.shape[1] for g in graphs if g.node_attr is not None)
+            if any(g.node_attr is not None for g in graphs)
+            else 0
+        )
+        return edge_dim, node_dim
 
     # ------------------------------------------------------------------ #
     @property
@@ -145,3 +183,80 @@ class GraphBatch:
             dirichlet_mask=self.dirichlet_mask,
             node_attr=self.node_attr,
         )
+
+    def compile_plan(self) -> "BatchPlan":
+        """Freeze this batch into a :class:`BatchPlan` for iteration-time reuse."""
+        return BatchPlan.from_batch(self)
+
+
+@dataclass
+class BatchPlan:
+    """Precompiled, residual-independent description of a fixed graph batch.
+
+    Everything about a batch that a Krylov solve reuses on every
+    preconditioner application — the concatenated edge index, the padded
+    node/edge attributes, the Dirichlet mask, the segment offsets, the
+    feature widths — is computed once here.  The only mutable piece of state
+    is the preallocated ``source`` buffer: :meth:`load_source` scatters the
+    current normalised local residuals into it, and no per-iteration
+    ``GraphProblem``/``GraphBatch`` construction happens at all.
+
+    The field layout is duck-compatible with :class:`GraphBatch` (``source``,
+    ``edge_index``, ``edge_attr``, ``node_attr``, ``num_nodes``), so a plan
+    can be fed straight to ``DSS.forward`` — the parity tests pin the
+    allocation-free engine against exactly that tape forward.
+
+    The directed edges are re-sorted by destination node (a stable sort, so
+    the graph is unchanged up to summation order of the incoming messages):
+    gathers and aggregations indexed by destination then walk memory almost
+    sequentially, and the engine's aggregation SpMM gets contiguous rows.
+    """
+
+    edge_index: np.ndarray
+    edge_attr: np.ndarray
+    dirichlet_mask: np.ndarray
+    node_offsets: np.ndarray
+    node_graph_index: np.ndarray
+    source: np.ndarray
+    node_attr: Optional[np.ndarray] = None
+    edge_attr_dim: int = 0
+    node_attr_dim: int = 0
+
+    @classmethod
+    def from_batch(cls, batch: GraphBatch) -> "BatchPlan":
+        order = np.argsort(batch.edge_index[1], kind="stable")
+        return cls(
+            edge_index=np.ascontiguousarray(batch.edge_index[:, order]),
+            edge_attr=np.ascontiguousarray(batch.edge_attr[order]),
+            dirichlet_mask=batch.dirichlet_mask,
+            node_offsets=batch.node_offsets,
+            node_graph_index=batch.node_graph_index,
+            source=np.zeros(batch.num_nodes),
+            node_attr=batch.node_attr,
+            edge_attr_dim=int(batch.edge_attr.shape[1]),
+            node_attr_dim=0 if batch.node_attr is None else int(batch.node_attr.shape[1]),
+        )
+
+    @property
+    def num_graphs(self) -> int:
+        return int(len(self.node_offsets) - 1)
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.source.shape[0])
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.edge_index.shape[1])
+
+    def load_source(self, values: np.ndarray) -> None:
+        """Copy the current per-node inputs into the preallocated buffer."""
+        self.source[...] = values
+
+    def split_node_values(self, values: np.ndarray) -> List[np.ndarray]:
+        """Split a per-node array of the batch back into per-graph views."""
+        values = np.asarray(values)
+        return [
+            values[self.node_offsets[i]:self.node_offsets[i + 1]]
+            for i in range(self.num_graphs)
+        ]

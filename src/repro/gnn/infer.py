@@ -1,0 +1,318 @@
+"""Allocation-free DSS inference engine.
+
+``DSS.forward`` runs through the autodiff :class:`~repro.nn.tensor.Tensor`
+machinery: even under ``no_grad`` every operation allocates fresh arrays and
+Python wrapper objects, and every message-passing block re-copies the reversed
+edge attributes.  Inside a Krylov solve the same batch of sub-domain graphs is
+evaluated hundreds of times with only the per-node source changing, so all of
+that per-call work is invariant.
+
+:class:`InferencePlan` binds a structural :class:`~repro.gnn.batch.BatchPlan`
+to one model and precompiles everything the forward pass reuses:
+
+* **per-node projections** — the hidden edge layer ``W₁ [h_dst | h_src | e]``
+  is split along its disjoint weight column blocks; the latent parts become
+  two ``(n × d)`` GEMMs *before* gathering to edges, shrinking the dominant
+  GEMM from ``E`` rows × ``2d+|e|`` columns to ``n`` rows × ``d``;
+* **static edge terms** — the attribute contribution ``e @ W₁ₑᵀ + b₁`` of
+  every block and direction depends only on the (fixed) edge attributes, so
+  it is evaluated once at compile time (falling back to on-the-fly
+  evaluation above a memory budget);
+* **aggregate-then-project** — summing messages onto destination nodes is a
+  single CSR SpMM with a precomputed ``(n × E)`` incidence operator ``S``,
+  and because aggregation is linear the output layer commutes with it:
+  ``S (H W₂ᵀ + b₂) = (S H) W₂ᵀ + deg ⊗ b₂``, so the output GEMM runs on
+  ``n`` rows instead of ``E`` (the per-node bias term ``deg ⊗ b₂`` is
+  precompiled);
+* **prestaged weights and buffer reuse** — all weight matrices are stored as
+  contiguous transposes (what the GEMMs actually consume) and every GEMM runs
+  with ``out=`` into persistent scratch; the latent state, node input and
+  both aggregation targets are column views of the single ``ψ``-input
+  matrix, so writing an aggregation result *is* preparing the next MLP input.
+
+Splitting dot products into partial sums and re-ordering commutative message
+sums only moves floating-point results at the few-ulp level; the parity tests
+pin ``DSS.infer`` to the tape forward at 1e-12, orders of magnitude tighter
+than anything visible to the preconditioned solver.
+
+Because the weights are prestaged, a plan captures the model parameters *at
+compile time*: recompile after any further training or ``load_state_dict``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from .batch import BatchPlan, GraphBatch
+
+__all__ = ["InferencePlan"]
+
+#: cap on the total memory (bytes) spent on precomputed static edge terms;
+#: above it they are recomputed per iteration (one small GEMM) instead
+STATIC_EDGE_TERM_BUDGET = 96 * 1024 * 1024
+
+def _validated_csr_matvecs():
+    """The private scipy kernel for allocation-free CSR SpMM (``Y += A @ X``).
+
+    ``scipy.sparse._sparsetools.csr_matvecs`` has been stable for many years,
+    but it is private: guard not just against it disappearing but against a
+    signature/semantics change, by checking it once against the public
+    operator on a tiny fixed matrix.  Returns None (public ``@`` fallback)
+    when anything is off.
+    """
+    try:
+        from scipy.sparse import _sparsetools
+
+        kernel = _sparsetools.csr_matvecs
+        matrix = sp.csr_matrix(np.array([[1.0, 0.0, 2.0], [0.0, 3.0, 0.0]]))
+        x = np.arange(6.0).reshape(3, 2)
+        y = np.zeros((2, 2))
+        kernel(
+            matrix.shape[0], matrix.shape[1], x.shape[1],
+            matrix.indptr, matrix.indices, matrix.data,
+            x.ravel(), y.ravel(),
+        )
+        if not np.array_equal(y, matrix @ x):
+            return None
+        return kernel
+    except Exception:  # pragma: no cover - old/exotic scipy
+        return None
+
+
+_csr_matvecs = _validated_csr_matvecs()
+
+
+@dataclass
+class _CompiledDirection:
+    """Prestaged arrays for one message direction of one block."""
+
+    w_dst_T: np.ndarray            # (d, d) — latent-of-destination weight block, transposed
+    w_src_T: np.ndarray            # (d, d) — latent-of-source weight block, transposed
+    w_out_T: np.ndarray            # (d, d) — output layer, transposed
+    agg_bias: Optional[np.ndarray]  # (n, d) — in-degree ⊗ output bias
+    static: Optional[np.ndarray]   # (E, d) — attr @ W₁ₑᵀ + b₁, if within budget
+    w_attr_T: Optional[np.ndarray] = None   # fallback pieces when static is None
+    attr: Optional[np.ndarray] = None
+    b_hidden: Optional[np.ndarray] = None
+
+
+@dataclass
+class _CompiledBlock:
+    """Prestaged arrays for one message-passing block."""
+
+    forward_dir: _CompiledDirection
+    backward_dir: _CompiledDirection
+    psi_w1_T: np.ndarray
+    psi_b1: Optional[np.ndarray]
+    psi_w2_T: np.ndarray
+    psi_b2: Optional[np.ndarray]
+
+
+@dataclass
+class _CompiledDecoder:
+    w1_T: np.ndarray
+    b1: Optional[np.ndarray]
+    w2_T: np.ndarray
+    b2: Optional[np.ndarray]
+
+
+def _contiguous_T(weight) -> np.ndarray:
+    return np.ascontiguousarray(np.asarray(weight, dtype=np.float64).T)
+
+
+def _check_compilable(mlp) -> None:
+    """The engine hard-codes the DSS architecture's single-hidden ReLU MLPs."""
+    if len(mlp.layers) != 2 or mlp.activation != "relu" or mlp.final_activation != "none":
+        raise NotImplementedError(
+            "the inference engine supports the DSS architecture's single-hidden-layer "
+            "ReLU MLPs only; use DSS.predict for modified architectures"
+        )
+
+
+def _bias(layer) -> Optional[np.ndarray]:
+    return None if layer.bias is None else layer.bias.data
+
+
+class InferencePlan:
+    """A :class:`BatchPlan` bound to one DSS model, with reusable scratch buffers.
+
+    Build one via ``model.compile_plan(batch)``; run it via
+    ``model.infer(plan, source)``.  The returned output array is a view of an
+    internal buffer, valid until the next ``run`` on the same plan.  Weights
+    are captured at compile time — recompile after training.
+    """
+
+    def __init__(self, model, batch: Union[GraphBatch, BatchPlan]) -> None:
+        plan = batch.compile_plan() if isinstance(batch, GraphBatch) else batch
+        self.model = model
+        self.plan = plan
+        cfg = model.config
+        n, num_edges = plan.num_nodes, plan.num_edges
+        d = cfg.latent_dim
+        ni = cfg.node_input_dim
+        self.latent_dim = d
+        self.node_input_dim = ni
+
+        self.src = np.ascontiguousarray(plan.edge_index[0])
+        self.dst = np.ascontiguousarray(plan.edge_index[1])
+
+        # aggregation operator: out = S @ messages sums every directed edge's
+        # message onto its destination node in one SpMM
+        incidence = sp.csr_matrix(
+            (np.ones(num_edges), self.dst, np.arange(num_edges + 1, dtype=np.int64)),
+            shape=(num_edges, n),
+        )
+        self._agg_matrix = incidence.T.tocsr()
+        self._agg_matrix.sort_indices()
+
+        # ψ input [latent | node_input | agg_fwd | agg_bwd]; the pieces are
+        # views, so updating them updates the MLP input in place
+        self.node_cat = np.zeros((n, 3 * d + ni))
+        self.latent = self.node_cat[:, :d]
+        self.node_input = self.node_cat[:, d:d + ni]
+        self.agg_fwd = self.node_cat[:, d + ni:2 * d + ni]
+        self.agg_bwd = self.node_cat[:, 2 * d + ni:]
+
+        # static node features (κ channels): everything except the residual
+        # column is invariant across applications
+        self.node_input[...] = model._prepare_node_input(plan)
+
+        # forward and sign-reversed edge attributes at the model's width
+        attr_fwd = np.ascontiguousarray(model._prepare_edge_attr(plan.edge_attr))
+        attr_bwd = attr_fwd.copy()
+        attr_bwd[:, :2] *= -1.0
+
+        # in-degree of every node (for the precompiled aggregated-bias terms)
+        indegree = np.bincount(self.dst, minlength=n).astype(np.float64).reshape(-1, 1)
+
+        # prestage the weights (and, within budget, the static edge terms)
+        k_bar = len(model.blocks)
+        static_bytes = 2 * k_bar * num_edges * d * 8
+        with_static = static_bytes <= STATIC_EDGE_TERM_BUDGET
+        self.compiled_blocks: List[_CompiledBlock] = []
+        for block in model.blocks:
+            for mlp in (block.phi_forward, block.phi_backward, block.psi):
+                _check_compilable(mlp)
+            self.compiled_blocks.append(
+                _CompiledBlock(
+                    forward_dir=self._compile_direction(block.phi_forward, attr_fwd, indegree, d, with_static),
+                    backward_dir=self._compile_direction(block.phi_backward, attr_bwd, indegree, d, with_static),
+                    psi_w1_T=_contiguous_T(block.psi.layers[0].weight.data),
+                    psi_b1=_bias(block.psi.layers[0]),
+                    psi_w2_T=_contiguous_T(block.psi.layers[1].weight.data),
+                    psi_b2=_bias(block.psi.layers[1]),
+                )
+            )
+        decoder = model.decoders[-1].mlp
+        _check_compilable(decoder)
+        self.compiled_decoder = _CompiledDecoder(
+            w1_T=_contiguous_T(decoder.layers[0].weight.data),
+            b1=_bias(decoder.layers[0]),
+            w2_T=_contiguous_T(decoder.layers[1].weight.data),
+            b2=_bias(decoder.layers[1]),
+        )
+
+        # GEMM scratch
+        self.proj_dst = np.empty((n, d))
+        self.proj_src = np.empty((n, d))
+        self.edge_hidden = np.empty((num_edges, d))
+        self.edge_scratch = np.empty((num_edges, d))
+        self.agg_pre = np.empty((n, d))
+        self.node_hidden = np.empty((n, d))
+        self.update = np.empty((n, d))
+        self.output = np.empty((n, 1))
+
+    @staticmethod
+    def _compile_direction(
+        mlp, attr: np.ndarray, indegree: np.ndarray, d: int, with_static: bool
+    ) -> _CompiledDirection:
+        first, last = mlp.layers
+        w1 = first.weight.data
+        b1 = _bias(first)
+        b_out = _bias(last)
+        compiled = _CompiledDirection(
+            w_dst_T=_contiguous_T(w1[:, :d]),
+            w_src_T=_contiguous_T(w1[:, d:2 * d]),
+            w_out_T=_contiguous_T(last.weight.data),
+            agg_bias=None if b_out is None else indegree * b_out,
+            static=None,
+        )
+        w_attr_T = _contiguous_T(w1[:, 2 * d:])
+        if with_static:
+            static = attr @ w_attr_T
+            if b1 is not None:
+                static += b1
+            compiled.static = static
+        else:
+            compiled.w_attr_T = w_attr_T
+            compiled.attr = attr
+            compiled.b_hidden = b1
+        return compiled
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_nodes(self) -> int:
+        return self.plan.num_nodes
+
+    @property
+    def num_graphs(self) -> int:
+        return self.plan.num_graphs
+
+    def load_source(self, values: np.ndarray) -> None:
+        """Scatter the current per-node inputs into the preallocated buffers.
+
+        Keeps the structural plan's ``source`` in sync so the tape forward can
+        be run on the very same plan (the parity tests rely on this).
+        """
+        self.plan.load_source(values)
+        self.node_input[:, 0] = self.plan.source
+
+    def split_node_values(self, values: np.ndarray):
+        return self.plan.split_node_values(values)
+
+    def aggregate(self, edge_values: np.ndarray, direction: _CompiledDirection, out: np.ndarray) -> np.ndarray:
+        """``out = (S @ edge_values) @ W₂ᵀ + deg ⊗ b₂`` — sum-then-project.
+
+        One CSR SpMM onto the destination nodes followed by an ``(n × d)``
+        GEMM; equal (to a few ulp) to projecting every edge message first and
+        summing afterwards, but with the output layer running on ``n`` rows
+        instead of ``E``.
+        """
+        if _csr_matvecs is not None:
+            pre = self.agg_pre
+            pre.fill(0.0)
+            matrix = self._agg_matrix
+            _csr_matvecs(
+                matrix.shape[0],
+                matrix.shape[1],
+                edge_values.shape[1],
+                matrix.indptr,
+                matrix.indices,
+                matrix.data,
+                edge_values.ravel(),
+                pre.ravel(),
+            )
+        else:
+            pre = self._agg_matrix @ edge_values
+        np.matmul(pre, direction.w_out_T, out=out)
+        if direction.agg_bias is not None:
+            out += direction.agg_bias
+        return out
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> np.ndarray:
+        """Execute the full k̄-iteration forward pass on the current source.
+
+        Returns the flat per-node output — a view of an internal buffer that
+        the next ``run`` overwrites.
+        """
+        model = self.model
+        self.latent.fill(0.0)
+        for block, ops in zip(model.blocks, self.compiled_blocks):
+            block.infer_into(self, ops)
+        model.decoders[-1].infer_into(self, self.compiled_decoder)
+        return self.output.ravel()

@@ -122,9 +122,11 @@ class DSSTrainer:
             rng.shuffle(order)
         losses: List[float] = []
         batch_size = max(1, self.config.batch_size)
+        # one feature-width scan for the whole epoch instead of one per chunk
+        edge_dim, node_dim = GraphBatch.feature_dims(problems) if problems else (3, 0)
         for start in range(0, len(problems), batch_size):
             chunk = [problems[i] for i in order[start:start + batch_size]]
-            batch = GraphBatch.from_graphs(chunk)
+            batch = GraphBatch.from_graphs(chunk, edge_attr_dim=edge_dim, node_attr_dim=node_dim)
             self.optimizer.zero_grad()
             loss = self.model.training_loss(batch)
             loss.backward()

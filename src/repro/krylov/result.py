@@ -49,6 +49,21 @@ class SolveResult:
     info: Dict[str, object] = field(default_factory=dict)
 
     @property
+    def krylov_time(self) -> float:
+        """Wall-clock time spent outside the preconditioner.
+
+        The solvers measure ``preconditioner_time`` with ``time.perf_counter``
+        around every ``apply``; the remainder of ``elapsed_time`` is the
+        Krylov machinery itself (matvecs, orthogonalisation, norms).
+
+        >>> import numpy as np
+        >>> r = SolveResult(np.zeros(2), True, 3, elapsed_time=1.5, preconditioner_time=1.2)
+        >>> round(r.krylov_time, 10)
+        0.3
+        """
+        return max(self.elapsed_time - self.preconditioner_time, 0.0)
+
+    @property
     def final_relative_residual(self) -> float:
         """The last entry of the residual history (or inf if empty).
 

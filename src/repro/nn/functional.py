@@ -2,6 +2,12 @@
 
 These are thin, composable wrappers used by the neural-network modules and by
 the physics-informed loss of the Deep Statistical Solver.
+
+The ``*_into`` / trailing-underscore variants at the bottom are the raw-NumPy
+inference fast path: they operate on plain ``ndarray``s, write into
+preallocated buffers (``out=`` kwargs) and build no autodiff graph.  They are
+kept numerically bit-compatible with their tape counterparts so
+``DSS.infer`` can be pinned against the tape forward.
 """
 
 from __future__ import annotations
@@ -11,7 +17,7 @@ from typing import Sequence
 import numpy as np
 import scipy.sparse as sp
 
-from .tensor import Tensor
+from .tensor import Tensor, _scatter_add_rows
 
 __all__ = [
     "relu",
@@ -22,6 +28,8 @@ __all__ = [
     "segment_sum",
     "gather",
     "sparse_matvec",
+    "relu_",
+    "segment_sum_into",
 ]
 
 
@@ -79,3 +87,23 @@ def sparse_matvec(matrix: sp.spmatrix, u: Tensor) -> Tensor:
     csr = matrix if sp.issparse(matrix) and matrix.format == "csr" else matrix.tocsr()
     data = csr @ u.data
     return Tensor._make(data, (u,), (lambda g, m=csr: m.T @ g,))
+
+
+# --------------------------------------------------------------------------- #
+# raw-NumPy inference fast path (no Tensor, no tape, reused buffers)
+# --------------------------------------------------------------------------- #
+def relu_(x: np.ndarray) -> np.ndarray:
+    """In-place rectified linear unit on a raw array."""
+    np.maximum(x, 0.0, out=x)
+    return x
+
+
+def segment_sum_into(values: np.ndarray, segment_ids: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """Raw-array segment sum into a preallocated ``(num_segments, d)`` buffer.
+
+    Shares the per-column ``np.bincount`` kernel with the tape's
+    :meth:`~repro.nn.tensor.Tensor.index_add`, so per-segment accumulation
+    order (ascending row index) — and therefore the floating-point result —
+    is identical to the autograd forward pass.
+    """
+    return _scatter_add_rows(values, segment_ids, out.shape[0], out=out)

@@ -78,22 +78,39 @@ def _as_array(value: ArrayLike) -> np.ndarray:
     return np.asarray(value, dtype=np.float64)
 
 
-def _scatter_add_rows(values: np.ndarray, index: np.ndarray, num_rows: int) -> np.ndarray:
+def _scatter_add_rows(
+    values: np.ndarray,
+    index: np.ndarray,
+    num_rows: int,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
     """Sum rows of ``values`` into ``num_rows`` bins given by ``index``.
 
     ``np.add.at`` is correct but slow; per-column ``np.bincount`` is an order
     of magnitude faster for the (rows, few-columns) arrays used by message
     passing, and falls back to ``np.add.at`` for higher-dimensional data.
+
+    ``out`` (2-D case only) lets the inference fast path reuse a preallocated
+    buffer; both the tape backward pass and :meth:`Tensor.index_add` share this
+    kernel, so the fast path is bit-identical to the autograd forward.
     """
     if values.ndim == 1:
-        return np.bincount(index, weights=values, minlength=num_rows)
+        result = np.bincount(index, weights=values, minlength=num_rows)
+        if out is None:
+            return result
+        out[...] = result
+        return out
     if values.ndim == 2:
-        out = np.empty((num_rows, values.shape[1]))
+        if out is None:
+            out = np.empty((num_rows, values.shape[1]))
         for col in range(values.shape[1]):
             out[:, col] = np.bincount(index, weights=values[:, col], minlength=num_rows)
         return out
-    out = np.zeros((num_rows,) + values.shape[1:])
-    np.add.at(out, index, values)
+    result = np.zeros((num_rows,) + values.shape[1:])
+    np.add.at(result, index, values)
+    if out is None:
+        return result
+    out[...] = result
     return out
 
 

@@ -1,7 +1,7 @@
 """Shared utilities: timing, table formatting, process-level parallelism."""
 
 from .parallel import available_workers, parallel_map
-from .tables import format_mean_std, format_table
+from .tables import format_mean_std, format_table, format_timing_split
 from .timing import Timer, timed
 
 __all__ = [
@@ -9,6 +9,7 @@ __all__ = [
     "timed",
     "format_table",
     "format_mean_std",
+    "format_timing_split",
     "parallel_map",
     "available_workers",
 ]

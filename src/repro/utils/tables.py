@@ -8,12 +8,33 @@ from __future__ import annotations
 
 from typing import Iterable, List, Sequence
 
-__all__ = ["format_table", "format_mean_std"]
+__all__ = ["format_table", "format_mean_std", "format_timing_split"]
 
 
 def format_mean_std(mean: float, std: float, digits: int = 1) -> str:
     """Render ``mean ± std`` the way the paper's tables do (e.g. ``22±1``)."""
     return f"{mean:.{digits}f}±{std:.{digits}f}"
+
+
+def format_timing_split(result, digits: int = 3) -> str:
+    """Render a solve's wall-clock split ``total = preconditioner + krylov``.
+
+    ``result`` is any object with ``elapsed_time``, ``preconditioner_time``
+    and ``krylov_time`` attributes — i.e. a
+    :class:`~repro.krylov.result.SolveResult` (the paper's Table III separates
+    the preconditioner time T_lu/T_gnn from the total solve time T the same
+    way).
+
+    >>> class R:
+    ...     elapsed_time, preconditioner_time, krylov_time = 1.5, 1.2, 0.3
+    >>> format_timing_split(R())
+    '1.500s = 1.200s precond + 0.300s krylov'
+    """
+    return (
+        f"{result.elapsed_time:.{digits}f}s = "
+        f"{result.preconditioner_time:.{digits}f}s precond + "
+        f"{result.krylov_time:.{digits}f}s krylov"
+    )
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = "") -> str:

@@ -1,0 +1,325 @@
+"""Tests of the iteration-time fast path: precompiled inference plans, the
+allocation-free DSS engine, stacked restrictions, and the regression pins
+that keep the exact solvers bit-identical to the classical loops."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse.linalg as spla
+
+from repro.core import DDMGNNPreconditioner
+from repro.ddm import (
+    AdditiveSchwarzPreconditioner,
+    LULocalSolver,
+    StackedRestriction,
+    build_restrictions,
+    extract_local_matrices,
+)
+from repro.gnn import DSS, DSSConfig, GraphBatch
+from repro.gnn.graph import graph_from_mesh
+from repro.krylov import preconditioned_conjugate_gradient
+from repro.krylov.result import SolveResult
+from repro.nn.functional import segment_sum_into
+from repro.nn.tensor import Tensor
+from repro.utils import format_timing_split
+
+
+@pytest.fixture(scope="module")
+def toy_batch(small_disk_mesh):
+    rng = np.random.default_rng(0)
+    graphs = [
+        graph_from_mesh(small_disk_mesh, rng.normal(size=small_disk_mesh.num_nodes))
+        for _ in range(3)
+    ]
+    return GraphBatch.from_graphs(graphs)
+
+
+# --------------------------------------------------------------------------- #
+# DSS.infer vs tape-forward parity
+# --------------------------------------------------------------------------- #
+class TestInferParity:
+    @pytest.mark.parametrize("config", [
+        DSSConfig(num_iterations=3, latent_dim=4, seed=1),
+        DSSConfig(num_iterations=30, latent_dim=10, seed=2),
+        DSSConfig(num_iterations=4, latent_dim=5, seed=3, edge_attr_dim=4, node_input_dim=2),
+    ])
+    def test_infer_matches_tape_forward(self, toy_batch, config):
+        model = DSS(config)
+        model.eval()
+        plan = model.compile_plan(toy_batch)
+        source = np.random.default_rng(7).normal(size=toy_batch.num_nodes)
+        fast = model.infer(plan, source).copy()
+        toy_batch.source = source
+        tape = model.predict(toy_batch)
+        assert np.allclose(fast, tape, rtol=1e-12, atol=1e-12)
+        # and against the tape running on the very same (edge-sorted) plan
+        tape_on_plan = model.predict(plan.plan)
+        assert np.allclose(fast, tape_on_plan, rtol=1e-12, atol=1e-12)
+
+    def test_buffer_reuse_across_sources(self, toy_batch):
+        """Repeated infer calls on one plan must not leak state between sources."""
+        model = DSS(DSSConfig(num_iterations=3, latent_dim=4, seed=1))
+        model.eval()
+        plan = model.compile_plan(toy_batch)
+        rng = np.random.default_rng(11)
+        for _ in range(3):
+            source = rng.normal(size=toy_batch.num_nodes)
+            fast = model.infer(plan, source).copy()
+            toy_batch.source = source
+            assert np.allclose(fast, model.predict(toy_batch), rtol=1e-12, atol=1e-12)
+
+    def test_infer_output_is_reused_view(self, toy_batch):
+        model = DSS(DSSConfig(num_iterations=2, latent_dim=3, seed=1))
+        model.eval()
+        plan = model.compile_plan(toy_batch)
+        rng = np.random.default_rng(13)
+        first = model.infer(plan, rng.normal(size=toy_batch.num_nodes))
+        second = model.infer(plan, rng.normal(size=toy_batch.num_nodes))
+        # same underlying buffer, overwritten in place by the second call
+        assert np.shares_memory(first, second)
+        assert np.array_equal(first, second)
+
+    def test_plan_split_matches_batch_split(self, toy_batch):
+        model = DSS(DSSConfig(num_iterations=2, latent_dim=3, seed=1))
+        plan = model.compile_plan(toy_batch)
+        values = np.arange(toy_batch.num_nodes, dtype=np.float64)
+        for a, b in zip(plan.split_node_values(values), toy_batch.split_node_values(values)):
+            assert np.array_equal(a, b)
+
+    def test_batch_plan_preserves_graph(self, toy_batch):
+        """Sorting edges by destination must not change the edge multiset."""
+        plan = toy_batch.compile_plan()
+        original = {tuple(col) for col in np.vstack([toy_batch.edge_index, toy_batch.edge_attr.T]).T.tolist()}
+        sorted_ = {tuple(col) for col in np.vstack([plan.edge_index, plan.edge_attr.T]).T.tolist()}
+        assert original == sorted_
+        assert np.all(np.diff(plan.edge_index[1]) >= 0)
+
+
+# --------------------------------------------------------------------------- #
+# raw-ndarray kernels shared with the tape
+# --------------------------------------------------------------------------- #
+class TestRawKernels:
+    def test_validated_csr_matvecs_available(self):
+        """The import-time self-check must accept the current scipy's kernel
+        (if it ever returns None the engine silently falls back — fine for
+        correctness, but we want to notice)."""
+        from repro.gnn.infer import _csr_matvecs, _validated_csr_matvecs
+
+        assert _validated_csr_matvecs() is _csr_matvecs or _csr_matvecs is None
+
+    def test_modified_architecture_rejected_by_compile(self, toy_batch):
+        from repro.nn.modules import MLP
+
+        model = DSS(DSSConfig(num_iterations=2, latent_dim=3, seed=1))
+        model.blocks[0].psi = MLP(10, [3, 3], 3, rng=np.random.default_rng(0))
+        with pytest.raises(NotImplementedError):
+            model.compile_plan(toy_batch)
+
+    def test_segment_sum_into_matches_tape(self):
+        rng = np.random.default_rng(6)
+        values = rng.normal(size=(20, 3))
+        index = rng.integers(0, 5, size=20)
+        out = np.empty((5, 3))
+        segment_sum_into(values, index, out)
+        tape = Tensor(values).index_add(index, 5).numpy()
+        assert np.array_equal(out, tape)
+
+
+# --------------------------------------------------------------------------- #
+# stacked restriction operator
+# --------------------------------------------------------------------------- #
+class TestStackedRestriction:
+    def test_extract_matches_loop_bitwise(self, small_decomposition):
+        n = small_decomposition.mesh.num_nodes
+        stacked = StackedRestriction(small_decomposition.subdomain_nodes, n)
+        loops = build_restrictions(small_decomposition.subdomain_nodes, n)
+        r = np.random.default_rng(0).normal(size=n)
+        parts = stacked.split(stacked.extract(r))
+        for part, r_i in zip(parts, loops):
+            assert np.array_equal(part, r_i @ r)
+
+    def test_glue_matches_loop_bitwise(self, small_decomposition):
+        n = small_decomposition.mesh.num_nodes
+        stacked = StackedRestriction(small_decomposition.subdomain_nodes, n)
+        loops = build_restrictions(small_decomposition.subdomain_nodes, n)
+        rng = np.random.default_rng(1)
+        values = [rng.normal(size=len(nodes)) for nodes in small_decomposition.subdomain_nodes]
+        glued = stacked.glue(np.concatenate(values))
+        reference = np.zeros(n)
+        for r_i, v_i in zip(loops, values):
+            reference += r_i.T @ v_i
+        assert np.array_equal(glued, reference)
+
+    def test_segment_norms(self, small_decomposition):
+        n = small_decomposition.mesh.num_nodes
+        stacked = StackedRestriction(small_decomposition.subdomain_nodes, n)
+        v = np.random.default_rng(2).normal(size=stacked.total_rows)
+        norms = stacked.segment_norms(v)
+        for norm, part in zip(norms, stacked.split(v)):
+            assert np.isclose(norm, np.linalg.norm(part), rtol=1e-14)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            StackedRestriction([np.array([0, 5])], 4)
+
+
+# --------------------------------------------------------------------------- #
+# exact solvers stay bit-identical to the classical loops
+# --------------------------------------------------------------------------- #
+class _ReferenceASM:
+    """The seed (pre-stacked) two-level ASM apply, re-implemented verbatim."""
+
+    def __init__(self, asm: AdditiveSchwarzPreconditioner) -> None:
+        self._asm = asm
+        self.shape = asm.shape
+
+    def apply(self, residual: np.ndarray) -> np.ndarray:
+        asm = self._asm
+        residual = np.asarray(residual, dtype=np.float64)
+        local_rhs = [r_i @ residual for r_i in asm.restrictions]
+        local_solutions = asm.local_solver.solve_all(local_rhs)
+        correction = np.zeros_like(residual)
+        for r_i, v_i in zip(asm.restrictions, local_solutions):
+            correction += r_i.T @ v_i
+        if asm.coarse_space is not None:
+            correction += asm.coarse_space.apply(residual)
+        return correction
+
+
+class TestExactSolverRegression:
+    @pytest.mark.parametrize("levels", [1, 2])
+    def test_asm_apply_bit_identical(self, random_problem, small_decomposition, levels):
+        asm = AdditiveSchwarzPreconditioner(random_problem.matrix, small_decomposition, levels=levels)
+        reference = _ReferenceASM(asm)
+        r = np.random.default_rng(3).normal(size=random_problem.num_dofs)
+        assert np.array_equal(asm.apply(r), reference.apply(r))
+
+    def test_ddm_lu_solve_bit_identical(self, random_problem, small_decomposition):
+        """Full PCG with DDM-LU: same iterates, bit for bit, as the seed loops."""
+        asm = AdditiveSchwarzPreconditioner(random_problem.matrix, small_decomposition, levels=2)
+        new = preconditioned_conjugate_gradient(
+            random_problem.matrix, random_problem.rhs, asm, tolerance=1e-10
+        )
+        old = preconditioned_conjugate_gradient(
+            random_problem.matrix, random_problem.rhs, _ReferenceASM(asm), tolerance=1e-10
+        )
+        assert new.iterations == old.iterations
+        assert np.array_equal(new.solution, old.solution)
+        assert new.residual_history == old.residual_history
+
+    def test_lu_solve_stacked_matches_solve_all(self, random_problem, small_decomposition):
+        subdomains = small_decomposition.subdomain_nodes
+        matrices = extract_local_matrices(random_problem.matrix, subdomains)
+        solver = LULocalSolver().setup(matrices)
+        rng = np.random.default_rng(4)
+        residuals = [rng.normal(size=m.shape[0]) for m in matrices]
+        offsets = np.concatenate([[0], np.cumsum([len(r) for r in residuals])])
+        stacked = solver.solve_stacked(np.concatenate(residuals), offsets)
+        for i, v in enumerate(solver.solve_all(residuals)):
+            assert np.array_equal(stacked[offsets[i]:offsets[i + 1]], v)
+
+
+# --------------------------------------------------------------------------- #
+# DDM-GNN fast path
+# --------------------------------------------------------------------------- #
+class TestDDMGNNFastPath:
+    def _build(self, problem, decomposition, model, **kwargs):
+        return DDMGNNPreconditioner(
+            problem.matrix, problem.mesh, decomposition, model, **kwargs
+        )
+
+    def test_fast_path_compiled_for_dss(self, random_problem, small_decomposition, tiny_dss_model):
+        pre = self._build(random_problem, small_decomposition, tiny_dss_model)
+        assert pre._plans is not None
+
+    def test_duck_typed_model_uses_batched_path(self, random_problem, small_decomposition):
+        class PredictOnly:
+            def predict(self, batch):
+                return np.zeros(batch.num_nodes)
+
+        pre = self._build(random_problem, small_decomposition, PredictOnly(), levels=1)
+        assert pre._plans is None
+        r = np.random.default_rng(5).normal(size=random_problem.num_dofs)
+        assert np.allclose(pre.apply(r), 0.0)
+
+    @pytest.mark.parametrize("normalize", [True, False])
+    def test_fast_apply_matches_reference(self, random_problem, small_decomposition, tiny_dss_model, normalize):
+        pre = self._build(
+            random_problem, small_decomposition, tiny_dss_model,
+            normalize_local_residuals=normalize,
+        )
+        r = np.random.default_rng(6).normal(size=random_problem.num_dofs)
+        fast = pre.apply(r)
+        reference = pre.apply_reference(r)
+        scale = np.abs(reference).max()
+        assert np.allclose(fast, reference, rtol=1e-10, atol=1e-10 * max(scale, 1.0))
+
+    def test_fast_apply_zero_residual(self, random_problem, small_decomposition, tiny_dss_model):
+        pre = self._build(random_problem, small_decomposition, tiny_dss_model, levels=1)
+        assert np.allclose(pre.apply(np.zeros(random_problem.num_dofs)), 0.0)
+
+    def test_exact_local_model_through_stacked_plumbing(self, random_problem, small_decomposition):
+        """Duck-typed exact solver (batched path) still reproduces DDM-LU after
+        the refactor — the consistency anchor of the stacked restriction."""
+
+        class ExactLocal:
+            def predict(self, batch):
+                return spla.spsolve(batch.block_diagonal_matrix().tocsc(), batch.source)
+
+        gnn = self._build(random_problem, small_decomposition, ExactLocal(), levels=2)
+        asm = AdditiveSchwarzPreconditioner(random_problem.matrix, small_decomposition, levels=2)
+        r = np.random.default_rng(8).normal(size=random_problem.num_dofs)
+        assert np.allclose(gnn.apply(r), asm.apply(r), atol=1e-8)
+
+
+# --------------------------------------------------------------------------- #
+# timing split surfaced by the result object and the tables helper
+# --------------------------------------------------------------------------- #
+class TestTimingSplit:
+    def test_krylov_time_property(self):
+        result = SolveResult(np.zeros(2), True, 1, elapsed_time=2.0, preconditioner_time=1.5)
+        assert result.krylov_time == pytest.approx(0.5)
+        # never negative, even with measurement jitter
+        result = SolveResult(np.zeros(2), True, 1, elapsed_time=1.0, preconditioner_time=1.0000001)
+        assert result.krylov_time == 0.0
+
+    def test_format_timing_split(self):
+        result = SolveResult(np.zeros(2), True, 1, elapsed_time=2.0, preconditioner_time=1.5)
+        assert format_timing_split(result) == "2.000s = 1.500s precond + 0.500s krylov"
+
+    def test_pcg_records_split(self, random_problem, small_decomposition):
+        asm = AdditiveSchwarzPreconditioner(random_problem.matrix, small_decomposition, levels=2)
+        result = preconditioned_conjugate_gradient(
+            random_problem.matrix, random_problem.rhs, asm, tolerance=1e-8
+        )
+        assert 0.0 < result.preconditioner_time <= result.elapsed_time
+        assert result.krylov_time == pytest.approx(
+            result.elapsed_time - result.preconditioner_time
+        )
+
+
+# --------------------------------------------------------------------------- #
+# precomputed batching dims
+# --------------------------------------------------------------------------- #
+class TestBatchDims:
+    def test_feature_dims(self, toy_batch):
+        graphs = toy_batch.graphs
+        assert GraphBatch.feature_dims(graphs) == (3, 0)
+
+    def test_precomputed_dims_match_scan(self, toy_batch):
+        graphs = toy_batch.graphs
+        explicit = GraphBatch.from_graphs(graphs, edge_attr_dim=3, node_attr_dim=0)
+        assert np.array_equal(explicit.edge_attr, toy_batch.edge_attr)
+        assert explicit.node_attr is None
+
+    def test_wider_dims_pad(self, toy_batch):
+        wider = GraphBatch.from_graphs(toy_batch.graphs, edge_attr_dim=5, node_attr_dim=2)
+        assert wider.edge_attr.shape[1] == 5
+        assert np.array_equal(wider.edge_attr[:, 3:], np.zeros((wider.num_edges, 2)))
+        assert wider.node_attr.shape == (wider.num_nodes, 2)
+        assert not wider.node_attr.any()
+
+    def test_too_narrow_dims_rejected(self, toy_batch):
+        with pytest.raises(ValueError):
+            GraphBatch.from_graphs(toy_batch.graphs, edge_attr_dim=2)
