@@ -10,7 +10,6 @@ figure meaningful.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.mesh import random_domain_mesh
 from repro.partition import OverlappingDecomposition, analyse_partition, partition_mesh_target_size

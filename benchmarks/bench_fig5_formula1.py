@@ -11,7 +11,6 @@ the partition statistics behind Fig. 5a.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core import HybridSolver, HybridSolverConfig
 from repro.fem import PoissonProblem, random_boundary, random_forcing

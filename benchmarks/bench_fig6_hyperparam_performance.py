@@ -13,10 +13,8 @@ trained with the shared scaled-down recipe.
 
 from __future__ import annotations
 
-import time
 
 import numpy as np
-import pytest
 
 from repro.core import DDMGNNPreconditioner, HybridSolver, HybridSolverConfig
 from repro.fem import random_poisson_problem

@@ -22,6 +22,12 @@ regime uses the model trained for it: the homogeneous pretrained model at
 A second harness sweeps every registered problem family (mixed
 Dirichlet/Neumann/Robin boundaries included) through the classical
 preconditioners as a scenario-coverage smoke screen.
+
+Both DSS models can be swapped for trained checkpoints without retraining:
+``pytest benchmarks/bench_heterogeneous.py --checkpoint <ckpt> --het-checkpoint
+<ckpt>`` (options registered in ``benchmarks/conftest.py``; they accept files
+written by :mod:`repro.gnn.checkpoint`, e.g. the output of
+``python -m repro.experiments run``).
 """
 
 from __future__ import annotations

@@ -168,6 +168,10 @@ def main(argv=None) -> int:
                         help="apply timing repetitions (default: scale preset)")
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
                         help=f"where to write the JSON records (default: {DEFAULT_OUTPUT})")
+    parser.add_argument("--checkpoint", type=Path, default=None,
+                        help="bench a trained checkpoint (repro.gnn.checkpoint format, e.g. "
+                             "benchmarks/artifacts/<hash>/checkpoint.npz) instead of the "
+                             "default cached artifact")
     args = parser.parse_args(argv)
 
     scale = bench_scale()
@@ -178,7 +182,7 @@ def main(argv=None) -> int:
         sizes = scale.table3_sizes
         repeats = args.repeats if args.repeats is not None else max(scale.repetitions, 9)
 
-    model = get_pretrained_model()
+    model = get_pretrained_model(checkpoint=str(args.checkpoint) if args.checkpoint else None)
     rng = np.random.default_rng(1)
 
     all_records = []
@@ -207,6 +211,7 @@ def main(argv=None) -> int:
         "scale": scale.name,
         "tolerance": TOLERANCE,
         "smoke": bool(args.smoke),
+        "checkpoint": str(args.checkpoint) if args.checkpoint else None,
         "schema": ["solver", "n", "K", "setup_s", "apply_ms_p50", "iters", "total_s"],
         "records": all_records,
         "fastpath_apply_speedup": {str(n): round(s, 3) for n, s in speedups.items()},

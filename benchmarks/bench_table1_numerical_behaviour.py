@@ -14,7 +14,6 @@ this harness reproduces:
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core import HybridSolver, HybridSolverConfig
 from repro.fem import random_poisson_problem

@@ -10,10 +10,7 @@ accurate — at the scaled-down training budget.
 
 from __future__ import annotations
 
-import os
 
-import numpy as np
-import pytest
 
 from repro.gnn import DSS, DSSConfig
 from repro.utils import format_table

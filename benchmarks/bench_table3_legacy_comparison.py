@@ -18,7 +18,6 @@ it is in the paper's C++/LibTorch setting).
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core import HybridSolver, HybridSolverConfig
 from repro.fem import random_poisson_problem

@@ -10,7 +10,6 @@ statistics of Sec. IV-A (sample counts, sub-problem sizes).
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.utils import format_table
 

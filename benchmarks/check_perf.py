@@ -1,0 +1,123 @@
+"""Perf-regression gate: compare a fresh bench_perf run against the baseline.
+
+CI's perf-smoke job runs ``bench_perf.py --smoke`` against the cached trained
+checkpoint and then calls this script to compare the fresh records with the
+committed ``BENCH_perf.json``.  The check fails (exit 1) when
+``apply_ms_p50`` or ``total_s`` regresses more than ``--threshold`` (default
+2×) for any solver.
+
+The comparison is deliberately noise-tolerant:
+
+* records are matched per solver to the baseline record of the **nearest
+  problem size** (the smoke mesh is smaller than the committed full-scale
+  sizes, which only adds headroom);
+* every raw ratio is divided by the **median ratio across all solver/metric
+  pairs** before the threshold is applied.  A uniformly slower machine (CI
+  runners vs the machine that produced the baseline) shifts all ratios by the
+  same factor, which the normalisation cancels — the gate only fires when one
+  solver regresses *relative to the others*, which is what a code regression
+  looks like.  A uniform slowdown of every solver at once is indistinguishable
+  from slower hardware and is intentionally not gated.
+
+Usage::
+
+    python benchmarks/check_perf.py --fresh /tmp/perf_smoke.json
+    python benchmarks/check_perf.py --fresh new.json --baseline BENCH_perf.json --threshold 2.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+GATED_METRICS = ("apply_ms_p50", "total_s")
+
+
+def load_records(path: Path) -> List[Dict]:
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    records = payload.get("records", [])
+    if not records:
+        raise SystemExit(f"error: no records in {path}")
+    return records
+
+
+def nearest_baseline(record: Dict, baseline: List[Dict]) -> Optional[Dict]:
+    """The baseline record for the same solver with the closest problem size."""
+    candidates = [b for b in baseline if b["solver"] == record["solver"]]
+    if not candidates:
+        return None
+    return min(candidates, key=lambda b: abs(math.log(b["n"] / record["n"])))
+
+
+def collect_ratios(fresh: List[Dict], baseline: List[Dict]) -> List[Tuple[str, int, str, float]]:
+    """(solver, n, metric, fresh/baseline ratio) for every gated pair."""
+    ratios = []
+    for record in fresh:
+        matched = nearest_baseline(record, baseline)
+        if matched is None:
+            print(f"note: solver '{record['solver']}' has no baseline record — skipped")
+            continue
+        for metric in GATED_METRICS:
+            base_value = float(matched[metric])
+            fresh_value = float(record[metric])
+            if base_value <= 0.0:
+                continue
+            ratios.append((record["solver"], int(record["n"]), metric, fresh_value / base_value))
+    return ratios
+
+
+def median(values: List[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fresh", type=Path, required=True,
+                        help="bench_perf JSON output of the run under test")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
+                        help=f"committed baseline (default: {DEFAULT_BASELINE})")
+    parser.add_argument("--threshold", type=float, default=2.0,
+                        help="maximum allowed machine-normalised regression ratio (default 2.0)")
+    args = parser.parse_args(argv)
+
+    fresh = load_records(args.fresh)
+    baseline = load_records(args.baseline)
+    ratios = collect_ratios(fresh, baseline)
+    if not ratios:
+        print("error: no comparable solver records between fresh run and baseline")
+        return 1
+
+    machine_factor = median([ratio for _, _, _, ratio in ratios])
+    print(f"machine-speed factor (median raw ratio over {len(ratios)} pairs): {machine_factor:.3f}")
+    print(f"{'solver':<14} {'n':>7} {'metric':<14} {'raw':>8} {'normalised':>11}  verdict")
+
+    failures = []
+    for solver, n, metric, ratio in ratios:
+        normalised = ratio / machine_factor if machine_factor > 0 else ratio
+        verdict = "ok"
+        if normalised > args.threshold:
+            verdict = f"REGRESSION (> {args.threshold:g}x)"
+            failures.append((solver, n, metric, normalised))
+        print(f"{solver:<14} {n:>7} {metric:<14} {ratio:>7.2f}x {normalised:>10.2f}x  {verdict}")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} metric(s) regressed beyond {args.threshold:g}x "
+              "after machine-speed normalisation:")
+        for solver, n, metric, normalised in failures:
+            print(f"  - {solver} (n={n}) {metric}: {normalised:.2f}x")
+        return 1
+    print(f"\nOK: no solver regressed beyond {args.threshold:g}x (machine-normalised)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,13 +9,19 @@ This is the "model development" workflow of the paper (Sec. IV-A/IV-B):
    ReduceLROnPlateau, physics-informed residual loss summed over the
    intermediate states);
 3. report the test metrics the paper reports (residual and relative error) and
-   save the weights so the benchmarks and the other examples can reuse them.
+   save a versioned checkpoint (``repro.gnn.checkpoint``) so the benchmarks,
+   the solver layer (``HybridSolver.from_checkpoint``) and the other examples
+   can reuse the trained model — and so an interrupted run can resume.
 
 All sizes are command-line flags; the defaults run in a few minutes on a CPU.
 The paper-scale settings would be ``--global-problems 500 --element-size 0.024
 --subdomain-size 1000 --epochs 400 --iterations 30``.
 
 Run:  python examples/train_dss.py --epochs 15
+      python examples/train_dss.py --epochs 30 --resume   # continue a run
+
+For the fully declarative version of this workflow (spec file, config-hashed
+artifact directory, bench + report) use ``python -m repro.experiments``.
 """
 
 from __future__ import annotations
@@ -25,8 +31,10 @@ import time
 
 import numpy as np
 
+from pathlib import Path
+
 from repro.core import generate_dataset
-from repro.gnn import DSS, DSSConfig, DSSTrainer, TrainingConfig, evaluate_model
+from repro.gnn import DSS, DSSConfig, DSSTrainer, TrainingConfig, evaluate_model, load_checkpoint
 
 
 def main() -> None:
@@ -43,7 +51,10 @@ def main() -> None:
     parser.add_argument("--learning-rate", type=float, default=1e-2)
     parser.add_argument("--max-train-samples", type=int, default=600)
     parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--output", type=str, default="dss_trained.npz", help="where to save the weights")
+    parser.add_argument("--output", type=str, default="dss_trained.npz",
+                        help="where to save the checkpoint (versioned repro.gnn.checkpoint format)")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume from an existing checkpoint at --output (continues to --epochs)")
     args = parser.parse_args()
 
     rng = np.random.default_rng(args.seed)
@@ -59,22 +70,34 @@ def main() -> None:
     )
     print(f"  train/val/test sizes: {dataset.sizes}  ({time.perf_counter() - start:.1f}s)")
 
-    model = DSS(DSSConfig(num_iterations=args.iterations, latent_dim=args.latent_dim, alpha=args.alpha, seed=args.seed))
-    print(f"model: {model.summary()}")
+    if args.resume and Path(args.output).exists():
+        model, trainer = load_checkpoint(args.output).build_trainer()
+        print(f"resuming from {args.output} at epoch {trainer.epochs_done} ({model.summary()})")
+        print("note: --resume keeps the checkpoint's architecture and training recipe; "
+              "model/optimiser flags other than --epochs are ignored")
+    else:
+        model = DSS(DSSConfig(num_iterations=args.iterations, latent_dim=args.latent_dim, alpha=args.alpha, seed=args.seed))
+        trainer = DSSTrainer(
+            model,
+            TrainingConfig(
+                epochs=args.epochs,
+                batch_size=args.batch_size,
+                learning_rate=args.learning_rate,
+                gradient_clip=1e-2,
+                scheduler_patience=4,
+                seed=args.seed,
+            ),
+        )
+        print(f"model: {model.summary()}")
 
-    trainer = DSSTrainer(
-        model,
-        TrainingConfig(
-            epochs=args.epochs,
-            batch_size=args.batch_size,
-            learning_rate=args.learning_rate,
-            gradient_clip=1e-2,
-            scheduler_patience=4,
-            seed=args.seed,
-        ),
-    )
     start = time.perf_counter()
-    history = trainer.fit(dataset.train[: args.max_train_samples], dataset.validation[:60], verbose=True)
+    history = trainer.fit(
+        dataset.train[: args.max_train_samples],
+        dataset.validation[:60],
+        epochs=args.epochs,
+        verbose=True,
+        checkpoint_path=args.output,
+    )
     print(f"training took {time.perf_counter() - start:.1f}s over {len(history)} epochs")
 
     metrics = evaluate_model(model, dataset.test[:150])
@@ -82,8 +105,9 @@ def main() -> None:
     print(f"  residual       {metrics.residual_mean:.4f} ± {metrics.residual_std:.4f}")
     print(f"  relative error {metrics.relative_error_mean:.3f} ± {metrics.relative_error_std:.3f}")
 
-    model.save(args.output)
-    print(f"\nweights saved to {args.output}")
+    trainer.save_checkpoint(args.output)
+    print(f"\ncheckpoint saved to {args.output} (reload with repro.gnn.load_model "
+          f"or HybridSolver.from_checkpoint)")
 
 
 if __name__ == "__main__":

@@ -10,11 +10,12 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-ddm-gnn",
-    version="1.1.0",
+    version="1.2.0",
     description=(
         "NumPy reproduction of 'Multi-Level GNN Preconditioner for Solving "
         "Large Scale Problems' (DDM-GNN / Deep Statistical Solver), with a "
-        "heterogeneous variable-coefficient problem registry"
+        "heterogeneous problem registry, versioned model checkpoints and a "
+        "reproducible experiment harness"
     ),
     long_description=open("README.md", encoding="utf-8").read(),
     long_description_content_type="text/markdown",

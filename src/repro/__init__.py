@@ -11,9 +11,13 @@ The package is organised bottom-up (see DESIGN.md):
 * :mod:`repro.partition` — k-way mesh partitioning with overlap (METIS substitute);
 * :mod:`repro.ddm` — restriction operators, Nicolaides coarse space, Additive Schwarz;
 * :mod:`repro.krylov` — CG / PCG / BiCGStab / GMRES and the IC(0) baseline;
-* :mod:`repro.gnn` — the Deep Statistical Solver (DSS) model and its training pipeline;
+* :mod:`repro.gnn` — the Deep Statistical Solver (DSS) model, its training
+  pipeline and versioned checkpointing (:mod:`repro.gnn.checkpoint`);
 * :mod:`repro.core` — the DDM-GNN preconditioner, the hybrid solver facade and
-  dataset generation (the paper's contribution).
+  dataset generation (the paper's contribution);
+* :mod:`repro.experiments` — the reproducible experiment harness
+  (``python -m repro.experiments run --spec spec.json``) driving
+  seed→mesh→train→checkpoint→bench→report from a declarative JSON spec.
 
 Typical usage::
 
@@ -30,9 +34,9 @@ Typical usage::
     print(result.summary())
 """
 
-from . import core, ddm, fem, gnn, krylov, mesh, nn, partition, problems, utils
+from . import core, ddm, experiments, fem, gnn, krylov, mesh, nn, partition, problems, utils
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "nn",
@@ -44,6 +48,7 @@ __all__ = [
     "krylov",
     "gnn",
     "core",
+    "experiments",
     "utils",
     "__version__",
 ]

@@ -188,6 +188,27 @@ class DDMGNNPreconditioner(Preconditioner):
         self.total_coarse_time = 0.0
 
     # ------------------------------------------------------------------ #
+    @classmethod
+    def from_checkpoint(
+        cls,
+        matrix: sp.spmatrix,
+        mesh: TriangularMesh,
+        decomposition: OverlappingDecomposition,
+        checkpoint_path: str,
+        **kwargs,
+    ) -> "DDMGNNPreconditioner":
+        """Build the preconditioner around a model loaded from a checkpoint.
+
+        The checkpoint (see :mod:`repro.gnn.checkpoint`) carries the full
+        :class:`~repro.gnn.dss.DSSConfig`, so the DSS is reconstructed
+        exactly as trained; remaining keyword arguments are forwarded to the
+        constructor unchanged.
+        """
+        from ..gnn.checkpoint import load_model
+
+        return cls(matrix, mesh, decomposition, load_model(checkpoint_path), **kwargs)
+
+    # ------------------------------------------------------------------ #
     @property
     def shape(self) -> tuple:
         return self.matrix.shape

@@ -20,8 +20,8 @@ N (via the problem), sub-domain size Ns, overlap, number of levels, tolerance.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, Literal, Optional
+from dataclasses import dataclass
+from typing import Literal, Optional
 
 import numpy as np
 
@@ -33,7 +33,7 @@ from ..krylov.cg import preconditioned_conjugate_gradient
 from ..krylov.ic import IncompleteCholeskyPreconditioner
 from ..krylov.result import SolveResult
 from ..partition.overlap import OverlappingDecomposition
-from ..partition.partitioner import Partition, partition_mesh, partition_mesh_target_size
+from ..partition.partitioner import partition_mesh, partition_mesh_target_size
 from .ddm_gnn import DDMGNNPreconditioner
 
 __all__ = ["HybridSolverConfig", "HybridSolver"]
@@ -96,6 +96,21 @@ class HybridSolver:
         self.setup_time = 0.0
         self.last_preconditioner: Optional[Preconditioner] = None
         self.last_decomposition: Optional[OverlappingDecomposition] = None
+
+    @classmethod
+    def from_checkpoint(
+        cls, checkpoint_path: str, config: Optional[HybridSolverConfig] = None
+    ) -> "HybridSolver":
+        """Build a DDM-GNN hybrid solver from a trained checkpoint file.
+
+        The DSS architecture is reconstructed from the checkpoint's embedded
+        :class:`~repro.gnn.dss.DSSConfig` (see :mod:`repro.gnn.checkpoint`),
+        so no model code or hyper-parameters need to be repeated at the call
+        site — the artifact is self-describing.
+        """
+        from ..gnn.checkpoint import load_model
+
+        return cls(config if config is not None else HybridSolverConfig(), model=load_model(checkpoint_path))
 
     # ------------------------------------------------------------------ #
     def _build_decomposition(self, problem: Problem) -> OverlappingDecomposition:

@@ -14,7 +14,7 @@ helper so they can be plugged into any Krylov routine.
 
 from __future__ import annotations
 
-from typing import List, Literal, Optional, Sequence
+from typing import List, Literal, Optional
 
 import numpy as np
 import scipy.sparse as sp

@@ -1,0 +1,23 @@
+"""Reproducible experiment harness (spec → train → checkpoint → bench → report).
+
+Public surface:
+
+* :class:`~repro.experiments.spec.ExperimentSpec` — declarative description
+  of one experiment (problem family, mesh scale, DSS architecture, training
+  recipe, bench sizes) with a stable config hash.
+* :class:`~repro.experiments.harness.ExperimentHarness`,
+  :class:`~repro.experiments.harness.ExperimentResult` — the end-to-end
+  driver writing artifacts under ``benchmarks/artifacts/<config-hash>/``.
+* ``python -m repro.experiments`` — the CLI (``run``, ``hash``, ``show``,
+  ``list``).
+"""
+
+from .harness import ExperimentHarness, ExperimentResult, default_artifacts_root
+from .spec import ExperimentSpec
+
+__all__ = [
+    "ExperimentSpec",
+    "ExperimentHarness",
+    "ExperimentResult",
+    "default_artifacts_root",
+]

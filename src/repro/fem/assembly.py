@@ -27,7 +27,6 @@ The doctests below share one two-triangle mesh of the unit square::
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, Literal, Optional, Tuple, Union
 
 import numpy as np

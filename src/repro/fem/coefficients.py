@@ -25,7 +25,7 @@ positive) and therefore plugs directly into
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -20,8 +20,8 @@ in :mod:`repro.problems` so ``make_problem("family-name")`` can build them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Literal, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Callable, List, Literal, Optional, Sequence, Union
 
 import numpy as np
 import scipy.sparse as sp

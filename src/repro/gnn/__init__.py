@@ -17,9 +17,23 @@ Public surface:
 * :class:`~repro.gnn.training.DSSTrainer`,
   :class:`~repro.gnn.training.TrainingConfig`,
   :func:`~repro.gnn.training.evaluate_model` — training pipeline.
+* :func:`~repro.gnn.checkpoint.save_checkpoint`,
+  :func:`~repro.gnn.checkpoint.load_checkpoint`,
+  :func:`~repro.gnn.checkpoint.load_model`,
+  :func:`~repro.gnn.checkpoint.config_hash` — versioned single-file
+  checkpoints (weights + optimizer + scheduler + RNG state) with
+  bit-identical round-trips and deterministic training resume.
 """
 
 from .batch import BatchPlan, GraphBatch
+from .checkpoint import (
+    Checkpoint,
+    CheckpointError,
+    config_hash,
+    load_checkpoint,
+    load_model,
+    save_checkpoint,
+)
 from .dss import DSS, DSSConfig
 from .graph import GraphProblem, graph_from_mesh
 from .infer import InferencePlan
@@ -44,4 +58,10 @@ __all__ = [
     "EpochStats",
     "EvaluationMetrics",
     "evaluate_model",
+    "Checkpoint",
+    "CheckpointError",
+    "config_hash",
+    "save_checkpoint",
+    "load_checkpoint",
+    "load_model",
 ]

@@ -10,10 +10,9 @@ lets the dataset be harvested directly from PCG iterations.
 
 from __future__ import annotations
 
-from typing import Sequence, Union
+from typing import Union
 
 import numpy as np
-import scipy.sparse as sp
 
 from ..nn.functional import sparse_matvec
 from ..nn.tensor import Tensor

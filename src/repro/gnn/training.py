@@ -10,7 +10,7 @@ this repository use the same code path.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -112,6 +112,10 @@ class DSSTrainer:
             self.optimizer, factor=config.scheduler_factor, patience=config.scheduler_patience
         )
         self.history: List[EpochStats] = []
+        self.epochs_done = 0
+        # the shuffle stream lives on the trainer (not in `fit`) so that a
+        # checkpointed run resumes mid-stream and bit-matches an uninterrupted one
+        self._rng: Optional[np.random.Generator] = None
 
     # ------------------------------------------------------------------ #
     def train_epoch(self, problems: Sequence[GraphProblem], rng: np.random.Generator) -> float:
@@ -141,12 +145,25 @@ class DSSTrainer:
         validation_problems: Optional[Sequence[GraphProblem]] = None,
         epochs: Optional[int] = None,
         verbose: bool = False,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_every: int = 1,
+        checkpoint_metadata: Optional[Dict] = None,
     ) -> List[EpochStats]:
-        """Full training loop with optional per-epoch validation."""
-        rng = np.random.default_rng(self.config.seed)
+        """Train until epoch ``epochs`` (total), with optional per-epoch validation.
+
+        A fresh trainer runs the full ``epochs`` epochs exactly as before; a
+        trainer restored from a checkpoint (see :mod:`repro.gnn.checkpoint`)
+        continues from ``self.epochs_done`` with the optimiser, scheduler and
+        shuffle-RNG state it was saved with, so the resumed run bit-matches an
+        uninterrupted one.  When ``checkpoint_path`` is given, a full
+        checkpoint is written every ``checkpoint_every`` epochs and at the end.
+        """
+        if self._rng is None:
+            self._rng = np.random.default_rng(self.config.seed)
+        rng = self._rng
         epochs = epochs if epochs is not None else self.config.epochs
         self.model.train()
-        for epoch in range(1, epochs + 1):
+        for epoch in range(self.epochs_done + 1, epochs + 1):
             start = time.perf_counter()
             train_loss = self.train_epoch(train_problems, rng)
             stats = EpochStats(
@@ -165,8 +182,73 @@ class DSSTrainer:
             else:
                 self.scheduler.step(train_loss)
             self.history.append(stats)
+            self.epochs_done = epoch
+            if checkpoint_path is not None and (
+                epoch % max(1, checkpoint_every) == 0 or epoch == epochs
+            ):
+                self.save_checkpoint(checkpoint_path, metadata=checkpoint_metadata)
             if verbose and (epoch % self.config.log_every == 0):
                 val = f", val residual {stats.validation_residual:.4e}" if stats.validation_residual is not None else ""
                 print(f"[epoch {epoch:4d}] loss {train_loss:.4e}{val} (lr {self.optimizer.lr:.2e})")
         self.model.eval()
         return self.history
+
+    # ------------------------------------------------------------------ #
+    # checkpointing
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> Dict:
+        """Everything needed to resume training deterministically.
+
+        The model parameters are *not* included — they travel separately
+        through ``model.state_dict()`` (see :mod:`repro.gnn.checkpoint` for
+        the single-file format bundling both).
+        """
+        return {
+            "epochs_done": self.epochs_done,
+            "rng_state": None if self._rng is None else self._rng.bit_generator.state,
+            "history": [asdict(stats) for stats in self.history],
+            "config": asdict(self.config),
+            "optimizer": self.optimizer.state_dict(),
+            "scheduler": self.scheduler.state_dict(),
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        """Restore trainer progress saved by :meth:`state_dict`.
+
+        The trainer must have been constructed with the same
+        :class:`TrainingConfig` the state was saved under — a silently
+        different recipe (batch size, learning rate, seed, ...) would break
+        the resume-bit-matches-uninterrupted guarantee, so mismatches raise.
+        """
+        saved_config = state.get("config")
+        if saved_config is not None and saved_config != asdict(self.config):
+            changed = sorted(
+                key for key in set(saved_config) | set(asdict(self.config))
+                if saved_config.get(key) != asdict(self.config).get(key)
+            )
+            raise ValueError(
+                f"trainer config does not match the checkpointed one (differs in {changed}); "
+                "construct the trainer with the saved config, or use Checkpoint.build_trainer()"
+            )
+        self.epochs_done = int(state["epochs_done"])
+        rng_state = state.get("rng_state")
+        if rng_state is None:
+            self._rng = None
+        else:
+            self._rng = np.random.default_rng(self.config.seed)
+            self._rng.bit_generator.state = rng_state
+        self.history = [EpochStats(**stats) for stats in state.get("history", [])]
+        self.optimizer.load_state_dict(state["optimizer"])
+        self.scheduler.load_state_dict(state["scheduler"])
+
+    def save_checkpoint(self, path: str, metadata: Optional[Dict] = None) -> None:
+        """Write a full versioned checkpoint (model + trainer state) to ``path``."""
+        from .checkpoint import save_checkpoint  # local import: checkpoint imports this module
+
+        save_checkpoint(path, self.model, trainer=self, metadata=metadata)
+
+    def load_checkpoint(self, path: str) -> None:
+        """Restore model weights and trainer progress from a checkpoint file."""
+        from .checkpoint import load_checkpoint
+
+        load_checkpoint(path).restore(model=self.model, trainer=self)

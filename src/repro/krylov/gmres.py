@@ -120,7 +120,6 @@ def gmres(
                 break
 
         # solve the small triangular system and update x
-        j_last = inner_converged_at if inner_converged_at >= 0 else min(restart, max_iterations - (total_iterations - restart) if False else restart) - 1
         j_dim = (inner_converged_at + 1) if inner_converged_at >= 0 else min(restart, total_iterations if total_iterations < restart else restart)
         j_dim = max(j_dim, 1)
         y = np.linalg.solve(hessenberg[:j_dim, :j_dim], g[:j_dim]) if j_dim > 0 else np.zeros(0)

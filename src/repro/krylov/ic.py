@@ -47,7 +47,6 @@ def incomplete_cholesky(matrix: sp.spmatrix, shift: float = 0.0, max_shift_attem
     True
     """
     base = matrix.tocsr()
-    n = base.shape[0]
     diag = base.diagonal()
     if np.any(diag <= 0):
         raise ValueError("matrix has non-positive diagonal entries; not SPD")

@@ -9,7 +9,7 @@ performance tables (Table III's ``T`` and ``T_gnn``/``T_lu`` columns).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
 

@@ -7,7 +7,7 @@ for tests and ablations.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Sequence
 
 import numpy as np
 
@@ -49,6 +49,38 @@ class Optimizer:
     def step(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
 
+    # -- state dict (checkpointing) -----------------------------------------
+    def state_dict(self) -> Dict:
+        """Serialisable optimiser state: scalars + per-parameter slot arrays.
+
+        Slot arrays are keyed by parameter index (the order of
+        ``self.parameters``, which matches ``Module.named_parameters`` when
+        the optimiser was built from ``model.parameters()``).
+        """
+        return {"type": type(self).__name__, "lr": self.lr, "slots": {}}
+
+    def load_state_dict(self, state: Dict) -> None:
+        """Restore state produced by :meth:`state_dict` (shapes must match)."""
+        if state.get("type") != type(self).__name__:
+            raise ValueError(
+                f"optimizer state is for '{state.get('type')}', not '{type(self).__name__}'"
+            )
+        self.lr = float(state["lr"])
+        self._load_slots(state.get("slots", {}))
+
+    def _load_slots(self, slots: Dict[str, List[np.ndarray]]) -> None:
+        for name, arrays in slots.items():
+            target = getattr(self, f"_{name}", None)
+            if target is None or len(arrays) != len(self.parameters):
+                raise ValueError(f"optimizer slot '{name}' does not match the parameter list")
+            for buf, value, p in zip(target, arrays, self.parameters):
+                value = np.asarray(value, dtype=np.float64)
+                if value.shape != p.data.shape:
+                    raise ValueError(
+                        f"optimizer slot '{name}' shape mismatch: {value.shape} vs {p.data.shape}"
+                    )
+                buf[...] = value
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum."""
@@ -68,6 +100,16 @@ class SGD(Optimizer):
                 p.data -= self.lr * v
             else:
                 p.data -= self.lr * p.grad
+
+    def state_dict(self) -> Dict:
+        state = super().state_dict()
+        state["momentum"] = self.momentum
+        state["slots"] = {"velocity": [v.copy() for v in self._velocity]}
+        return state
+
+    def load_state_dict(self, state: Dict) -> None:
+        super().load_state_dict(state)
+        self.momentum = float(state.get("momentum", 0.0))
 
 
 class Adam(Optimizer):
@@ -107,3 +149,26 @@ class Adam(Optimizer):
             m_hat = m / bias_c1
             v_hat = v / bias_c2
             p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> Dict:
+        state = super().state_dict()
+        state.update({
+            "beta1": self.beta1,
+            "beta2": self.beta2,
+            "eps": self.eps,
+            "weight_decay": self.weight_decay,
+            "step_count": self._step_count,
+        })
+        state["slots"] = {
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+        }
+        return state
+
+    def load_state_dict(self, state: Dict) -> None:
+        super().load_state_dict(state)
+        self.beta1 = float(state["beta1"])
+        self.beta2 = float(state["beta2"])
+        self.eps = float(state["eps"])
+        self.weight_decay = float(state["weight_decay"])
+        self._step_count = int(state["step_count"])

@@ -6,6 +6,8 @@ a step decay scheduler is also provided for ablations.
 
 from __future__ import annotations
 
+from typing import Dict
+
 from .optim import Optimizer
 
 __all__ = ["ReduceLROnPlateau", "StepLR"]
@@ -61,6 +63,31 @@ class ReduceLROnPlateau:
                     self.num_reductions += 1
                 self.num_bad_epochs = 0
 
+    # -- state dict (checkpointing) -----------------------------------------
+    def state_dict(self) -> Dict:
+        """Serialisable scheduler state (the monitored-metric bookkeeping)."""
+        return {
+            "type": type(self).__name__,
+            "factor": self.factor,
+            "patience": self.patience,
+            "threshold": self.threshold,
+            "min_lr": self.min_lr,
+            "best": self.best,
+            "num_bad_epochs": self.num_bad_epochs,
+            "num_reductions": self.num_reductions,
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        if state.get("type") != type(self).__name__:
+            raise ValueError(f"scheduler state is for '{state.get('type')}', not '{type(self).__name__}'")
+        self.factor = float(state["factor"])
+        self.patience = int(state["patience"])
+        self.threshold = float(state["threshold"])
+        self.min_lr = float(state["min_lr"])
+        self.best = float(state["best"])
+        self.num_bad_epochs = int(state["num_bad_epochs"])
+        self.num_reductions = int(state["num_reductions"])
+
 
 class StepLR:
     """Decay the learning rate by ``gamma`` every ``step_size`` epochs."""
@@ -75,3 +102,18 @@ class StepLR:
         self.epoch += 1
         if self.epoch % self.step_size == 0:
             self.optimizer.lr *= self.gamma
+
+    def state_dict(self) -> Dict:
+        return {
+            "type": type(self).__name__,
+            "step_size": self.step_size,
+            "gamma": self.gamma,
+            "epoch": self.epoch,
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        if state.get("type") != type(self).__name__:
+            raise ValueError(f"scheduler state is for '{state.get('type')}', not '{type(self).__name__}'")
+        self.step_size = int(state["step_size"])
+        self.gamma = float(state["gamma"])
+        self.epoch = int(state["epoch"])

@@ -7,7 +7,7 @@ an overlap of 2 (and 4 in one ablation of Table I).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List
 
 import numpy as np
 import scipy.sparse as sp

@@ -20,7 +20,7 @@ whatever their shape.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 import numpy as np
 import scipy.sparse as sp
@@ -147,7 +147,6 @@ def partition_graph(
     adjacency = adjacency.tocsr()
 
     assignment = -np.ones(n, dtype=np.int64)
-    target = n / num_parts
     seeds = _farthest_point_seeds(adjacency, num_parts, rng)
     frontiers: List[List[int]] = []
     sizes = np.zeros(num_parts, dtype=np.int64)

@@ -14,7 +14,6 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..mesh.mesh import TriangularMesh
-from .overlap import OverlappingDecomposition
 from .partitioner import Partition
 
 __all__ = ["PartitionReport", "analyse_partition"]

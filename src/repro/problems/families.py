@@ -31,7 +31,6 @@ Families
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+from typing import Callable, List, Optional, Sequence, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -28,21 +28,49 @@ def available_workers(requested: Optional[int] = None) -> int:
     return max(1, min(int(requested), cpu))
 
 
+#: start methods tried in order of preference — fork is cheapest (copy-on-write
+#: shares the loaded NumPy state), but is unavailable or unsafe on spawn-only
+#: platforms (Windows, and macOS since Python 3.8 made spawn the default)
+_START_METHOD_PREFERENCE = ("fork", "spawn")
+
+
+def _pool_context(start_method: Optional[str] = None):
+    """The multiprocessing context to use, or None to run serially.
+
+    With no explicit ``start_method``, the first available method from
+    :data:`_START_METHOD_PREFERENCE` is used; an explicit but unsupported
+    method raises ``ValueError`` (matching ``mp.get_context``).
+    """
+    if start_method is not None:
+        return mp.get_context(start_method)  # raises ValueError if unknown
+    supported = mp.get_all_start_methods()
+    for method in _START_METHOD_PREFERENCE:
+        if method in supported:
+            return mp.get_context(method)
+    return None
+
+
 def parallel_map(
     function: Callable[[T], R],
     items: Sequence[T],
     workers: Optional[int] = None,
     chunksize: int = 1,
+    start_method: Optional[str] = None,
 ) -> List[R]:
     """Map ``function`` over ``items`` with a process pool.
 
-    Falls back to a serial loop when only one worker is available, when there
-    is a single item, or when running in a context where forking is
-    undesirable (``workers=1``).  The function must be picklable (top-level).
+    The pool uses the ``fork`` start method where the platform provides it
+    and falls back to ``spawn`` otherwise (Windows, macOS ≥ 3.8 defaults);
+    ``start_method`` forces a specific one.  Runs serially when only one
+    worker is available, when there is a single item, or when no usable
+    start method exists.  The function must be picklable (top-level).
     """
     items = list(items)
+    # resolved first so an explicit-but-unknown start method raises even when
+    # the map would run serially on this machine (e.g. a single-CPU container)
+    context = _pool_context(start_method)
     n_workers = available_workers(workers)
-    if n_workers <= 1 or len(items) <= 1:
+    if context is None or n_workers <= 1 or len(items) <= 1:
         return [function(item) for item in items]
-    with mp.get_context("fork").Pool(processes=n_workers) as pool:
+    with context.Pool(processes=n_workers) as pool:
         return pool.map(function, items, chunksize=max(1, chunksize))

@@ -16,9 +16,8 @@ from repro.core import (
     generate_dataset,
     harvest_local_problems,
 )
-from repro.core.dataset import SubdomainGeometry
 from repro.ddm import AdditiveSchwarzPreconditioner
-from repro.gnn import DSS, DSSConfig, GraphBatch
+from repro.gnn import GraphBatch
 from repro.krylov import preconditioned_conjugate_gradient
 
 

@@ -18,7 +18,6 @@ from repro.ddm import (
     restriction_matrix,
 )
 from repro.krylov import conjugate_gradient, preconditioned_conjugate_gradient
-from repro.partition import OverlappingDecomposition, partition_mesh_target_size
 
 
 # --------------------------------------------------------------------------- #

@@ -22,7 +22,6 @@ from repro.krylov import (
 
 def _spd_matrix(n: int, seed: int = 0, density: float = 0.2) -> sp.csr_matrix:
     """Random sparse SPD matrix (diagonally dominant)."""
-    rng = np.random.default_rng(seed)
     a = sp.random(n, n, density=density, random_state=np.random.RandomState(seed), format="csr")
     a = a + a.T
     a = a + sp.diags(np.abs(a).sum(axis=1).A1 + 1.0)
@@ -110,13 +109,7 @@ class TestCG:
         b = a @ x_true
         errors = []
 
-        iterates = []
-
-        def callback(k, res):
-            pass
-
-        # run CG manually tracking iterates via increasing max_iterations
-        prev = None
+        # run CG with increasing max_iterations to sample the error trajectory
         for iters in (1, 3, 6):
             result = conjugate_gradient(a, b, tolerance=0.0, max_iterations=iters)
             e = result.solution - x_true

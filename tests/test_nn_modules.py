@@ -11,7 +11,6 @@ from repro.nn import (
     MLP,
     Adam,
     Linear,
-    Module,
     Parameter,
     ReduceLROnPlateau,
     SGD,

@@ -15,7 +15,6 @@ from repro.partition import (
     analyse_partition,
     expand_overlap,
     overlapping_subdomains,
-    partition_graph,
     partition_mesh,
     partition_mesh_target_size,
 )
