@@ -19,12 +19,12 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import HybridSolver, HybridSolverConfig
 from repro.core.ddm_gnn import DDMGNNPreconditioner
 from repro.fem import random_poisson_problem
 from repro.krylov import preconditioned_conjugate_gradient
 from repro.mesh import mesh_for_target_size
 from repro.partition import OverlappingDecomposition, partition_mesh_target_size
+from repro.solvers import SolverConfig, prepare
 from repro.utils import format_table
 
 from common import ELEMENT_SIZE, SUBDOMAIN_SIZE, bench_scale, get_pretrained_model
@@ -49,14 +49,15 @@ def test_ablation_coarse_level(setup, benchmark):
     iterations = {}
     for kind in ("ddm-gnn", "ddm-lu"):
         for levels in (1, 2):
-            solver = HybridSolver(
-                HybridSolverConfig(
+            session = prepare(
+                problem,
+                SolverConfig(
                     preconditioner=kind, subdomain_size=SUBDOMAIN_SIZE, overlap=2,
                     levels=levels, tolerance=TOLERANCE, max_iterations=4000,
                 ),
                 model=model if kind == "ddm-gnn" else None,
             )
-            result = solver.solve(problem)
+            result = session.solve()
             iterations[(kind, levels)] = result.iterations
             rows.append([kind, levels, result.iterations, result.converged])
     print()
@@ -103,14 +104,15 @@ def test_ablation_local_solver_quality(setup, benchmark):
     rows = []
     iterations = {}
     for kind, label in (("ddm-lu", "exact LU"), ("ddm-gnn", "DSS (GNN)"), ("ddm-jacobi", "damped Jacobi")):
-        solver = HybridSolver(
-            HybridSolverConfig(
+        session = prepare(
+            problem,
+            SolverConfig(
                 preconditioner=kind, subdomain_size=SUBDOMAIN_SIZE, overlap=2,
                 tolerance=TOLERANCE, max_iterations=4000, jacobi_sweeps=5,
             ),
             model=model if kind == "ddm-gnn" else None,
         )
-        result = solver.solve(problem)
+        result = session.solve()
         iterations[label] = result.iterations
         rows.append([label, result.iterations, f"{result.elapsed_time:.3f}", result.converged])
     print()

@@ -12,9 +12,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import HybridSolver, HybridSolverConfig
 from repro.fem import PoissonProblem, random_boundary, random_forcing
 from repro.mesh import formula1_mesh
+from repro.solvers import SolverConfig, prepare
 from repro.utils import format_table
 
 from common import SUBDOMAIN_SIZE, bench_scale, get_pretrained_model
@@ -35,8 +35,9 @@ def test_fig5_formula1_out_of_distribution(benchmark):
 
     results = {}
     for kind, label in (("none", "CG"), ("ddm-lu", "DDM-LU"), ("ddm-gnn", "DDM-GNN")):
-        solver = HybridSolver(
-            HybridSolverConfig(
+        session = prepare(
+            problem,
+            SolverConfig(
                 preconditioner=kind,
                 subdomain_size=SUBDOMAIN_SIZE,
                 overlap=2,
@@ -45,7 +46,7 @@ def test_fig5_formula1_out_of_distribution(benchmark):
             ),
             model=model if kind == "ddm-gnn" else None,
         )
-        results[label] = solver.solve(problem)
+        results[label] = session.solve()
 
     rows = [
         [label, r.info.get("num_subdomains", "-"), r.iterations, f"{r.final_relative_residual:.1e}", f"{r.elapsed_time:.2f}"]
@@ -63,10 +64,11 @@ def test_fig5_formula1_out_of_distribution(benchmark):
         print(f"  {label:8s}: {series}")
 
     # timed kernel: one DDM-GNN preconditioner application on this problem
-    pre = HybridSolver(
-        HybridSolverConfig(preconditioner="ddm-gnn", subdomain_size=SUBDOMAIN_SIZE, overlap=2),
+    pre = prepare(
+        problem,
+        SolverConfig(preconditioner="ddm-gnn", subdomain_size=SUBDOMAIN_SIZE, overlap=2),
         model=model,
-    ).build_preconditioner(problem)
+    ).preconditioner
     residual = problem.rhs.copy()
     benchmark.pedantic(lambda: pre.apply(residual), rounds=3, iterations=1)
 

@@ -16,9 +16,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import DDMGNNPreconditioner, HybridSolver, HybridSolverConfig
+from repro.core import DDMGNNPreconditioner
 from repro.fem import random_poisson_problem
 from repro.mesh import mesh_for_target_size
+from repro.solvers import SolverConfig, prepare
+from repro.solvers.preconditioners import build_decomposition
 from repro.utils import format_table
 
 from common import ELEMENT_SIZE, SUBDOMAIN_SIZE, bench_epochs, bench_scale, train_model
@@ -43,8 +45,9 @@ def test_fig6_hyperparameter_performance(benchmark):
     total_times = {}
     for k, d in grid:
         model = train_model(num_iterations=k, latent_dim=d, epochs=epochs)
-        solver = HybridSolver(
-            HybridSolverConfig(
+        session = prepare(
+            problem,
+            SolverConfig(
                 preconditioner="ddm-gnn",
                 subdomain_size=SUBDOMAIN_SIZE,
                 overlap=2,
@@ -53,7 +56,7 @@ def test_fig6_hyperparameter_performance(benchmark):
             ),
             model=model,
         )
-        result = solver.solve(problem)
+        result = session.solve()
         stats = result.info["gnn_stats"]
         total_times[(k, d)] = result.elapsed_time
         rows.append(
@@ -79,7 +82,7 @@ def test_fig6_hyperparameter_performance(benchmark):
     mid_model = train_model(10, 10, epochs=epochs)
     pre = DDMGNNPreconditioner(
         problem.matrix, problem.mesh,
-        HybridSolver(HybridSolverConfig(preconditioner="ddm-lu", subdomain_size=SUBDOMAIN_SIZE))._build_decomposition(problem),
+        build_decomposition(problem, SolverConfig(subdomain_size=SUBDOMAIN_SIZE)),
         mid_model,
     )
     residual = problem.rhs.copy()

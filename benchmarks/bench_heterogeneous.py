@@ -34,9 +34,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import HybridSolver, HybridSolverConfig
 from repro.mesh import random_domain_mesh
 from repro.problems import available_problems, make_problem
+from repro.solvers import SolverConfig, preconditioner_spec, prepare
 from repro.utils import format_mean_std, format_table
 
 from common import (
@@ -54,8 +54,9 @@ LABELS = {"ddm-gnn": "DDM-GNN", "ddm-lu": "DDM-LU", "ic0": "IC(0)", "none": "CG"
 
 
 def _solve(problem, kind, model, equilibrate=None):
-    solver = HybridSolver(
-        HybridSolverConfig(
+    session = prepare(
+        problem,
+        SolverConfig(
             preconditioner=kind,
             subdomain_size=HET_SUBDOMAIN_SIZE,
             overlap=2,
@@ -65,7 +66,7 @@ def _solve(problem, kind, model, equilibrate=None):
         ),
         model=model if kind == "ddm-gnn" else None,
     )
-    result = solver.solve(problem)
+    result = session.solve()
     return result.iterations, result.converged
 
 
@@ -144,16 +145,22 @@ def test_problem_family_sweep(benchmark):
         problem = make_problem(name, mesh=mesh, rng=np.random.default_rng(3))
         row = [name, problem.num_dofs]
         for kind in ("ddm-lu", "ic0", "none"):
-            solver = HybridSolver(
-                HybridSolverConfig(
+            if not problem.symmetric and preconditioner_spec(kind).spd_only:
+                row.append("-")  # e.g. IC(0): Cholesky-based, SPD only
+                continue
+            krylov = "cg" if problem.symmetric else "gmres"
+            session = prepare(
+                problem,
+                SolverConfig(
                     preconditioner=kind,
+                    krylov=krylov,
                     subdomain_size=80,
                     tolerance=TOLERANCE,
                     max_iterations=6000,
-                )
+                ),
             )
-            result = solver.solve(problem)
-            assert result.converged, f"{kind} failed on '{name}'"
+            result = session.solve()
+            assert result.converged, f"{kind}+{krylov} failed on '{name}'"
             row.append(result.iterations)
         rows.append(row)
 
@@ -165,9 +172,10 @@ def test_problem_family_sweep(benchmark):
     ))
 
     benchmark.pedantic(
-        lambda: HybridSolver(
-            HybridSolverConfig(preconditioner="ddm-lu", subdomain_size=80, tolerance=TOLERANCE)
-        ).solve(make_problem("diffusion-mixed-bc", mesh=mesh, rng=np.random.default_rng(3))),
+        lambda: prepare(
+            make_problem("diffusion-mixed-bc", mesh=mesh, rng=np.random.default_rng(3)),
+            SolverConfig(preconditioner="ddm-lu", subdomain_size=80, tolerance=TOLERANCE),
+        ).solve(),
         rounds=1,
         iterations=1,
     )

@@ -1,9 +1,14 @@
 """Setup vs per-iteration cost of the solver stack — the perf trajectory bench.
 
-For every mesh size this harness builds each preconditioner once (setup cost),
-measures the median wall time of a single ``apply`` (the per-Krylov-iteration
-cost), and runs a full PCG solve (iterations and total time, split into
-preconditioner vs Krylov machinery).  Solvers covered:
+For every mesh size this harness prepares each solver **once** through
+:func:`repro.solvers.prepare` (setup cost), measures the median wall time of
+a single preconditioner ``apply`` (the per-Krylov-iteration cost), runs a
+full solve (iterations and total time, split into preconditioner vs Krylov
+machinery), and then serves several **fresh right-hand sides** against the
+same prepared session (``resolve_ms_p50`` — the amortised repeated-RHS cost
+that the setup/solve split exists for; repeat-solve wall time excludes all
+partitioning/factorisation and is far below the first-solve+setup cost).
+Solvers covered:
 
 * ``ic0``         — incomplete Cholesky PCG,
 * ``ddm-lu``      — two-level ASM with exact local LU solves,
@@ -11,11 +16,13 @@ preconditioner vs Krylov machinery).  Solvers covered:
   (precompiled plans, stacked restrictions, allocation-free DSS engine),
 * ``ddm-gnn-ref`` — the same preconditioner through the pre-fast-path
   reference implementation (per-sub-domain loops, tape forward), kept so the
-  fast-path speedup is measured rather than assumed.
+  fast-path speedup is measured rather than assumed (no resolve metric — the
+  reference path is benched per-apply only).
 
 Results are appended to stdout as a table and written to ``BENCH_perf.json``
-(schema per record: ``solver, n, K, setup_s, apply_ms_p50, iters, total_s``)
-so the repository's performance trajectory accumulates across PRs.
+(schema per record: ``solver, n, K, setup_s, apply_ms_p50, resolve_ms_p50,
+iters, total_s``) so the repository's performance trajectory accumulates
+across PRs.
 
 Usage::
 
@@ -40,10 +47,10 @@ except ImportError:  # running from a checkout without `pip install -e .`
 
 import numpy as np
 
-from repro.core import HybridSolver, HybridSolverConfig
 from repro.fem import random_poisson_problem
 from repro.krylov import preconditioned_conjugate_gradient
 from repro.mesh import mesh_for_target_size
+from repro.solvers import SolverConfig, prepare
 from repro.utils import format_table, format_timing_split
 
 from common import ELEMENT_SIZE, SUBDOMAIN_SIZE, bench_scale, get_pretrained_model
@@ -98,13 +105,32 @@ def median_apply_ms_paired(fn_a, fn_b, residual: np.ndarray, repeats: int):
     return float(np.median(times_a) * 1e3), float(np.median(times_b) * 1e3)
 
 
-def bench_problem(problem, model, repeats: int, max_iterations: int = 4000):
+def median_resolve_ms(session, rng: np.random.Generator, repeats: int) -> float:
+    """Median wall time of a full re-solve on a fresh RHS, in milliseconds.
+
+    The session is already prepared, so this is the amortised serving cost:
+    no partitioning, no factorisation, no plan compilation — just Krylov
+    iterations against the prepared preconditioner.
+    """
+    n = session.problem.num_dofs
+    times = []
+    for _ in range(max(1, repeats)):
+        fresh_rhs = rng.normal(size=n)
+        t0 = time.perf_counter()
+        session.solve(fresh_rhs)
+        times.append(time.perf_counter() - t0)
+    return float(np.median(times) * 1e3)
+
+
+def bench_problem(problem, model, repeats: int, resolve_repeats: int, max_iterations: int = 4000):
     """All per-solver records for one global problem."""
     records = []
     solves = {}
+    resolve_rng = np.random.default_rng(2)
     for kind in ("ic0", "ddm-lu", "ddm-gnn"):
-        solver = HybridSolver(
-            HybridSolverConfig(
+        session = prepare(
+            problem,
+            SolverConfig(
                 preconditioner=kind,
                 subdomain_size=SUBDOMAIN_SIZE,
                 overlap=2,
@@ -113,7 +139,7 @@ def bench_problem(problem, model, repeats: int, max_iterations: int = 4000):
             ),
             model=model if kind == "ddm-gnn" else None,
         )
-        preconditioner = solver.build_preconditioner(problem)
+        preconditioner = session.preconditioner
         if kind == "ddm-gnn":
             reference = _ReferenceAdapter(preconditioner)
             apply_ms, ref_apply_ms = median_apply_ms_paired(
@@ -121,20 +147,16 @@ def bench_problem(problem, model, repeats: int, max_iterations: int = 4000):
             )
         else:
             apply_ms = median_apply_ms(preconditioner.apply, problem.rhs, repeats)
-        result = preconditioned_conjugate_gradient(
-            problem.matrix,
-            problem.rhs,
-            preconditioner=preconditioner,
-            tolerance=TOLERANCE,
-            max_iterations=max_iterations,
-        )
+        result = session.solve()
+        resolve_ms = median_resolve_ms(session, resolve_rng, resolve_repeats)
         solves[kind] = result
         records.append({
             "solver": kind,
             "n": int(problem.num_dofs),
             "K": int(getattr(preconditioner, "num_subdomains", 0)),
-            "setup_s": round(solver.setup_time, 6),
+            "setup_s": round(session.setup_time, 6),
             "apply_ms_p50": round(apply_ms, 4),
+            "resolve_ms_p50": round(resolve_ms, 4),
             "iters": int(result.iterations),
             "total_s": round(result.elapsed_time, 6),
         })
@@ -152,7 +174,7 @@ def bench_problem(problem, model, repeats: int, max_iterations: int = 4000):
                 "solver": "ddm-gnn-ref",
                 "n": int(problem.num_dofs),
                 "K": int(preconditioner.num_subdomains),
-                "setup_s": round(solver.setup_time, 6),
+                "setup_s": round(session.setup_time, 6),
                 "apply_ms_p50": round(ref_apply_ms, 4),
                 "iters": int(ref_result.iterations),
                 "total_s": round(ref_result.elapsed_time, 6),
@@ -166,6 +188,9 @@ def main(argv=None) -> int:
                         help=f"single ~{SMOKE_TARGET_N}-node mesh, few repeats (CI smoke job)")
     parser.add_argument("--repeats", type=int, default=None,
                         help="apply timing repetitions (default: scale preset)")
+    parser.add_argument("--resolve-repeats", type=int, default=None,
+                        help="fresh-RHS re-solves per prepared session for the amortised "
+                             "resolve_ms_p50 metric (default: 2 with --smoke, 3 otherwise)")
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
                         help=f"where to write the JSON records (default: {DEFAULT_OUTPUT})")
     parser.add_argument("--checkpoint", type=Path, default=None,
@@ -178,9 +203,11 @@ def main(argv=None) -> int:
     if args.smoke:
         sizes = (SMOKE_TARGET_N,)
         repeats = args.repeats if args.repeats is not None else 3
+        resolve_repeats = args.resolve_repeats if args.resolve_repeats is not None else 2
     else:
         sizes = scale.table3_sizes
         repeats = args.repeats if args.repeats is not None else max(scale.repetitions, 9)
+        resolve_repeats = args.resolve_repeats if args.resolve_repeats is not None else 3
 
     model = get_pretrained_model(checkpoint=str(args.checkpoint) if args.checkpoint else None)
     rng = np.random.default_rng(1)
@@ -190,21 +217,28 @@ def main(argv=None) -> int:
     for target_n in sizes:
         mesh = mesh_for_target_size(target_n, element_size=ELEMENT_SIZE, rng=rng)
         problem = random_poisson_problem(mesh, rng=rng)
-        records, solves = bench_problem(problem, model, repeats)
+        records, solves = bench_problem(problem, model, repeats, resolve_repeats)
         all_records.extend(records)
         by_solver = {r["solver"]: r for r in records}
         speedup = by_solver["ddm-gnn-ref"]["apply_ms_p50"] / by_solver["ddm-gnn"]["apply_ms_p50"]
         speedups[problem.num_dofs] = speedup
         print(f"\nn={problem.num_dofs}  (K={by_solver['ddm-gnn']['K']}, tolerance={TOLERANCE:g})")
         print(format_table(
-            ["solver", "setup_s", "apply_ms_p50", "iters", "total_s", "timing split"],
+            ["solver", "setup_s", "apply_ms_p50", "resolve_ms_p50", "iters", "total_s", "timing split"],
             [
                 [r["solver"], f"{r['setup_s']:.3f}", f"{r['apply_ms_p50']:.2f}",
+                 f"{r['resolve_ms_p50']:.2f}" if "resolve_ms_p50" in r else "-",
                  r["iters"], f"{r['total_s']:.3f}", format_timing_split(solves[r["solver"]])]
                 for r in records
             ],
         ))
         print(f"DDM-GNN fast-path apply speedup vs pre-PR path: {speedup:.2f}x")
+        amortised = {
+            r["solver"]: (r["setup_s"] * 1e3 + r["total_s"] * 1e3) / max(r["resolve_ms_p50"], 1e-9)
+            for r in records if "resolve_ms_p50" in r
+        }
+        print("first-solve (setup+solve) / repeat-solve ratio: "
+              + ", ".join(f"{k}={v:.1f}x" for k, v in amortised.items()))
 
     payload = {
         "bench": "bench_perf",
@@ -212,7 +246,8 @@ def main(argv=None) -> int:
         "tolerance": TOLERANCE,
         "smoke": bool(args.smoke),
         "checkpoint": str(args.checkpoint) if args.checkpoint else None,
-        "schema": ["solver", "n", "K", "setup_s", "apply_ms_p50", "iters", "total_s"],
+        "schema": ["solver", "n", "K", "setup_s", "apply_ms_p50", "resolve_ms_p50",
+                   "iters", "total_s"],
         "records": all_records,
         "fastpath_apply_speedup": {str(n): round(s, 3) for n, s in speedups.items()},
     }

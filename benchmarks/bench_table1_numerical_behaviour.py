@@ -15,9 +15,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import HybridSolver, HybridSolverConfig
 from repro.fem import random_poisson_problem
 from repro.mesh import mesh_for_target_size
+from repro.solvers import SolverConfig, prepare
 from repro.utils import format_mean_std, format_table
 
 from common import ELEMENT_SIZE, SUBDOMAIN_SIZE, bench_scale, get_pretrained_model
@@ -26,8 +26,9 @@ TOLERANCE = 1e-6
 
 
 def _iterations(problem, kind, model, subdomain_size, overlap):
-    solver = HybridSolver(
-        HybridSolverConfig(
+    session = prepare(
+        problem,
+        SolverConfig(
             preconditioner=kind,
             subdomain_size=subdomain_size,
             overlap=overlap,
@@ -36,7 +37,7 @@ def _iterations(problem, kind, model, subdomain_size, overlap):
         ),
         model=model if kind == "ddm-gnn" else None,
     )
-    result = solver.solve(problem)
+    result = session.solve()
     return result.iterations, result.info.get("num_subdomains", 0), result.converged
 
 

@@ -19,9 +19,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import HybridSolver, HybridSolverConfig
 from repro.fem import random_poisson_problem
 from repro.mesh import mesh_for_target_size
+from repro.solvers import SolverConfig, prepare
 from repro.utils import format_table
 
 from common import ELEMENT_SIZE, SUBDOMAIN_SIZE, bench_scale, get_pretrained_model
@@ -30,8 +30,9 @@ TOLERANCE = 1e-3  # the tolerance used by the paper's Table III
 
 
 def _solve(problem, kind, model, subdomain_size):
-    solver = HybridSolver(
-        HybridSolverConfig(
+    session = prepare(
+        problem,
+        SolverConfig(
             preconditioner=kind,
             subdomain_size=subdomain_size,
             overlap=2,
@@ -40,7 +41,7 @@ def _solve(problem, kind, model, subdomain_size):
         ),
         model=model if kind == "ddm-gnn" else None,
     )
-    return solver.solve(problem)
+    return session.solve()
 
 
 def test_table3_legacy_comparison(benchmark):

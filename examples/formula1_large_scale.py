@@ -22,7 +22,7 @@ import numpy as np
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "benchmarks"))
 
-from repro.core import HybridSolver, HybridSolverConfig
+from repro.solvers import SolverConfig, prepare
 from repro.fem import PoissonProblem, random_boundary, random_forcing
 from repro.mesh import formula1_mesh
 from repro.utils import format_table
@@ -57,8 +57,9 @@ def main() -> None:
     histories = {}
     rows = []
     for kind, label in (("none", "CG"), ("ddm-lu", "PCG-DDM-LU"), ("ddm-gnn", "PCG-DDM-GNN")):
-        solver = HybridSolver(
-            HybridSolverConfig(
+        session = prepare(
+            problem,
+            SolverConfig(
                 preconditioner=kind,
                 subdomain_size=args.subdomain_size,
                 overlap=2,
@@ -67,7 +68,7 @@ def main() -> None:
             ),
             model=model if kind == "ddm-gnn" else None,
         )
-        result = solver.solve(problem)
+        result = session.solve()
         histories[label] = result.residual_history
         k = result.info.get("num_subdomains", "-")
         rows.append([label, k, result.iterations, f"{result.final_relative_residual:.2e}", f"{result.elapsed_time:.2f}s"])

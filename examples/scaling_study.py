@@ -26,9 +26,9 @@ import numpy as np
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "benchmarks"))
 
-from repro.core import HybridSolver, HybridSolverConfig
 from repro.fem import random_poisson_problem
 from repro.mesh import mesh_for_target_size
+from repro.solvers import SolverConfig, prepare
 from repro.utils import format_mean_std, format_table
 
 
@@ -59,8 +59,9 @@ def main() -> None:
                 k_values = []
                 for problem in problems:
                     for kind in iteration_counts:
-                        solver = HybridSolver(
-                            HybridSolverConfig(
+                        session = prepare(
+                            problem,
+                            SolverConfig(
                                 preconditioner=kind,
                                 subdomain_size=ns,
                                 overlap=overlap,
@@ -69,7 +70,7 @@ def main() -> None:
                             ),
                             model=model if kind == "ddm-gnn" else None,
                         )
-                        result = solver.solve(problem)
+                        result = session.solve()
                         iteration_counts[kind].append(result.iterations)
                         if kind == "ddm-lu":
                             k_values.append(result.info["num_subdomains"])

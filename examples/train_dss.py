@@ -10,7 +10,7 @@ This is the "model development" workflow of the paper (Sec. IV-A/IV-B):
    intermediate states);
 3. report the test metrics the paper reports (residual and relative error) and
    save a versioned checkpoint (``repro.gnn.checkpoint``) so the benchmarks,
-   the solver layer (``HybridSolver.from_checkpoint``) and the other examples
+   the solver layer (``SolverConfig(checkpoint=...)``) and the other examples
    can reuse the trained model — and so an interrupted run can resume.
 
 All sizes are command-line flags; the defaults run in a few minutes on a CPU.
@@ -106,8 +106,8 @@ def main() -> None:
     print(f"  relative error {metrics.relative_error_mean:.3f} ± {metrics.relative_error_std:.3f}")
 
     trainer.save_checkpoint(args.output)
-    print(f"\ncheckpoint saved to {args.output} (reload with repro.gnn.load_model "
-          f"or HybridSolver.from_checkpoint)")
+    print(f"\ncheckpoint saved to {args.output} (reload with repro.gnn.load_model, or serve it "
+          f"via repro.solvers: prepare(problem, SolverConfig(checkpoint='{args.output}')))")
 
 
 if __name__ == "__main__":

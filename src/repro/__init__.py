@@ -13,8 +13,11 @@ The package is organised bottom-up (see DESIGN.md):
 * :mod:`repro.krylov` — CG / PCG / BiCGStab / GMRES and the IC(0) baseline;
 * :mod:`repro.gnn` — the Deep Statistical Solver (DSS) model, its training
   pipeline and versioned checkpointing (:mod:`repro.gnn.checkpoint`);
-* :mod:`repro.core` — the DDM-GNN preconditioner, the hybrid solver facade and
-  dataset generation (the paper's contribution);
+* :mod:`repro.core` — the DDM-GNN preconditioner, the (legacy) hybrid solver
+  facade and dataset generation (the paper's contribution);
+* :mod:`repro.solvers` — the solver surface: registry-driven
+  :class:`~repro.solvers.session.SolverSession` objects with amortised setup
+  and multi-RHS serving (``prepare(problem, config).solve_many(B)``);
 * :mod:`repro.experiments` — the reproducible experiment harness
   (``python -m repro.experiments run --spec spec.json``) driving
   seed→mesh→train→checkpoint→bench→report from a declarative JSON spec.
@@ -24,19 +27,19 @@ Typical usage::
     from repro.mesh import random_domain_mesh
     from repro.fem import random_poisson_problem
     from repro.gnn import DSS, DSSConfig
-    from repro.core import HybridSolver, HybridSolverConfig
+    from repro.solvers import SolverConfig, prepare
 
     mesh = random_domain_mesh(radius=1.0, element_size=0.05)
     problem = random_poisson_problem(mesh)
     model = DSS(DSSConfig(num_iterations=10, latent_dim=10))  # train it first!
-    solver = HybridSolver(HybridSolverConfig(preconditioner="ddm-gnn", subdomain_size=200), model=model)
-    result = solver.solve(problem)
-    print(result.summary())
+    session = prepare(problem, SolverConfig(preconditioner="ddm-gnn", subdomain_size=200), model=model)
+    result = session.solve()          # setup is paid once per session,
+    print(result.summary())           # further session.solve(b) calls amortise it
 """
 
-from . import core, ddm, experiments, fem, gnn, krylov, mesh, nn, partition, problems, utils
+from . import core, ddm, experiments, fem, gnn, krylov, mesh, nn, partition, problems, solvers, utils
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "nn",
@@ -48,6 +51,7 @@ __all__ = [
     "krylov",
     "gnn",
     "core",
+    "solvers",
     "experiments",
     "utils",
     "__version__",

@@ -5,7 +5,9 @@ Public surface:
 * :class:`~repro.core.ddm_gnn.DDMGNNPreconditioner` — the multi-level GNN
   preconditioner (paper Sec. III-A).
 * :class:`~repro.core.hybrid_solver.HybridSolver`,
-  :class:`~repro.core.hybrid_solver.HybridSolverConfig` — end-to-end pipeline.
+  :class:`~repro.core.hybrid_solver.HybridSolverConfig` — legacy one-shot
+  facade (thin shim over :mod:`repro.solvers` sessions; new code should use
+  :func:`repro.solvers.prepare`).
 * :func:`~repro.core.dataset.generate_dataset`,
   :func:`~repro.core.dataset.harvest_local_problems`,
   :class:`~repro.core.dataset.LocalProblemDataset`,

@@ -1,105 +1,78 @@
-"""End-to-end hybrid solver facade (paper Fig. 1).
+"""Backwards-compatible one-shot facade over :mod:`repro.solvers` sessions.
 
-:class:`HybridSolver` wires together the whole pipeline for one global
-elliptic problem: partition the mesh into overlapping sub-domains, build the
-requested preconditioner (DDM-GNN, DDM-LU, IC(0), Jacobi-ASM or none) and run
-the Preconditioned Conjugate Gradient to a target relative residual.
+.. deprecated::
+    :class:`HybridSolver` predates the setup/solve-split API and rebuilds all
+    setup on **every** ``solve`` call.  New code should use
+    :func:`repro.solvers.prepare` and keep the returned
+    :class:`~repro.solvers.session.SolverSession` around, so the expensive
+    work (partitioning, sub-domain factorisations, DSS inference-plan
+    compilation) is paid once and amortised over many right-hand sides::
 
-It accepts any :class:`~repro.fem.problem.Problem` — the paper's homogeneous
-Poisson problems as well as every family built by
-:func:`repro.problems.make_problem` (variable-coefficient diffusion, mixed
-Dirichlet/Neumann/Robin boundaries): the problem's Dirichlet node set and
-per-node κ field are threaded into the DDM-GNN sub-domain graphs
-automatically.
+        # old (rebuilds everything per call)
+        result = HybridSolver(config, model=model).solve(problem)
 
-It is the object the examples and every benchmark harness use, and its
-configuration mirrors the knobs varied across the paper's tables: global size
-N (via the problem), sub-domain size Ns, overlap, number of levels, tolerance.
+        # new (setup once, serve many RHS)
+        session = prepare(problem, config, model=model)
+        result = session.solve()
+        batch = session.solve_many(B)
+
+:class:`HybridSolverConfig` is an alias of
+:class:`~repro.solvers.config.SolverConfig`, so existing construction sites
+keep working unchanged — including the new ``krylov="gmres"``/``"bicgstab"``
+selection, which the facade forwards to the session.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
-from typing import Literal, Optional
+from typing import Optional
 
 import numpy as np
 
-from ..ddm.asm import AdditiveSchwarzPreconditioner, IdentityPreconditioner, Preconditioner
-from ..ddm.local_solvers import JacobiLocalSolver
+from ..ddm.asm import Preconditioner
 from ..fem.problem import Problem
 from ..gnn.dss import DSS
-from ..krylov.cg import preconditioned_conjugate_gradient
-from ..krylov.ic import IncompleteCholeskyPreconditioner
 from ..krylov.result import SolveResult
 from ..partition.overlap import OverlappingDecomposition
-from ..partition.partitioner import partition_mesh, partition_mesh_target_size
-from .ddm_gnn import DDMGNNPreconditioner
+from ..solvers.config import SolverConfig
+from ..solvers.preconditioners import build_decomposition
+from ..solvers.registry import preconditioner_spec
+from ..solvers.session import SolverSession, prepare
 
-__all__ = ["HybridSolverConfig", "HybridSolver"]
+__all__ = ["HybridSolverConfig", "HybridSolver", "PreconditionerKind"]
 
-PreconditionerKind = Literal["ddm-gnn", "ddm-lu", "ddm-jacobi", "ic0", "none"]
+#: kept for backwards compatibility; the registry is the source of truth now
+PreconditionerKind = str
 
-
-@dataclass
-class HybridSolverConfig:
-    """Configuration of a hybrid solve.
-
-    Attributes
-    ----------
-    preconditioner:
-        Which preconditioner to build ("ddm-gnn", "ddm-lu", "ddm-jacobi",
-        "ic0" or "none").
-    subdomain_size:
-        Target sub-domain size Ns; used when ``num_subdomains`` is None.
-    num_subdomains:
-        Explicit number of sub-domains K (overrides ``subdomain_size``).
-    overlap:
-        Overlap width in graph layers (the paper uses 2, and 4 in ablations).
-    levels:
-        1 or 2 (two-level adds the Nicolaides coarse space).
-    tolerance:
-        Relative residual stopping threshold of PCG.
-    max_iterations:
-        Iteration cap for PCG.
-    gnn_batch_size:
-        Number of sub-domain graphs per DSS inference call (None = all at once).
-    gnn_equilibrate:
-        Diagonal equilibration of the DDM-GNN local solves; None (default)
-        enables it exactly when the problem carries a κ field, False forces
-        the paper's raw local systems (e.g. for a model trained without it).
-    seed:
-        Seed for the partitioner.
-    """
-
-    preconditioner: PreconditionerKind = "ddm-gnn"
-    subdomain_size: int = 1000
-    num_subdomains: Optional[int] = None
-    overlap: int = 2
-    levels: Literal[1, 2] = 2
-    tolerance: float = 1e-6
-    max_iterations: Optional[int] = None
-    gnn_batch_size: Optional[int] = None
-    gnn_equilibrate: Optional[bool] = None
-    jacobi_sweeps: int = 10
-    seed: int = 0
+#: the config class moved to ``repro.solvers``; this alias keeps old imports alive
+HybridSolverConfig = SolverConfig
 
 
 class HybridSolver:
-    """Solve discretised elliptic problems with a configurable preconditioned CG."""
+    """One-shot solve facade: ``prepare`` + ``solve`` in a single call.
 
-    def __init__(self, config: HybridSolverConfig = HybridSolverConfig(), model: Optional[DSS] = None) -> None:
-        if config.preconditioner == "ddm-gnn" and model is None:
+    Thin shim over :class:`~repro.solvers.session.SolverSession`; see the
+    module docstring for the migration path.  Each :meth:`solve` call
+    prepares a fresh session (the historical behaviour); callers that solve
+    the same operator repeatedly should hold a session instead.
+    """
+
+    def __init__(self, config: Optional[SolverConfig] = None, model: Optional[DSS] = None) -> None:
+        config = config if config is not None else SolverConfig()
+        # fail fast (as the facade always did) when the preconditioner needs a
+        # model and neither a model nor a checkpoint to load one is given
+        spec = preconditioner_spec(config.preconditioner)
+        if spec.needs_model and model is None and not config.checkpoint:
             raise ValueError("the DDM-GNN preconditioner requires a DSS model")
         self.config = config
         self.model = model
         self.setup_time = 0.0
+        self.last_session: Optional[SolverSession] = None
         self.last_preconditioner: Optional[Preconditioner] = None
         self.last_decomposition: Optional[OverlappingDecomposition] = None
 
     @classmethod
     def from_checkpoint(
-        cls, checkpoint_path: str, config: Optional[HybridSolverConfig] = None
+        cls, checkpoint_path: str, config: Optional[SolverConfig] = None
     ) -> "HybridSolver":
         """Build a DDM-GNN hybrid solver from a trained checkpoint file.
 
@@ -110,83 +83,30 @@ class HybridSolver:
         """
         from ..gnn.checkpoint import load_model
 
-        return cls(config if config is not None else HybridSolverConfig(), model=load_model(checkpoint_path))
+        return cls(config if config is not None else SolverConfig(), model=load_model(checkpoint_path))
 
     # ------------------------------------------------------------------ #
+    def prepare(self, problem: Problem) -> SolverSession:
+        """Prepare a session for ``problem`` and record its setup counters."""
+        session = prepare(problem, self.config, model=self.model)
+        self.last_session = session
+        self.setup_time = session.setup_time
+        self.last_preconditioner = session.preconditioner
+        self.last_decomposition = session.decomposition
+        return session
+
     def _build_decomposition(self, problem: Problem) -> OverlappingDecomposition:
-        cfg = self.config
-        rng = np.random.default_rng(cfg.seed)
-        if cfg.num_subdomains is not None:
-            partition = partition_mesh(problem.mesh, cfg.num_subdomains, rng=rng)
-        else:
-            partition = partition_mesh_target_size(problem.mesh, cfg.subdomain_size, rng=rng)
-        return OverlappingDecomposition(problem.mesh, partition, overlap=cfg.overlap)
+        return build_decomposition(problem, self.config)
 
     def build_preconditioner(self, problem: Problem) -> Preconditioner:
         """Construct (and cache) the preconditioner for a given problem."""
-        cfg = self.config
-        start = time.perf_counter()
-        preconditioner: Preconditioner
-        if cfg.preconditioner in ("ddm-gnn", "ddm-lu", "ddm-jacobi"):
-            decomposition = self._build_decomposition(problem)
-            self.last_decomposition = decomposition
-            if cfg.preconditioner == "ddm-gnn":
-                assert self.model is not None
-                preconditioner = DDMGNNPreconditioner(
-                    problem.matrix,
-                    problem.mesh,
-                    decomposition,
-                    self.model,
-                    levels=cfg.levels,
-                    batch_size=cfg.gnn_batch_size,
-                    global_dirichlet_mask=getattr(problem, "dirichlet_mask", None),
-                    node_diffusion=getattr(problem, "node_diffusion", None),
-                    equilibrate=cfg.gnn_equilibrate,
-                )
-            elif cfg.preconditioner == "ddm-lu":
-                preconditioner = AdditiveSchwarzPreconditioner(
-                    problem.matrix, decomposition, levels=cfg.levels
-                )
-            else:
-                preconditioner = AdditiveSchwarzPreconditioner(
-                    problem.matrix,
-                    decomposition,
-                    levels=cfg.levels,
-                    local_solver=JacobiLocalSolver(sweeps=cfg.jacobi_sweeps),
-                )
-        elif cfg.preconditioner == "ic0":
-            preconditioner = IncompleteCholeskyPreconditioner(problem.matrix)
-        elif cfg.preconditioner == "none":
-            preconditioner = IdentityPreconditioner(problem.num_dofs)
-        else:
-            raise ValueError(f"unknown preconditioner kind '{cfg.preconditioner}'")
-        self.setup_time = time.perf_counter() - start
-        self.last_preconditioner = preconditioner
-        return preconditioner
+        return self.prepare(problem).preconditioner
 
     # ------------------------------------------------------------------ #
     def solve(self, problem: Problem, initial_guess: Optional[np.ndarray] = None) -> SolveResult:
-        """Run the full pipeline on a problem and return the PCG result.
+        """Run the full pipeline on a problem and return the Krylov result.
 
         The result's ``info`` dict carries the decomposition statistics and the
         preconditioner timing counters used by the benchmark harnesses.
         """
-        cfg = self.config
-        preconditioner = self.build_preconditioner(problem)
-        result = preconditioned_conjugate_gradient(
-            problem.matrix,
-            problem.rhs,
-            preconditioner=None if cfg.preconditioner == "none" else preconditioner,
-            initial_guess=initial_guess,
-            tolerance=cfg.tolerance,
-            max_iterations=cfg.max_iterations,
-        )
-        result.info["preconditioner_kind"] = cfg.preconditioner
-        result.info["setup_time"] = self.setup_time
-        if self.last_decomposition is not None and cfg.preconditioner.startswith("ddm"):
-            result.info["num_subdomains"] = self.last_decomposition.num_subdomains
-            result.info["subdomain_sizes"] = self.last_decomposition.sizes().tolist()
-            result.info["overlap"] = cfg.overlap
-        if isinstance(preconditioner, DDMGNNPreconditioner):
-            result.info["gnn_stats"] = preconditioner.inference_stats()
-        return result
+        return self.prepare(problem).solve(x0=initial_guess)

@@ -35,6 +35,7 @@ from typing import Dict, Optional, Tuple, Union
 from ..gnn.checkpoint import config_hash
 from ..gnn.dss import DSSConfig
 from ..gnn.training import TrainingConfig
+from ..solvers.config import SolverConfig
 
 __all__ = ["ExperimentSpec"]
 
@@ -105,6 +106,24 @@ class ExperimentSpec:
             learning_rate=self.learning_rate,
             gradient_clip=self.gradient_clip,
             scheduler_patience=self.scheduler_patience,
+            seed=self.seed,
+        )
+
+    def solver_config(self, preconditioner: str, krylov: str = "cg") -> SolverConfig:
+        """The :class:`~repro.solvers.config.SolverConfig` this spec benches with.
+
+        This is the single construction path shared with the benchmark
+        harnesses: ``prepare(problem, spec.solver_config(kind), model=...)``
+        builds the same session whether the caller is the experiment harness,
+        ``bench_perf.py`` or an ad-hoc script.
+        """
+        return SolverConfig(
+            preconditioner=preconditioner,
+            krylov=krylov,
+            subdomain_size=self.subdomain_size,
+            overlap=self.overlap,
+            tolerance=self.tolerance,
+            max_iterations=4000,
             seed=self.seed,
         )
 

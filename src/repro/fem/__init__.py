@@ -3,6 +3,7 @@
 Public surface:
 
 * :func:`~repro.fem.assembly.assemble_stiffness` (κ-weighted),
+  :func:`~repro.fem.assembly.assemble_convection` (nonsymmetric b·∇u term),
   :func:`~repro.fem.assembly.assemble_mass`,
   :func:`~repro.fem.assembly.assemble_load`,
   :func:`~repro.fem.assembly.assemble_boundary_mass`,
@@ -28,6 +29,7 @@ from .assembly import (
     apply_dirichlet,
     assemble_boundary_load,
     assemble_boundary_mass,
+    assemble_convection,
     assemble_load,
     assemble_mass,
     assemble_stiffness,
@@ -65,6 +67,7 @@ from .quadrature import TriangleQuadrature, centroid_rule, six_point_rule, three
 
 __all__ = [
     "assemble_stiffness",
+    "assemble_convection",
     "assemble_mass",
     "assemble_load",
     "assemble_boundary_mass",

@@ -27,7 +27,7 @@ The doctests below share one two-triangle mesh of the unit square::
 
 from __future__ import annotations
 
-from typing import Callable, Literal, Optional, Tuple, Union
+from typing import Callable, Literal, Optional, Sequence, Tuple, Union
 
 import numpy as np
 import scipy.sparse as sp
@@ -37,6 +37,7 @@ from .quadrature import TriangleQuadrature, three_point_rule
 
 __all__ = [
     "assemble_stiffness",
+    "assemble_convection",
     "assemble_mass",
     "assemble_load",
     "assemble_boundary_mass",
@@ -167,6 +168,66 @@ def assemble_stiffness(
     data = local.ravel()
     n = mesh.num_nodes
     return sp.csr_matrix((data, (rows, cols)), shape=(n, n))
+
+
+def assemble_convection(
+    mesh: TriangularMesh,
+    velocity: Union[Sequence[float], np.ndarray, Callable[[np.ndarray, np.ndarray], np.ndarray]],
+) -> sp.csr_matrix:
+    """Assemble the P1 convection matrix ``C[i,j] = ∫ φ_i (b · ∇φ_j)``.
+
+    ``velocity`` is the advection field b: a constant 2-vector, a per-triangle
+    (T, 2) array, or a callable evaluated at triangle centroids returning
+    either the component pair ``(b_x, b_y)`` (each of shape (T,), i.e. a
+    (2, T) stack — this convention wins the T == 2 ambiguity) or a (T, 2)
+    array of per-triangle vectors.  With P1 elements ``b · ∇φ_j`` is constant
+    per triangle and ``∫_t φ_i = |t|/3``, so the local element matrix has
+    three identical rows — the assembly is exact for piecewise-constant b.
+
+    The result is **nonsymmetric**; adding it to a stiffness matrix yields
+    the convection-diffusion operator ``-∇·(κ∇u) + b·∇u`` served by the
+    ``gmres``/``bicgstab`` Krylov methods (CG is not applicable).
+
+    >>> import numpy as np
+    >>> from repro.mesh.mesh import TriangularMesh
+    >>> mesh = TriangularMesh(
+    ...     np.array([[0.0, 0.0], [1.0, 0.0], [1.0, 1.0], [0.0, 1.0]]),
+    ...     np.array([[0, 1, 2], [0, 2, 3]]),
+    ... )
+    >>> C = assemble_convection(mesh, (1.0, 0.0))
+    >>> C.shape, bool(np.allclose(C.toarray() @ np.ones(4), 0.0))  # C @ 1 = 0
+    ((4, 4), True)
+    >>> bool(np.allclose(C.toarray(), C.toarray().T))              # nonsymmetric
+    False
+    """
+    grads, areas = gradient_operators(mesh)
+    num_triangles = mesh.num_triangles
+    if callable(velocity):
+        centroids = triangle_centroids(mesh)
+        values = np.asarray(velocity(centroids[:, 0], centroids[:, 1]), dtype=np.float64)
+        if values.ndim == 1:
+            b = np.broadcast_to(values, (num_triangles, 2))  # constant (b_x, b_y)
+        elif values.shape == (2, num_triangles):
+            b = values.T  # documented component-pair convention, wins when T == 2
+        elif values.shape == (num_triangles, 2):
+            b = values
+        else:
+            raise ValueError(
+                f"velocity callable must return (b_x, b_y) components of shape "
+                f"(2, {num_triangles}) or per-triangle vectors of shape "
+                f"({num_triangles}, 2); got {values.shape}"
+            )
+    else:
+        b = np.broadcast_to(np.asarray(velocity, dtype=np.float64), (num_triangles, 2))
+    # (b · ∇φ_j) per triangle and local column, constant over the triangle
+    directional = np.einsum("td,tjd->tj", b, grads)                 # (T, 3)
+    local = (areas / 3.0)[:, None, None] * directional[:, None, :]  # (T, 3, 3)
+    local = np.broadcast_to(local, (mesh.num_triangles, 3, 3))
+    tri = mesh.triangles
+    rows = np.repeat(tri, 3, axis=1).ravel()
+    cols = np.tile(tri, (1, 3)).ravel()
+    n = mesh.num_nodes
+    return sp.csr_matrix((local.ravel(), (rows, cols)), shape=(n, n))
 
 
 def assemble_mass(mesh: TriangularMesh, lumped: bool = False) -> sp.csr_matrix:

@@ -181,6 +181,10 @@ class Problem:
     node_diffusion:
         Per-node κ values (None for constant-coefficient problems); consumed
         by the κ-aware GNN features.
+    symmetric:
+        Whether the assembled matrix is symmetric (SPD).  Nonsymmetric
+        problems (e.g. convection-diffusion) must be solved with ``gmres`` or
+        ``bicgstab``; :func:`repro.solvers.prepare` enforces this.
     """
 
     mesh: TriangularMesh
@@ -191,6 +195,7 @@ class Problem:
     dirichlet_mode: str = "symmetric"
     dirichlet_nodes: Optional[np.ndarray] = None
     node_diffusion: Optional[np.ndarray] = None
+    symmetric: bool = True
 
     # ------------------------------------------------------------------ #
     # basic properties

@@ -27,17 +27,29 @@ Families
 ``poisson-robin``
     κ ≡ 1 with a Robin condition on the whole boundary (no Dirichlet nodes —
     exercises the boundary-mass path end to end).
+``convection-diffusion``
+    **Nonsymmetric** ``-κΔu + b·∇u = f`` with a random constant advection
+    direction (mesh-Péclet-scaled speed) — the smoke workload of the
+    ``gmres``/``bicgstab`` Krylov methods, which CG cannot solve.
 """
 
 from __future__ import annotations
 
 
+from typing import Optional
+
 import numpy as np
 
+from ..fem.assembly import (
+    apply_dirichlet,
+    assemble_convection,
+    assemble_load,
+    assemble_stiffness,
+)
 from ..fem.coefficients import ChannelField, CheckerboardField, LognormalField, RadialField
 from ..fem.functions import random_boundary, random_forcing
 from ..fem.poisson import PoissonProblem, random_poisson_problem
-from ..fem.problem import DiffusionProblem, dirichlet_bc, neumann_bc, robin_bc
+from ..fem.problem import DiffusionProblem, Problem, dirichlet_bc, neumann_bc, robin_bc
 from ..mesh.mesh import TriangularMesh
 from .registry import register_problem
 
@@ -165,6 +177,56 @@ def _mixed_bc(
         robin_bc(alpha, 0.0),
     ]
     return DiffusionProblem.from_fields(mesh, kappa, random_forcing(rng), conditions)
+
+
+@register_problem(
+    "convection-diffusion",
+    description="Nonsymmetric -κΔu + b·∇u = f (GMRES/BiCGStab smoke workload)",
+    peclet=20.0,
+)
+def _convection_diffusion(
+    mesh: TriangularMesh,
+    rng: np.random.Generator,
+    diffusion: float = 1.0,
+    peclet: float = 20.0,
+    angle: Optional[float] = None,
+) -> Problem:
+    """Convection-diffusion with constant advection at a given domain Péclet.
+
+    ``peclet`` sets ``|b| · L / κ`` with L the domain diameter; the default
+    of 20 is advective enough that the assembled matrix is visibly
+    nonsymmetric and CG breaks down, yet mild enough that the unstabilised
+    P1 discretisation stays oscillation-free on the meshes used here.
+    ``angle`` fixes the advection direction (random by default).
+    """
+    lo, hi = _bbox(mesh)
+    length = float(max(hi - lo))
+    theta = float(rng.uniform(0.0, 2.0 * np.pi)) if angle is None else float(angle)
+    speed = float(peclet) * float(diffusion) / max(length, 1e-12)
+    velocity = (speed * np.cos(theta), speed * np.sin(theta))
+
+    stiffness = assemble_stiffness(mesh, diffusion=float(diffusion))
+    system = stiffness + assemble_convection(mesh, velocity)
+    load = assemble_load(mesh, random_forcing(rng))
+
+    boundary = random_boundary(rng)
+    dnodes = np.asarray(mesh.boundary_nodes, dtype=np.int64)
+    dvalues = np.broadcast_to(
+        np.asarray(boundary(mesh.nodes[dnodes, 0], mesh.nodes[dnodes, 1]), dtype=np.float64),
+        dnodes.shape,
+    ).copy()
+    # "row" elimination: zeroing columns would re-symmetrise the boundary rows
+    matrix, rhs = apply_dirichlet(system, load, dnodes, dvalues, mode="row")
+    return Problem(
+        mesh=mesh,
+        matrix=matrix,
+        rhs=rhs,
+        stiffness=stiffness,
+        boundary_values=dvalues,
+        dirichlet_mode="row",
+        dirichlet_nodes=dnodes,
+        symmetric=False,
+    )
 
 
 @register_problem(

@@ -1,0 +1,127 @@
+"""Declarative solver configuration — the one way every caller builds a solve.
+
+A :class:`SolverConfig` names a preconditioner and a Krylov method from the
+:mod:`repro.solvers.registry` registries, plus every knob of the setup phase
+(sub-domain size, overlap, levels) and of the iteration phase (tolerance,
+iteration cap).  It round-trips through plain dicts and JSON, so the
+experiment harness, the benchmarks and ad-hoc scripts all construct sessions
+through the same code path::
+
+    config = SolverConfig(preconditioner="ddm-lu", krylov="gmres",
+                          krylov_kwargs={"restart": 30})
+    config = SolverConfig.from_dict(json.load(open("solver.json")))
+
+``HybridSolverConfig`` in :mod:`repro.core.hybrid_solver` is an alias of this
+class, so pre-existing call sites keep working unchanged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+__all__ = ["SolverConfig"]
+
+
+@dataclass
+class SolverConfig:
+    """Configuration of a solver session.
+
+    Attributes
+    ----------
+    preconditioner:
+        Registered preconditioner kind (see
+        :func:`~repro.solvers.registry.available_preconditioners`):
+        ``"ddm-gnn"``, ``"ddm-lu"``, ``"ddm-jacobi"``, ``"ic0"`` or
+        ``"none"``.
+    krylov:
+        Registered Krylov method (``"cg"``, ``"gmres"`` or ``"bicgstab"``).
+    krylov_kwargs:
+        Extra keyword arguments forwarded to the Krylov method (e.g.
+        ``{"restart": 30}`` for GMRES).
+    subdomain_size:
+        Target sub-domain size Ns; used when ``num_subdomains`` is None.
+    num_subdomains:
+        Explicit number of sub-domains K (overrides ``subdomain_size``).
+    overlap:
+        Overlap width in graph layers (the paper uses 2, and 4 in ablations).
+    levels:
+        1 or 2 (two-level adds the Nicolaides coarse space).
+    tolerance:
+        Relative residual stopping threshold of the Krylov method.
+    max_iterations:
+        Iteration cap of the Krylov method.
+    gnn_batch_size:
+        Number of sub-domain graphs per DSS inference call (None = automatic).
+    gnn_equilibrate:
+        Diagonal equilibration of the DDM-GNN local solves; None (default)
+        enables it exactly when the problem carries a κ field.
+    jacobi_sweeps:
+        Sweeps of the Jacobi local solver (``ddm-jacobi`` only).
+    seed:
+        Seed for the partitioner.
+    checkpoint:
+        Optional path to a versioned checkpoint
+        (:mod:`repro.gnn.checkpoint`); when the preconditioner needs a model
+        and none is passed to ``prepare``, it is loaded from here.
+    """
+
+    preconditioner: str = "ddm-gnn"
+    krylov: str = "cg"
+    krylov_kwargs: Dict[str, object] = field(default_factory=dict)
+    subdomain_size: int = 1000
+    num_subdomains: Optional[int] = None
+    overlap: int = 2
+    levels: int = 2
+    tolerance: float = 1e-6
+    max_iterations: Optional[int] = None
+    gnn_batch_size: Optional[int] = None
+    gnn_equilibrate: Optional[bool] = None
+    jacobi_sweeps: int = 10
+    seed: int = 0
+    checkpoint: Optional[str] = None
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict:
+        """Plain-dict form (JSON-serialisable).
+
+        >>> SolverConfig(krylov="gmres").to_dict()["krylov"]
+        'gmres'
+        """
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SolverConfig":
+        """Build a config from a plain dict, rejecting unknown fields.
+
+        >>> SolverConfig.from_dict({"preconditioner": "ddm-lu", "overlap": 3}).overlap
+        3
+        >>> try:
+        ...     SolverConfig.from_dict({"preconditionner": "typo"})
+        ... except ValueError as error:
+        ...     print(str(error).split(" (")[0])
+        unknown solver-config fields: ['preconditionner']
+        """
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown solver-config fields: {unknown} (known: {sorted(known)})"
+            )
+        return cls(**data)
+
+    @classmethod
+    def from_json(cls, path: Union[str, Path]) -> "SolverConfig":
+        """Load a config from a JSON file."""
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        if not isinstance(data, dict):
+            raise ValueError(f"solver config '{path}' must be a JSON object")
+        return cls.from_dict(data)
+
+    def save_json(self, path: Union[str, Path]) -> None:
+        """Write the config as indented JSON."""
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n", encoding="utf-8")

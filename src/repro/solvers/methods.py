@@ -1,0 +1,33 @@
+"""Built-in Krylov method registrations (``cg``, ``gmres``, ``bicgstab``).
+
+The implementations live in :mod:`repro.krylov`; this module only adapts them
+to the registry contract.  All three already share the signature
+``solve(matrix, rhs, preconditioner=None, initial_guess=None, tolerance=...,
+max_iterations=None, **kwargs) -> SolveResult``, so the registrations are
+direct.
+"""
+
+from __future__ import annotations
+
+from ..krylov.bicgstab import bicgstab
+from ..krylov.cg import preconditioned_conjugate_gradient
+from ..krylov.gmres import gmres
+from .registry import register_krylov
+
+__all__ = []  # methods are consumed through the registry, not imported
+
+register_krylov(
+    "cg",
+    description="Preconditioned Conjugate Gradient (paper Algorithm 1; SPD operators)",
+    symmetric_only=True,
+)(preconditioned_conjugate_gradient)
+
+register_krylov(
+    "gmres",
+    description="Restarted GMRES(m) with Givens rotations (nonsymmetric operators)",
+)(gmres)
+
+register_krylov(
+    "bicgstab",
+    description="BiCGStab (van der Vorst; nonsymmetric operators, short recurrences)",
+)(bicgstab)

@@ -1,0 +1,340 @@
+"""Setup/solve-split solver sessions: pay setup once, serve many right-hand sides.
+
+:func:`prepare` is the entry point of the :mod:`repro.solvers` API.  It
+performs **all** of the expensive, operator-dependent work exactly once —
+mesh partitioning, local factorisations (or compiled DSS inference plans),
+the coarse space — and returns a :class:`SolverSession` that serves any
+number of right-hand sides against the prepared operator::
+
+    session = prepare(problem, SolverConfig(preconditioner="ddm-lu"))
+    result = session.solve()                  # b defaults to problem.rhs
+    other = session.solve(b_new)              # amortised: zero re-setup
+    many = session.solve_many(B)              # batched multi-RHS serving
+
+This is the ``setup``/``apply`` split of production preconditioner libraries
+(PETSc's ``PCSetUp``/``PCApply``): in a serving system the operator changes
+rarely and the right-hand sides arrive continuously, so the setup cost must
+be amortised over the stream.  The session keeps structured per-stage timing
+(``setup_timings``) and per-solve diagnostics (``SolveResult.info`` carries a
+``stage_timings`` dict), and counts setups vs solves so tests can assert the
+amortisation invariant directly.
+
+The Krylov method and the preconditioner are resolved by name through the
+:mod:`repro.solvers.registry` registries; ``config`` may equivalently be a
+plain dict (parsed JSON), which is how the experiment harness and the
+benchmarks construct sessions through one code path.
+"""
+
+from __future__ import annotations
+
+import inspect
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Union
+
+import numpy as np
+
+from ..core.ddm_gnn import DDMGNNPreconditioner
+from ..ddm.asm import Preconditioner
+from ..fem.problem import Problem
+from ..krylov.result import SolveResult
+from ..partition.overlap import OverlappingDecomposition
+from .config import SolverConfig
+from .preconditioners import build_decomposition
+from .registry import KrylovSpec, PreconditionerSpec, krylov_spec, preconditioner_spec
+
+__all__ = ["SolverSession", "MultiSolveResult", "prepare"]
+
+#: Krylov arguments the session always supplies itself; ``krylov_kwargs``
+#: entries with these names would collide at call time, so they are rejected
+#: at prepare time (tolerance/max_iterations belong on SolverConfig directly)
+_RESERVED_KRYLOV_ARGS = frozenset(
+    {"matrix", "rhs", "preconditioner", "initial_guess", "tolerance", "max_iterations"}
+)
+
+
+def _load_model_from_checkpoint(path: str):
+    from ..gnn.checkpoint import load_model
+
+    return load_model(path)
+
+
+@dataclass
+class MultiSolveResult:
+    """Outcome of a multi-RHS :meth:`SolverSession.solve_many` call.
+
+    ``results[i]`` is the full :class:`~repro.krylov.result.SolveResult` of
+    right-hand side ``i`` — bit-identical to what a sequential
+    :meth:`SolverSession.solve` on the same vector returns.
+    """
+
+    results: List[SolveResult] = field(default_factory=list)
+    elapsed_time: float = 0.0
+
+    @property
+    def solutions(self) -> np.ndarray:
+        """All solutions stacked, shape ``(num_rhs, n)``."""
+        return np.stack([r.solution for r in self.results])
+
+    @property
+    def iterations(self) -> List[int]:
+        return [r.iterations for r in self.results]
+
+    @property
+    def converged(self) -> bool:
+        """True when every right-hand side converged."""
+        return all(r.converged for r in self.results)
+
+    @property
+    def num_rhs(self) -> int:
+        return len(self.results)
+
+    def summary(self) -> str:
+        if not self.results:
+            return "0 right-hand sides"
+        status = "converged" if self.converged else "NOT converged"
+        iters = self.iterations
+        return (
+            f"{self.num_rhs} right-hand sides {status}, "
+            f"iterations {min(iters)}..{max(iters)} (median {int(np.median(iters))}), "
+            f"time {self.elapsed_time:.4f}s"
+        )
+
+
+class SolverSession:
+    """A prepared solver: operator-dependent setup done, ready to serve RHS.
+
+    Construct via :func:`prepare` (or :meth:`from_problem`).  Attributes of
+    interest after construction:
+
+    ``preconditioner``
+        The built :class:`~repro.ddm.asm.Preconditioner`.
+    ``decomposition``
+        The :class:`~repro.partition.overlap.OverlappingDecomposition`, or
+        None for non-DDM preconditioners.
+    ``setup_timings``
+        Per-stage wall times of the one-time setup:
+        ``{"partition_s", "preconditioner_s", "total_s"}``.
+    ``num_setups`` / ``num_solves``
+        Amortisation counters: ``num_setups`` is 1 for the session's lifetime
+        no matter how many right-hand sides are served.
+    """
+
+    def __init__(
+        self,
+        problem: Problem,
+        config: Union[SolverConfig, Dict, None] = None,
+        model=None,
+    ) -> None:
+        if config is None:
+            config = SolverConfig()
+        elif isinstance(config, dict):
+            config = SolverConfig.from_dict(config)
+        self.problem = problem
+        self.config = config
+        self.krylov: KrylovSpec = krylov_spec(config.krylov)
+        self.preconditioner_kind: PreconditionerSpec = preconditioner_spec(config.preconditioner)
+        if self.krylov.symmetric_only and not getattr(problem, "symmetric", True):
+            raise ValueError(
+                f"Krylov method '{config.krylov}' assumes a symmetric operator but the "
+                f"problem is nonsymmetric; use krylov='gmres' or krylov='bicgstab'"
+            )
+        if self.preconditioner_kind.spd_only and not getattr(problem, "symmetric", True):
+            raise ValueError(
+                f"preconditioner '{config.preconditioner}' requires a symmetric (SPD) "
+                f"operator but the problem is nonsymmetric"
+            )
+
+        # resolve the per-solve Krylov kwargs once, and reject unknown ones
+        # here — before the expensive setup below, not on the first solve()
+        self._krylov_kwargs: Dict[str, object] = dict(self.krylov.default_kwargs)
+        self._krylov_kwargs.update(config.krylov_kwargs)
+        reserved = sorted(_RESERVED_KRYLOV_ARGS & set(self._krylov_kwargs))
+        if reserved:
+            raise ValueError(
+                f"krylov_kwargs may not override session-managed argument(s) {reserved}; "
+                f"set tolerance/max_iterations on the SolverConfig itself"
+            )
+        parameters = inspect.signature(self.krylov.solve).parameters
+        accepts_var_kwargs = any(
+            p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+        )
+        if not accepts_var_kwargs:
+            unknown = sorted(set(self._krylov_kwargs) - set(parameters))
+            if unknown:
+                raise ValueError(
+                    f"Krylov method '{config.krylov}' does not accept "
+                    f"keyword argument(s) {unknown}"
+                )
+
+        if self.preconditioner_kind.needs_model and model is None:
+            if config.checkpoint:
+                model = _load_model_from_checkpoint(config.checkpoint)
+            elif config.preconditioner == "ddm-gnn":
+                raise ValueError("the DDM-GNN preconditioner requires a DSS model")
+            else:
+                raise ValueError(
+                    f"the '{config.preconditioner}' preconditioner requires a model "
+                    f"(pass model=... or set config.checkpoint)"
+                )
+        self.model = model
+
+        # -- one-time setup: partition, factorise/compile ------------------- #
+        self.setup_timings: Dict[str, float] = {"partition_s": 0.0, "preconditioner_s": 0.0}
+        start = time.perf_counter()
+        self.decomposition: Optional[OverlappingDecomposition] = None
+        if self.preconditioner_kind.needs_decomposition:
+            t0 = time.perf_counter()
+            self.decomposition = build_decomposition(problem, config)
+            self.setup_timings["partition_s"] = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        self.preconditioner: Preconditioner = self.preconditioner_kind.build(
+            problem, config, decomposition=self.decomposition, model=model
+        )
+        self.setup_timings["preconditioner_s"] = time.perf_counter() - t0
+        self.setup_timings["total_s"] = time.perf_counter() - start
+        self.setup_time = self.setup_timings["total_s"]
+
+        # -- amortisation counters ------------------------------------------ #
+        self.num_setups = 1
+        self.num_solves = 0
+        self.total_solve_time = 0.0
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_problem(
+        cls,
+        problem: Problem,
+        config: Union[SolverConfig, Dict, None] = None,
+        model=None,
+    ) -> "SolverSession":
+        """Alias of the constructor, mirroring :func:`prepare`."""
+        return cls(problem, config, model=model)
+
+    # ------------------------------------------------------------------ #
+    def solve(
+        self,
+        b: Optional[np.ndarray] = None,
+        x0: Optional[np.ndarray] = None,
+    ) -> SolveResult:
+        """Solve ``A x = b`` with the prepared preconditioner.
+
+        ``b`` defaults to the problem's assembled right-hand side; ``x0`` is
+        the initial guess (zero if omitted).  No setup is performed here —
+        partitioning, factorisations and inference plans were all built by
+        :func:`prepare`.  The result's ``info`` carries the amortised
+        accounting: ``info["setup_s"]`` is the session setup time on the
+        session's **first** solve and ``0.0`` on every later one.
+        """
+        config = self.config
+        b = self.problem.rhs if b is None else np.asarray(b, dtype=np.float64)
+        result: SolveResult = self.krylov.solve(
+            self.problem.matrix,
+            b,
+            preconditioner=self.preconditioner,
+            initial_guess=x0,
+            tolerance=config.tolerance,
+            max_iterations=config.max_iterations,
+            **self._krylov_kwargs,
+        )
+        first = self.num_solves == 0
+        self.num_solves += 1
+        self.total_solve_time += result.elapsed_time
+
+        setup_s = self.setup_time if first else 0.0
+        result.info["preconditioner_kind"] = config.preconditioner
+        result.info["krylov"] = config.krylov
+        result.info["setup_s"] = setup_s
+        result.info["setup_time"] = setup_s  # legacy key of HybridSolver.solve
+        result.info["stage_timings"] = {
+            "partition_s": self.setup_timings["partition_s"] if first else 0.0,
+            "preconditioner_s": self.setup_timings["preconditioner_s"] if first else 0.0,
+            "setup_s": setup_s,
+            "krylov_s": result.krylov_time,
+            "precond_apply_s": result.preconditioner_time,
+            "solve_s": result.elapsed_time,
+        }
+        if self.decomposition is not None:
+            result.info["num_subdomains"] = self.decomposition.num_subdomains
+            result.info["subdomain_sizes"] = self.decomposition.sizes().tolist()
+            result.info["overlap"] = config.overlap
+        if isinstance(self.preconditioner, DDMGNNPreconditioner):
+            result.info["gnn_stats"] = self.preconditioner.inference_stats()
+        return result
+
+    def solve_many(
+        self,
+        B: Union[np.ndarray, Iterable[np.ndarray]],
+        x0: Optional[np.ndarray] = None,
+    ) -> MultiSolveResult:
+        """Serve a batch of right-hand sides against the prepared operator.
+
+        ``B`` is a sequence of right-hand-side vectors (or a 2-D array whose
+        **rows** are right-hand sides).  Every solve reuses the session's
+        preconditioner — the setup cost is paid zero additional times — and
+        each per-RHS result is bit-identical to a sequential
+        :meth:`solve` call on the same vector (the solves are independent;
+        batching here amortises setup, not floating-point work).
+        """
+        if not isinstance(B, np.ndarray):
+            B = list(B)  # materialise generators before the array conversion
+        vectors = np.atleast_2d(np.asarray(B, dtype=np.float64))
+        if vectors.ndim != 2:
+            raise ValueError("solve_many expects a sequence of right-hand-side vectors")
+        if vectors.shape[1] != self.problem.num_dofs:
+            raise ValueError(
+                f"right-hand sides must have length {self.problem.num_dofs} "
+                f"(got shape {vectors.shape})"
+            )
+        start = time.perf_counter()
+        results = [self.solve(row, x0=x0) for row in vectors]
+        return MultiSolveResult(results=results, elapsed_time=time.perf_counter() - start)
+
+    # ------------------------------------------------------------------ #
+    def diagnostics(self) -> Dict[str, object]:
+        """Structured session diagnostics (setup stages, amortisation counters)."""
+        info: Dict[str, object] = {
+            "preconditioner_kind": self.config.preconditioner,
+            "krylov": self.config.krylov,
+            "num_setups": self.num_setups,
+            "num_solves": self.num_solves,
+            "setup_timings": dict(self.setup_timings),
+            "total_solve_time": self.total_solve_time,
+            "amortised_setup_s": self.setup_time / max(self.num_solves, 1),
+        }
+        if self.decomposition is not None:
+            info["num_subdomains"] = self.decomposition.num_subdomains
+            info["overlap"] = self.config.overlap
+        if isinstance(self.preconditioner, DDMGNNPreconditioner):
+            info["gnn_stats"] = self.preconditioner.inference_stats()
+        return info
+
+    def summary(self) -> str:
+        """One-line human-readable session summary."""
+        return (
+            f"SolverSession({self.config.preconditioner}+{self.config.krylov}, "
+            f"n={self.problem.num_dofs}, setup {self.setup_time:.3f}s, "
+            f"{self.num_solves} solve(s))"
+        )
+
+
+def prepare(
+    problem: Problem,
+    config: Union[SolverConfig, Dict, None] = None,
+    model=None,
+) -> SolverSession:
+    """Build a :class:`SolverSession`: all operator-dependent setup, once.
+
+    Parameters
+    ----------
+    problem:
+        Any :class:`~repro.fem.problem.Problem` (including every family from
+        :func:`repro.problems.make_problem`).
+    config:
+        A :class:`~repro.solvers.config.SolverConfig`, a plain dict of its
+        fields (parsed JSON), or None for the defaults.
+    model:
+        A trained :class:`~repro.gnn.dss.DSS` (required by ``ddm-gnn`` unless
+        ``config.checkpoint`` points at a versioned checkpoint to load).
+    """
+    return SolverSession(problem, config, model=model)

@@ -224,18 +224,29 @@ class TestRegistry:
             "diffusion-smooth",
             "diffusion-mixed-bc",
             "poisson-robin",
+            "convection-diffusion",
         ):
             assert expected in names
 
     def test_every_family_builds_and_solves(self, unit_square_mesh):
-        """Registry round-trip: every registered name yields a solvable problem."""
+        """Registry round-trip: every registered name yields a solvable problem.
+
+        SPD families go through IC(0)-PCG; nonsymmetric families (where CG
+        and the Cholesky-based IC(0) do not apply) go through plain GMRES —
+        both via the ``repro.solvers`` session API.
+        """
+        from repro.solvers import SolverConfig, prepare
+
         for name in available_problems():
             problem = make_problem(name, mesh=unit_square_mesh, rng=np.random.default_rng(1))
             u = problem.solve_direct()
             assert problem.relative_residual_norm(u) < 1e-8, name
-            result = HybridSolver(
-                HybridSolverConfig(preconditioner="ic0", tolerance=1e-8, max_iterations=2000)
-            ).solve(problem)
+            if problem.symmetric:
+                config = SolverConfig(preconditioner="ic0", tolerance=1e-8, max_iterations=2000)
+            else:
+                config = SolverConfig(preconditioner="none", krylov="gmres",
+                                      tolerance=1e-8, max_iterations=2000)
+            result = prepare(problem, config).solve()
             assert result.converged, name
             assert np.allclose(result.solution, u, atol=1e-5), name
 

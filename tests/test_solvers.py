@@ -1,0 +1,466 @@
+"""Tests of the ``repro.solvers`` subsystem: the Krylov/preconditioner
+registries, setup/solve-split sessions (amortisation invariants), multi-RHS
+serving parity, config round-trips, the nonsymmetric convection-diffusion
+smoke workload and the backwards-compatible ``HybridSolver`` shim."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.solvers.preconditioners as precond_module
+from repro.core import HybridSolver, HybridSolverConfig
+from repro.fem import assemble_convection
+from repro.mesh import structured_rectangle_mesh
+from repro.problems import make_problem
+from repro.solvers import (
+    MultiSolveResult,
+    SolverConfig,
+    SolverSession,
+    available_krylov_methods,
+    available_preconditioners,
+    krylov_spec,
+    preconditioner_spec,
+    prepare,
+    register_krylov,
+    register_preconditioner,
+)
+from repro.solvers.registry import _KRYLOV, _PRECONDITIONERS
+
+
+# --------------------------------------------------------------------------- #
+# registries
+# --------------------------------------------------------------------------- #
+class TestRegistries:
+    def test_all_krylov_methods_registered(self):
+        names = available_krylov_methods()
+        for expected in ("cg", "gmres", "bicgstab"):
+            assert expected in names
+
+    def test_all_preconditioners_registered(self):
+        names = available_preconditioners()
+        for expected in ("ddm-gnn", "ddm-lu", "ddm-jacobi", "ic0", "none"):
+            assert expected in names
+
+    def test_specs_carry_descriptions_and_flags(self):
+        assert krylov_spec("cg").symmetric_only
+        assert not krylov_spec("gmres").symmetric_only
+        assert preconditioner_spec("ddm-gnn").needs_model
+        assert preconditioner_spec("ddm-gnn").needs_decomposition
+        assert not preconditioner_spec("ic0").needs_decomposition
+        assert preconditioner_spec("ic0").spd_only
+        assert not preconditioner_spec("ddm-lu").spd_only
+        assert preconditioner_spec("ddm-lu").description
+
+    def test_unknown_names_raise_value_error_with_alternatives(self):
+        with pytest.raises(ValueError, match="bicgstab"):
+            krylov_spec("no-such-method")
+        with pytest.raises(ValueError, match="ddm-lu"):
+            preconditioner_spec("no-such-preconditioner")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_krylov("cg")(lambda *a, **k: None)
+        with pytest.raises(ValueError, match="already registered"):
+            register_preconditioner("ic0")(lambda *a, **k: None)
+
+    def test_new_method_plugs_in_without_call_site_changes(self, random_problem):
+        """The registry contract: a decorated factory is reachable by name."""
+        from repro.ddm.asm import IdentityPreconditioner
+
+        @register_preconditioner("test-identity", description="registry plumbing test")
+        def _build(problem, config, decomposition=None, model=None):
+            return IdentityPreconditioner(problem.num_dofs)
+
+        try:
+            session = prepare(random_problem, SolverConfig(preconditioner="test-identity"))
+            assert isinstance(session.preconditioner, IdentityPreconditioner)
+            assert session.solve().converged
+        finally:
+            del _PRECONDITIONERS["test-identity"]
+
+    def test_custom_krylov_method_reachable(self, random_problem):
+        from repro.krylov import preconditioned_conjugate_gradient
+
+        @register_krylov("test-cg", symmetric_only=True)
+        def _solve(matrix, rhs, **kwargs):
+            return preconditioned_conjugate_gradient(matrix, rhs, **kwargs)
+
+        try:
+            result = prepare(
+                random_problem,
+                SolverConfig(preconditioner="none", krylov="test-cg", tolerance=1e-8),
+            ).solve()
+            assert result.converged
+        finally:
+            del _KRYLOV["test-cg"]
+
+
+# --------------------------------------------------------------------------- #
+# every registered solver component is reachable end to end
+# --------------------------------------------------------------------------- #
+class TestEveryComponentSolves:
+    @pytest.mark.parametrize("kind", ["ddm-gnn", "ddm-lu", "ddm-jacobi", "ic0", "none"])
+    def test_every_preconditioner_kind_by_name(self, random_problem, tiny_dss_model, kind):
+        config = SolverConfig(
+            preconditioner=kind, subdomain_size=80, tolerance=1e-3, max_iterations=300
+        )
+        model = tiny_dss_model if preconditioner_spec(kind).needs_model else None
+        session = prepare(random_problem, config, model=model)
+        result = session.solve()
+        assert result.iterations <= 300
+        assert result.info["preconditioner_kind"] == kind
+        # setup happened in prepare(), exactly once
+        assert session.num_setups == 1
+        assert session.setup_timings["total_s"] > 0.0
+
+    @pytest.mark.parametrize("krylov", ["cg", "gmres", "bicgstab"])
+    def test_every_krylov_method_by_name(self, random_problem, krylov):
+        config = SolverConfig(
+            preconditioner="ddm-lu", krylov=krylov, subdomain_size=80, tolerance=1e-8
+        )
+        result = prepare(random_problem, config).solve()
+        assert result.converged
+        assert result.info["krylov"] == krylov
+        reference = random_problem.solve_direct()
+        assert np.linalg.norm(result.solution - reference) / np.linalg.norm(reference) < 1e-5
+
+    def test_krylov_kwargs_forwarded(self, random_problem):
+        result = prepare(
+            random_problem,
+            SolverConfig(preconditioner="none", krylov="gmres", tolerance=1e-8,
+                         krylov_kwargs={"restart": 10}),
+        ).solve()
+        assert result.converged
+        assert result.info["restart"] == 10
+
+    def test_unknown_krylov_kwargs_rejected_before_setup(self, random_problem):
+        """A method/kwargs mismatch fails at prepare(), not after paying setup."""
+        with pytest.raises(ValueError, match="does not accept"):
+            prepare(
+                random_problem,
+                SolverConfig(preconditioner="none", krylov="cg",
+                             krylov_kwargs={"restart": 30}),
+            )
+
+    def test_session_managed_krylov_kwargs_rejected(self, random_problem):
+        """tolerance/max_iterations/etc. belong on SolverConfig, not krylov_kwargs."""
+        with pytest.raises(ValueError, match="session-managed"):
+            prepare(
+                random_problem,
+                SolverConfig(preconditioner="none", krylov="gmres",
+                             krylov_kwargs={"tolerance": 1e-8}),
+            )
+
+
+# --------------------------------------------------------------------------- #
+# amortisation: setup exactly once, zero re-setup across many RHS
+# --------------------------------------------------------------------------- #
+class TestAmortisation:
+    def test_sixteen_fresh_rhs_without_any_resetup(self, random_problem, monkeypatch):
+        """A prepared session serves 16 fresh RHS with zero re-partitioning
+        and zero re-factorisation (the acceptance invariant of the split)."""
+        partition_calls = {"n": 0}
+        original = precond_module.partition_mesh_target_size
+
+        def counting_partition(*args, **kwargs):
+            partition_calls["n"] += 1
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(precond_module, "partition_mesh_target_size", counting_partition)
+
+        session = prepare(
+            random_problem, SolverConfig(preconditioner="ddm-lu", subdomain_size=80, tolerance=1e-8)
+        )
+        assert partition_calls["n"] == 1
+        preconditioner = session.preconditioner
+        local_solver = session.preconditioner.local_solver
+
+        rng = np.random.default_rng(0)
+        for i in range(16):
+            result = session.solve(rng.normal(size=random_problem.num_dofs))
+            assert result.converged
+            expected_setup = session.setup_time if i == 0 else 0.0
+            assert result.info["setup_s"] == expected_setup
+
+        # no re-partitioning, no new preconditioner, no re-factorisation
+        assert partition_calls["n"] == 1
+        assert session.preconditioner is preconditioner
+        assert session.preconditioner.local_solver is local_solver
+        assert session.num_setups == 1
+        assert session.num_solves == 16
+
+    def test_setup_s_zero_on_repeat_solve(self, random_problem):
+        session = prepare(
+            random_problem, SolverConfig(preconditioner="ic0", tolerance=1e-8)
+        )
+        first = session.solve()
+        second = session.solve()
+        assert first.info["setup_s"] == session.setup_time > 0.0
+        assert second.info["setup_s"] == 0.0
+        assert second.info["stage_timings"]["partition_s"] == 0.0
+        assert second.info["stage_timings"]["preconditioner_s"] == 0.0
+
+    def test_gnn_session_compiles_plans_once(self, random_problem, tiny_dss_model, monkeypatch):
+        """DDM-GNN setup (graph batches + inference plans) happens in prepare,
+        never during solve."""
+        compile_calls = {"n": 0}
+        original = type(tiny_dss_model).compile_plan
+
+        def counting_compile(self, batch):
+            compile_calls["n"] += 1
+            return original(self, batch)
+
+        monkeypatch.setattr(type(tiny_dss_model), "compile_plan", counting_compile)
+        session = prepare(
+            random_problem,
+            SolverConfig(preconditioner="ddm-gnn", subdomain_size=80,
+                         tolerance=1e-2, max_iterations=40),
+            model=tiny_dss_model,
+        )
+        after_prepare = compile_calls["n"]
+        assert after_prepare >= 1
+        rng = np.random.default_rng(1)
+        for _ in range(3):
+            session.solve(rng.normal(size=random_problem.num_dofs))
+        assert compile_calls["n"] == after_prepare
+
+    def test_diagnostics_track_amortisation(self, random_problem):
+        session = prepare(
+            random_problem, SolverConfig(preconditioner="ddm-lu", subdomain_size=80, tolerance=1e-6)
+        )
+        session.solve()
+        session.solve()
+        diag = session.diagnostics()
+        assert diag["num_setups"] == 1
+        assert diag["num_solves"] == 2
+        assert diag["amortised_setup_s"] == pytest.approx(session.setup_time / 2)
+        assert diag["num_subdomains"] == session.decomposition.num_subdomains
+        assert "SolverSession(ddm-lu+cg" in session.summary()
+
+
+# --------------------------------------------------------------------------- #
+# multi-RHS serving
+# --------------------------------------------------------------------------- #
+class TestSolveMany:
+    def test_solve_many_bit_matches_sequential(self, random_problem):
+        B = np.random.default_rng(3).normal(size=(16, random_problem.num_dofs))
+        batch_session = prepare(
+            random_problem, SolverConfig(preconditioner="ddm-lu", subdomain_size=80, tolerance=1e-8)
+        )
+        seq_session = prepare(
+            random_problem, SolverConfig(preconditioner="ddm-lu", subdomain_size=80, tolerance=1e-8)
+        )
+        batch = batch_session.solve_many(B)
+        assert isinstance(batch, MultiSolveResult)
+        assert batch.num_rhs == 16
+        assert batch.converged
+        for i, row in enumerate(B):
+            sequential = seq_session.solve(row)
+            assert np.array_equal(batch.results[i].solution, sequential.solution), i
+            assert batch.results[i].iterations == sequential.iterations
+            assert batch.results[i].residual_history == sequential.residual_history
+        assert batch.solutions.shape == (16, random_problem.num_dofs)
+        assert np.array_equal(batch.solutions[0], batch.results[0].solution)
+
+    def test_solve_many_with_gnn_model(self, random_problem, tiny_dss_model):
+        B = np.random.default_rng(4).normal(size=(3, random_problem.num_dofs))
+        session = prepare(
+            random_problem,
+            SolverConfig(preconditioner="ddm-gnn", subdomain_size=80,
+                         tolerance=1e-2, max_iterations=40),
+            model=tiny_dss_model,
+        )
+        batch = session.solve_many(B)
+        sequential = prepare(
+            random_problem,
+            SolverConfig(preconditioner="ddm-gnn", subdomain_size=80,
+                         tolerance=1e-2, max_iterations=40),
+            model=tiny_dss_model,
+        ).solve(B[0])
+        assert np.array_equal(batch.results[0].solution, sequential.solution)
+
+    def test_solve_many_rejects_wrong_width(self, random_problem):
+        session = prepare(random_problem, SolverConfig(preconditioner="none"))
+        with pytest.raises(ValueError, match="right-hand sides"):
+            session.solve_many(np.zeros((2, random_problem.num_dofs + 1)))
+
+    def test_multi_result_summary(self, random_problem):
+        session = prepare(random_problem, SolverConfig(preconditioner="none", tolerance=1e-6))
+        batch = session.solve_many(np.stack([random_problem.rhs, 2.0 * random_problem.rhs]))
+        assert "2 right-hand sides converged" in batch.summary()
+        assert MultiSolveResult().summary() == "0 right-hand sides"
+
+    def test_solve_many_accepts_generator(self, random_problem):
+        session = prepare(random_problem, SolverConfig(preconditioner="none", tolerance=1e-6))
+        rows = np.random.default_rng(6).normal(size=(3, random_problem.num_dofs))
+        batch = session.solve_many(row for row in rows)
+        assert batch.num_rhs == 3 and batch.converged
+
+
+# --------------------------------------------------------------------------- #
+# config round-trips and spec unification
+# --------------------------------------------------------------------------- #
+class TestConfig:
+    def test_dict_round_trip(self):
+        config = SolverConfig(preconditioner="ddm-jacobi", krylov="bicgstab",
+                              overlap=3, krylov_kwargs={"restart": 5})
+        assert SolverConfig.from_dict(config.to_dict()) == config
+
+    def test_json_round_trip(self, tmp_path):
+        config = SolverConfig(preconditioner="ic0", tolerance=1e-4)
+        path = tmp_path / "solver.json"
+        config.save_json(path)
+        assert SolverConfig.from_json(path) == config
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ValueError, match="unknown solver-config fields"):
+            SolverConfig.from_dict({"preconditioner": "ic0", "not_a_field": 1})
+
+    def test_prepare_accepts_plain_dict(self, random_problem):
+        session = prepare(random_problem, {"preconditioner": "ic0", "tolerance": 1e-8})
+        assert isinstance(session.config, SolverConfig)
+        assert session.solve().converged
+
+    def test_default_configs_are_not_shared(self, tiny_dss_model):
+        """The shared-mutable-default footgun: every solver/session gets its
+        own config instance."""
+        a = HybridSolver(model=tiny_dss_model)
+        b = HybridSolver(model=tiny_dss_model)
+        assert a.config is not b.config
+        a.config.tolerance = 1e-1
+        assert b.config.tolerance == 1e-6
+        # and mutable fields are per-instance too
+        a.config.krylov_kwargs["restart"] = 3
+        assert b.config.krylov_kwargs == {}
+
+    def test_experiment_spec_builds_solver_config(self):
+        from repro.experiments import ExperimentSpec
+
+        spec = ExperimentSpec(subdomain_size=77, overlap=3, tolerance=1e-4, seed=5)
+        config = spec.solver_config("ddm-lu", krylov="gmres")
+        assert config.preconditioner == "ddm-lu"
+        assert config.krylov == "gmres"
+        assert config.subdomain_size == 77
+        assert config.overlap == 3
+        assert config.tolerance == 1e-4
+        assert config.seed == 5
+
+    def test_checkpoint_driven_session(self, random_problem, tmp_path):
+        """config.checkpoint is the third construction path: model from disk."""
+        from repro.gnn import DSS, DSSConfig
+        from repro.gnn.checkpoint import save_checkpoint
+
+        model = DSS(DSSConfig(num_iterations=2, latent_dim=4, seed=3))
+        path = tmp_path / "model.npz"
+        save_checkpoint(path, model)
+        session = prepare(
+            random_problem,
+            SolverConfig(preconditioner="ddm-gnn", subdomain_size=80,
+                         tolerance=1e-2, max_iterations=10, checkpoint=str(path)),
+        )
+        direct = prepare(
+            random_problem,
+            SolverConfig(preconditioner="ddm-gnn", subdomain_size=80,
+                         tolerance=1e-2, max_iterations=10),
+            model=model,
+        )
+        r = np.random.default_rng(5).normal(size=random_problem.num_dofs)
+        assert np.allclose(session.preconditioner.apply(r), direct.preconditioner.apply(r))
+
+
+# --------------------------------------------------------------------------- #
+# nonsymmetric smoke problem through the registries
+# --------------------------------------------------------------------------- #
+class TestNonsymmetricSmoke:
+    @pytest.fixture(scope="class")
+    def convection_problem(self):
+        mesh = structured_rectangle_mesh(14, 14)
+        return make_problem("convection-diffusion", mesh=mesh, rng=np.random.default_rng(0))
+
+    def test_problem_is_nonsymmetric(self, convection_problem):
+        dense = convection_problem.matrix.toarray()
+        assert not np.allclose(dense, dense.T)
+        assert convection_problem.symmetric is False
+
+    @pytest.mark.parametrize("krylov", ["gmres", "bicgstab"])
+    @pytest.mark.parametrize("kind", ["ddm-lu", "none"])
+    def test_gmres_and_bicgstab_solve_it(self, convection_problem, krylov, kind):
+        session = prepare(
+            convection_problem,
+            SolverConfig(preconditioner=kind, krylov=krylov, subdomain_size=60,
+                         tolerance=1e-8, max_iterations=2000),
+        )
+        result = session.solve()
+        assert result.converged
+        reference = convection_problem.solve_direct()
+        assert np.linalg.norm(result.solution - reference) / np.linalg.norm(reference) < 1e-5
+
+    def test_cg_rejected_on_nonsymmetric_problem(self, convection_problem):
+        with pytest.raises(ValueError, match="gmres"):
+            prepare(convection_problem, SolverConfig(preconditioner="none", krylov="cg"))
+
+    def test_spd_only_preconditioner_rejected(self, convection_problem):
+        """IC(0) is Cholesky-based: the registry flag stops silent misuse."""
+        with pytest.raises(ValueError, match="symmetric"):
+            prepare(convection_problem, SolverConfig(preconditioner="ic0", krylov="gmres"))
+
+    def test_convection_matrix_rows_sum_to_zero(self):
+        mesh = structured_rectangle_mesh(6, 6)
+        convection = assemble_convection(mesh, (0.7, -0.3))
+        assert np.allclose(convection @ np.ones(mesh.num_nodes), 0.0, atol=1e-12)
+
+    def test_convection_velocity_forms_agree(self):
+        mesh = structured_rectangle_mesh(5, 5)
+        constant = assemble_convection(mesh, (1.0, 2.0))
+        per_triangle = assemble_convection(
+            mesh, np.tile([1.0, 2.0], (mesh.num_triangles, 1))
+        )
+        from_callable = assemble_convection(
+            mesh, lambda x, y: (np.ones_like(x), 2.0 * np.ones_like(y))
+        )
+        from_columns = assemble_convection(
+            mesh, lambda x, y: np.column_stack([np.ones_like(x), 2.0 * np.ones_like(y)])
+        )
+        assert np.allclose(constant.toarray(), per_triangle.toarray())
+        assert np.allclose(constant.toarray(), from_callable.toarray())
+        assert np.allclose(constant.toarray(), from_columns.toarray())
+        with pytest.raises(ValueError, match="velocity callable"):
+            assemble_convection(mesh, lambda x, y: np.ones((3, mesh.num_triangles)))
+
+
+# --------------------------------------------------------------------------- #
+# the backwards-compatible facade
+# --------------------------------------------------------------------------- #
+class TestHybridSolverShim:
+    def test_config_alias(self):
+        assert HybridSolverConfig is SolverConfig
+
+    def test_shim_matches_session(self, random_problem):
+        config = SolverConfig(preconditioner="ddm-lu", subdomain_size=80, tolerance=1e-8)
+        old = HybridSolver(config).solve(random_problem)
+        new = prepare(random_problem, config).solve()
+        assert np.array_equal(old.solution, new.solution)
+        assert old.iterations == new.iterations
+        assert old.info["num_subdomains"] == new.info["num_subdomains"]
+
+    def test_shim_records_setup_counters(self, random_problem):
+        solver = HybridSolver(SolverConfig(preconditioner="ddm-lu", subdomain_size=80))
+        preconditioner = solver.build_preconditioner(random_problem)
+        assert solver.setup_time > 0.0
+        assert solver.last_preconditioner is preconditioner
+        assert solver.last_decomposition is not None
+        assert isinstance(solver.last_session, SolverSession)
+
+    def test_shim_requires_model_eagerly(self):
+        with pytest.raises(ValueError, match="requires a DSS model"):
+            HybridSolver(SolverConfig(preconditioner="ddm-gnn"))
+
+    def test_shim_forwards_krylov_selection(self, random_problem):
+        result = HybridSolver(
+            SolverConfig(preconditioner="ddm-lu", subdomain_size=80,
+                         krylov="bicgstab", tolerance=1e-8)
+        ).solve(random_problem)
+        assert result.converged
+        assert result.info["krylov"] == "bicgstab"
+        assert result.info["solver"] == "bicgstab"
