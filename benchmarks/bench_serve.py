@@ -1,0 +1,287 @@
+"""Closed-loop load generator for the serve layer — the serving trajectory bench.
+
+For each (client count × batching setting) cell this harness stands up a
+fresh :class:`repro.serve.SolveService`, drives it with C closed-loop client
+threads (each thread fires its next request the moment the previous one
+returns — the classical closed-loop model), and records:
+
+* ``throughput_rps``   — completed requests over the measured wall time,
+* ``lat_ms_p50/p95/p99`` — end-to-end request latency percentiles
+  (queue wait + solve, as observed by the clients),
+* ``cache_hit_rate``   — session-cache hit rate over the cell.
+
+Batching "on" uses the service's micro-batching queue (requests coalesce
+into lockstep multi-RHS solves); "off" (``max_batch=1``) is the
+one-solve-per-request baseline.  **Correctness is asserted, not assumed**:
+every response is compared bit-for-bit against reference solutions computed
+sequentially through ``session.solve`` — micro-batching is a pure throughput
+optimisation.
+
+Results are written to ``BENCH_serve.json`` (schema per record: ``solver,
+n, clients, batching, max_batch, max_wait_ms, requests, throughput_rps,
+lat_ms_p50, lat_ms_p95, lat_ms_p99, cache_hit_rate, mean_batch_size``) so
+the serving trajectory accumulates across PRs, and the headline
+``batched/unbatched`` throughput speedups are printed per solver.
+
+Usage::
+
+    python benchmarks/bench_serve.py            # full sweep
+    python benchmarks/bench_serve.py --smoke    # CI smoke cell set
+    python benchmarks/bench_serve.py --checkpoint artifacts/<hash>/checkpoint.npz
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without `pip install -e .`
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.fem import random_poisson_problem
+from repro.mesh import mesh_for_target_size
+from repro.serve import ServeConfig, SolveService
+from repro.solvers import SolverConfig, prepare
+from repro.utils import format_table
+
+from common import SUBDOMAIN_SIZE, get_pretrained_model
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+TOLERANCE = 1e-3  # the tolerance of the paper's timing experiments (Table III)
+SMOKE_TARGET_N = 640
+RHS_POOL = 32
+
+#: solvers swept by the bench; ddm-gnn is appended when a checkpoint/model is
+#: available (the CI serve-smoke job restores the cached perf-smoke artifact)
+SWEEP_SOLVERS = ("ddm-lu", "ddm-jacobi")
+
+
+def make_solver_config(kind: str) -> SolverConfig:
+    return SolverConfig(
+        preconditioner=kind,
+        subdomain_size=SUBDOMAIN_SIZE,
+        overlap=2,
+        tolerance=TOLERANCE,
+        max_iterations=4000,
+    )
+
+
+def run_cell(problem, solver_config, model, pool, references, clients: int,
+             max_batch: int, max_wait_ms: float, requests_per_client: int):
+    """One closed-loop cell; returns its record plus the parity verdict."""
+    service = SolveService(
+        ServeConfig(
+            workers=2,
+            max_batch=max_batch,
+            max_wait_ms=max_wait_ms,
+            cache_capacity=4,
+        ),
+        model=model,
+    )
+    try:
+        # warm the session cache so the measured window holds no setup cost
+        service.solve(problem, pool[0], solver_config=solver_config)
+
+        mismatches = []
+        latencies_ms = []
+        latencies_lock = threading.Lock()
+        barrier = threading.Barrier(clients + 1)
+
+        def client(tid: int) -> None:
+            local_latencies = []
+            try:
+                barrier.wait()
+                for i in range(requests_per_client):
+                    index = (tid * 7 + i) % len(pool)
+                    t0 = time.perf_counter()
+                    result = service.solve(problem, pool[index], solver_config=solver_config)
+                    local_latencies.append((time.perf_counter() - t0) * 1e3)
+                    if not np.array_equal(result.solution, references[index]):
+                        mismatches.append((tid, i))
+            except Exception as error:  # noqa: BLE001 - recorded, fails the bench
+                mismatches.append((tid, repr(error)))
+            with latencies_lock:
+                latencies_ms.extend(local_latencies)
+
+        threads = [threading.Thread(target=client, args=(t,)) for t in range(clients)]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        started = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+
+        stats = service.stats()
+        total_requests = clients * requests_per_client
+        ordered = np.sort(np.asarray(latencies_ms))
+
+        def percentile(q: float) -> float:
+            rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+            return float(ordered[min(rank, len(ordered)) - 1])
+
+        record = {
+            "solver": solver_config.preconditioner,
+            "n": int(problem.num_dofs),
+            "clients": clients,
+            "batching": max_batch > 1,
+            "max_batch": max_batch,
+            "max_wait_ms": max_wait_ms,
+            "requests": total_requests,
+            "throughput_rps": round(total_requests / elapsed, 2),
+            "lat_ms_p50": round(percentile(50.0), 3),
+            "lat_ms_p95": round(percentile(95.0), 3),
+            "lat_ms_p99": round(percentile(99.0), 3),
+            "cache_hit_rate": round(stats["cache"]["hit_rate"], 4),
+            "mean_batch_size": round(stats["mean_batch_size"] or 1.0, 2),
+        }
+        return record, mismatches
+    finally:
+        service.close()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help=f"small cell set on a ~{SMOKE_TARGET_N}-node mesh (CI smoke job)")
+    parser.add_argument("--target-n", type=int, default=None,
+                        help="global problem size (default: smoke preset or 2000)")
+    parser.add_argument("--requests-per-client", type=int, default=None,
+                        help="closed-loop requests each client issues per cell")
+    parser.add_argument("--max-batch", type=int, default=8,
+                        help="micro-batch bound of the batched cells (default 8)")
+    parser.add_argument("--max-wait-ms", type=float, default=2.0,
+                        help="micro-batch coalescing window (default 2ms)")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help=f"where to write the JSON records (default: {DEFAULT_OUTPUT})")
+    parser.add_argument("--checkpoint", type=Path, default=None,
+                        help="bench a ddm-gnn serving cell against this trained checkpoint "
+                             "(repro.gnn.checkpoint format); without it the GNN cell is "
+                             "included only when a cached bench artifact exists")
+    parser.add_argument("--skip-gnn", action="store_true",
+                        help="never include the ddm-gnn serving cell")
+    args = parser.parse_args(argv)
+
+    target_n = args.target_n or (SMOKE_TARGET_N if args.smoke else 2000)
+    requests_per_client = args.requests_per_client or (25 if args.smoke else 40)
+    client_counts = (1, 8, 16) if args.smoke else (1, 4, 8, 16)
+
+    rng = np.random.default_rng(1)
+    mesh = mesh_for_target_size(target_n, element_size=0.07, rng=rng)
+    problem = random_poisson_problem(mesh, rng=rng)
+    pool = [rng.normal(size=problem.num_dofs) for _ in range(RHS_POOL)]
+
+    solvers = list(SWEEP_SOLVERS)
+    model = None
+    if not args.skip_gnn:
+        try:
+            model = get_pretrained_model(
+                checkpoint=str(args.checkpoint) if args.checkpoint else None
+            )
+            solvers.append("ddm-gnn")
+        except Exception as error:  # noqa: BLE001 - GNN cell is optional
+            print(f"note: skipping ddm-gnn serving cell ({type(error).__name__}: {error})")
+
+    print(f"serve bench: n={problem.num_dofs}, tolerance={TOLERANCE:g}, "
+          f"{RHS_POOL} pooled RHS, {requests_per_client} requests/client, "
+          f"clients {client_counts}")
+
+    all_records = []
+    speedups = {}
+    parity_failures = 0
+    for kind in solvers:
+        solver_config = make_solver_config(kind)
+        cell_model = model if kind == "ddm-gnn" else None
+        # the GNN's per-solve cost is ~20x the exact solvers'; its cells
+        # demonstrate GNN serving (cache + batching + parity), not the
+        # headline speedup sweep, so they run at reduced load
+        if kind == "ddm-gnn":
+            cell_clients = tuple(c for c in client_counts if c in (1, 8)) or (8,)
+            cell_requests = max(6, requests_per_client // 3)
+            cell_pool = pool[:8]
+        else:
+            cell_clients = client_counts
+            cell_requests = requests_per_client
+            cell_pool = pool
+        # bit-parity references: sequential solves on a standalone session
+        reference_session = prepare(problem, solver_config, model=cell_model)
+        references = [reference_session.solve(b).solution for b in cell_pool]
+
+        by_cell = {}
+        for clients in cell_clients:
+            for batched in (False, True):
+                max_batch = args.max_batch if batched else 1
+                record, mismatches = run_cell(
+                    problem, solver_config, cell_model, cell_pool, references,
+                    clients=clients, max_batch=max_batch,
+                    max_wait_ms=args.max_wait_ms if batched else 0.0,
+                    requests_per_client=cell_requests,
+                )
+                if mismatches:
+                    parity_failures += len(mismatches)
+                    print(f"PARITY FAILURE: {kind} clients={clients} batched={batched}: "
+                          f"{mismatches[:3]}")
+                record["bitwise_identical"] = not mismatches
+                all_records.append(record)
+                by_cell[(clients, batched)] = record
+
+        print(f"\n[{kind}]")
+        print(format_table(
+            ["clients", "batching", "throughput_rps", "lat_ms_p50", "lat_ms_p95",
+             "lat_ms_p99", "hit_rate", "mean_batch"],
+            [
+                [c, "on" if b else "off", r["throughput_rps"], r["lat_ms_p50"],
+                 r["lat_ms_p95"], r["lat_ms_p99"], r["cache_hit_rate"], r["mean_batch_size"]]
+                for (c, b), r in sorted(by_cell.items())
+            ],
+        ))
+        for clients in cell_clients:
+            if clients < 8:
+                continue
+            ratio = (by_cell[(clients, True)]["throughput_rps"]
+                     / by_cell[(clients, False)]["throughput_rps"])
+            speedups[f"{kind}@{clients}"] = round(ratio, 3)
+            print(f"micro-batching speedup at {clients} clients: {ratio:.2f}x")
+
+    best = max(speedups.values()) if speedups else 0.0
+    payload = {
+        "bench": "bench_serve",
+        "smoke": bool(args.smoke),
+        "tolerance": TOLERANCE,
+        "n": int(problem.num_dofs),
+        "checkpoint": str(args.checkpoint) if args.checkpoint else None,
+        "schema": ["solver", "n", "clients", "batching", "max_batch", "max_wait_ms",
+                   "requests", "throughput_rps", "lat_ms_p50", "lat_ms_p95",
+                   "lat_ms_p99", "cache_hit_rate", "mean_batch_size",
+                   "bitwise_identical"],
+        "records": all_records,
+        "batching_speedup": speedups,
+        "best_batching_speedup": best,
+        "bitwise_identical": parity_failures == 0,
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {len(all_records)} records to {args.output}")
+    print(f"best micro-batching speedup at >=8 clients: {best:.2f}x "
+          f"(bitwise identical: {parity_failures == 0})")
+
+    if parity_failures:
+        print("FAIL: served results diverged from sequential session.solve")
+        return 1
+    if best < 1.5:
+        print("WARNING: micro-batched throughput did not reach 1.5x the "
+              "one-solve-per-request baseline on this run")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

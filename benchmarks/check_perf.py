@@ -22,10 +22,21 @@ The comparison is deliberately noise-tolerant:
   looks like.  A uniform slowdown of every solver at once is indistinguishable
   from slower hardware and is intentionally not gated.
 
+The gate also covers the serving layer: ``--serve-fresh`` compares a fresh
+``bench_serve.py`` run against the committed ``BENCH_serve.json``.  Serve
+records are matched exactly on ``(solver, clients, batching)`` and gated on
+``lat_ms_p50`` with the same median machine-speed normalisation (its own
+pool — serving latency and per-apply cost drift differently).  Everything is
+missing-metric tolerant: an absent serve baseline, an unmatched cell or a
+missing metric is reported and skipped, never failed, so older baselines keep
+gating what they can.
+
 Usage::
 
     python benchmarks/check_perf.py --fresh /tmp/perf_smoke.json
     python benchmarks/check_perf.py --fresh new.json --baseline BENCH_perf.json --threshold 2.0
+    python benchmarks/check_perf.py --serve-fresh /tmp/serve_smoke.json
+    python benchmarks/check_perf.py --fresh new.json --serve-fresh serve.json
 """
 
 from __future__ import annotations
@@ -38,6 +49,9 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+DEFAULT_SERVE_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+#: serve metrics gated per (solver, clients, batching) cell
+SERVE_GATED_METRICS = ("lat_ms_p50",)
 #: gated metrics; resolve_ms_p50 (the amortised repeated-RHS serving cost of a
 #: prepared SolverSession) is skipped for records that don't carry it (e.g.
 #: ddm-gnn-ref, or baselines predating the setup/solve split)
@@ -87,43 +101,108 @@ def median(values: List[float]) -> float:
     return 0.5 * (ordered[mid - 1] + ordered[mid])
 
 
+def serve_cell_key(record: Dict) -> Tuple[str, int, bool]:
+    return (str(record.get("solver")), int(record.get("clients", 0)),
+            bool(record.get("batching")))
+
+
+def collect_serve_ratios(fresh: List[Dict], baseline: List[Dict]) -> List[Tuple[str, int, str, float]]:
+    """(cell label, clients, metric, ratio) for every matched serve cell.
+
+    Cells match exactly on (solver, clients, batching) and, like the perf
+    gate, to the baseline record of the **nearest problem size** — serving
+    latency scales with n, so comparing a full-sweep run against a smoke
+    baseline must not read the size difference as a regression.
+    """
+    by_cell: Dict[Tuple[str, int, bool], List[Dict]] = {}
+    for record in baseline:
+        by_cell.setdefault(serve_cell_key(record), []).append(record)
+    ratios = []
+    for record in fresh:
+        candidates = by_cell.get(serve_cell_key(record))
+        if not candidates:
+            print(f"note: serve cell {serve_cell_key(record)} has no baseline record — skipped")
+            continue
+        fresh_n = int(record.get("n", 0)) or 1
+        matched = min(candidates,
+                      key=lambda b: abs(math.log(max(int(b.get("n", 0)), 1) / fresh_n)))
+        for metric in SERVE_GATED_METRICS:
+            if matched.get(metric) is None or record.get(metric) is None:
+                continue
+            base_value = float(matched[metric])
+            fresh_value = float(record[metric])
+            if base_value <= 0.0:
+                continue
+            label = f"{record['solver']}/c{record['clients']}/" \
+                    f"{'batched' if record.get('batching') else 'single'}"
+            ratios.append((label, int(record["clients"]), metric, fresh_value / base_value))
+    return ratios
+
+
+def gate(ratios: List[Tuple[str, int, str, float]], threshold: float, title: str) -> List[Tuple]:
+    """Print the normalised table for one ratio pool; returns its failures."""
+    machine_factor = median([ratio for _, _, _, ratio in ratios])
+    print(f"\n[{title}] machine-speed factor "
+          f"(median raw ratio over {len(ratios)} pairs): {machine_factor:.3f}")
+    print(f"{'record':<26} {'n/clients':>9} {'metric':<14} {'raw':>8} {'normalised':>11}  verdict")
+    failures = []
+    for label, size, metric, ratio in ratios:
+        normalised = ratio / machine_factor if machine_factor > 0 else ratio
+        verdict = "ok"
+        if normalised > threshold:
+            verdict = f"REGRESSION (> {threshold:g}x)"
+            failures.append((label, size, metric, normalised))
+        print(f"{label:<26} {size:>9} {metric:<14} {ratio:>7.2f}x {normalised:>10.2f}x  {verdict}")
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--fresh", type=Path, required=True,
+    parser.add_argument("--fresh", type=Path, default=None,
                         help="bench_perf JSON output of the run under test")
     parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
                         help=f"committed baseline (default: {DEFAULT_BASELINE})")
+    parser.add_argument("--serve-fresh", type=Path, default=None,
+                        help="bench_serve JSON output of the run under test")
+    parser.add_argument("--serve-baseline", type=Path, default=DEFAULT_SERVE_BASELINE,
+                        help=f"committed serve baseline (default: {DEFAULT_SERVE_BASELINE})")
     parser.add_argument("--threshold", type=float, default=2.0,
                         help="maximum allowed machine-normalised regression ratio (default 2.0)")
     args = parser.parse_args(argv)
 
-    fresh = load_records(args.fresh)
-    baseline = load_records(args.baseline)
-    ratios = collect_ratios(fresh, baseline)
-    if not ratios:
-        print("error: no comparable solver records between fresh run and baseline")
-        return 1
-
-    machine_factor = median([ratio for _, _, _, ratio in ratios])
-    print(f"machine-speed factor (median raw ratio over {len(ratios)} pairs): {machine_factor:.3f}")
-    print(f"{'solver':<14} {'n':>7} {'metric':<14} {'raw':>8} {'normalised':>11}  verdict")
+    if args.fresh is None and args.serve_fresh is None:
+        parser.error("provide --fresh and/or --serve-fresh")
 
     failures = []
-    for solver, n, metric, ratio in ratios:
-        normalised = ratio / machine_factor if machine_factor > 0 else ratio
-        verdict = "ok"
-        if normalised > args.threshold:
-            verdict = f"REGRESSION (> {args.threshold:g}x)"
-            failures.append((solver, n, metric, normalised))
-        print(f"{solver:<14} {n:>7} {metric:<14} {ratio:>7.2f}x {normalised:>10.2f}x  {verdict}")
+
+    if args.fresh is not None:
+        fresh = load_records(args.fresh)
+        baseline = load_records(args.baseline)
+        ratios = collect_ratios(fresh, baseline)
+        if not ratios:
+            print("error: no comparable solver records between fresh run and baseline")
+            return 1
+        failures += gate(ratios, args.threshold, "perf")
+
+    if args.serve_fresh is not None:
+        if not args.serve_baseline.exists():
+            print(f"note: serve baseline {args.serve_baseline} missing — serve gate skipped")
+        else:
+            serve_fresh = load_records(args.serve_fresh)
+            serve_baseline = load_records(args.serve_baseline)
+            serve_ratios = collect_serve_ratios(serve_fresh, serve_baseline)
+            if serve_ratios:
+                failures += gate(serve_ratios, args.threshold, "serve")
+            else:
+                print("note: no comparable serve cells — serve gate skipped")
 
     if failures:
         print(f"\nFAIL: {len(failures)} metric(s) regressed beyond {args.threshold:g}x "
               "after machine-speed normalisation:")
-        for solver, n, metric, normalised in failures:
-            print(f"  - {solver} (n={n}) {metric}: {normalised:.2f}x")
+        for label, size, metric, normalised in failures:
+            print(f"  - {label} (n={size}) {metric}: {normalised:.2f}x")
         return 1
-    print(f"\nOK: no solver regressed beyond {args.threshold:g}x (machine-normalised)")
+    print(f"\nOK: no metric regressed beyond {args.threshold:g}x (machine-normalised)")
     return 0
 
 

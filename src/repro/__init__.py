@@ -20,7 +20,11 @@ The package is organised bottom-up (see DESIGN.md):
   and multi-RHS serving (``prepare(problem, config).solve_many(B)``);
 * :mod:`repro.experiments` — the reproducible experiment harness
   (``python -m repro.experiments run --spec spec.json``) driving
-  seed→mesh→train→checkpoint→bench→report from a declarative JSON spec.
+  seed→mesh→train→checkpoint→bench→report from a declarative JSON spec;
+* :mod:`repro.serve` — the concurrent solve service
+  (``python -m repro.serve``): fingerprint-keyed session cache, request
+  micro-batching onto lockstep multi-RHS solves, worker pool, latency SLO
+  metrics and a stdlib JSON-over-HTTP front end.
 
 Typical usage::
 
@@ -37,9 +41,23 @@ Typical usage::
     print(result.summary())           # further session.solve(b) calls amortise it
 """
 
-from . import core, ddm, experiments, fem, gnn, krylov, mesh, nn, partition, problems, solvers, utils
+from . import (
+    core,
+    ddm,
+    experiments,
+    fem,
+    gnn,
+    krylov,
+    mesh,
+    nn,
+    partition,
+    problems,
+    serve,
+    solvers,
+    utils,
+)
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "nn",
@@ -52,6 +70,7 @@ __all__ = [
     "gnn",
     "core",
     "solvers",
+    "serve",
     "experiments",
     "utils",
     "__version__",

@@ -34,6 +34,22 @@ class Preconditioner:
     def apply(self, residual: np.ndarray) -> np.ndarray:  # pragma: no cover - interface
         raise NotImplementedError
 
+    def apply_columns(self, residuals: np.ndarray) -> np.ndarray:
+        """Apply to every column of an ``(n, k)`` residual block.
+
+        Contract (relied on by :func:`repro.krylov.block.lockstep_pcg`):
+        column ``i`` of the result is **bit-identical** to
+        ``apply(residuals[:, i])``.  The base implementation is a per-column
+        loop, which satisfies the contract trivially; subclasses may override
+        it with genuinely batched kernels as long as they preserve it.  The
+        result is Fortran-ordered so each column stays a contiguous vector.
+        """
+        residuals = np.asarray(residuals, dtype=np.float64)
+        out = np.empty(residuals.shape, order="F")
+        for i in range(residuals.shape[1]):
+            out[:, i] = self.apply(np.ascontiguousarray(residuals[:, i]))
+        return out
+
     def aslinearoperator(self) -> spla.LinearOperator:
         """Wrap as a SciPy ``LinearOperator`` (for use with ``scipy`` Krylov solvers)."""
         n = self.shape[0]
@@ -151,6 +167,31 @@ class AdditiveSchwarzPreconditioner(Preconditioner):
 
         if self.coarse_space is not None:
             correction += self.coarse_space.apply(residual)
+        return correction
+
+    def apply_columns(self, residuals: np.ndarray) -> np.ndarray:
+        """Batched multi-column application (one gather/solve/glue per block).
+
+        Column ``i`` is bit-identical to ``apply(residuals[:, i])``: the
+        stacked gather copies values exactly, the local solver's multi-RHS
+        solve processes each column through the same factor substitutions,
+        and the gluing SpMM accumulates each column in the same per-node
+        order as the single-column SpMV.  Used by the lockstep multi-RHS CG
+        (:func:`repro.krylov.block.lockstep_pcg`), where it amortises the
+        fixed per-call cost of the gather/solve/glue pipeline over the batch.
+        """
+        residuals = np.asarray(residuals, dtype=np.float64)
+        if residuals.ndim == 1:
+            return np.asfortranarray(self.apply(residuals)[:, None])
+        stacked = self.stacked_restriction.extract_columns(residuals)
+        solutions = self.local_solver.solve_stacked_columns(
+            stacked, self.stacked_restriction.offsets
+        )
+        if self._pou_weights is not None:
+            np.multiply(solutions, self._pou_weights[:, None], out=solutions)
+        correction = np.asfortranarray(self.stacked_restriction.glue(solutions))
+        if self.coarse_space is not None:
+            correction += self.coarse_space.apply_columns(residuals)
         return correction
 
     # ------------------------------------------------------------------ #

@@ -100,6 +100,15 @@ class StackedRestriction:
         v = np.asarray(global_vector, dtype=np.float64)
         return np.take(v, self.node_indices, out=out)
 
+    def extract_columns(self, global_columns: np.ndarray) -> np.ndarray:
+        """``R @ V`` for an ``(n, k)`` block: a row gather, one array op.
+
+        Column ``i`` of the result equals ``extract(global_columns[:, i])``
+        exactly (gathers copy values bit-for-bit).
+        """
+        v = np.asarray(global_columns, dtype=np.float64)
+        return np.take(v, self.node_indices, axis=0)
+
     def split(self, stacked: np.ndarray) -> List[np.ndarray]:
         """Views of the per-sub-domain segments of a stacked vector."""
         return [

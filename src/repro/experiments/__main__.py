@@ -79,7 +79,10 @@ def main(argv=None) -> int:
             except json.JSONDecodeError:
                 name = "<corrupt spec.json>"
             has_checkpoint = (directory / "checkpoint.npz").exists()
-            rows.append((directory.name, name, "checkpoint" if has_checkpoint else "no checkpoint"))
+            status = "checkpoint" if has_checkpoint else "no checkpoint"
+            if (directory / "bench.json").exists():
+                status += " +bench"
+            rows.append((directory.name, name, status))
         if not rows:
             print(f"no experiment artifacts under {root}")
         for short_hash, name, status in rows:
@@ -99,6 +102,16 @@ def main(argv=None) -> int:
         print(f"artifact dir: {harness.artifact_dir}")
         print(f"checkpoint  : {harness.checkpoint_path}"
               + ("  (exists)" if harness.checkpoint_path.exists() else "  (not trained yet)"))
+        print("\nbench artifacts:")
+        repo_root = Path(__file__).resolve().parents[3]
+        for label, path in (
+            ("run bench   ", harness.artifact_dir / "bench.json"),
+            ("run report  ", harness.artifact_dir / "report.md"),
+            ("perf bench  ", repo_root / "BENCH_perf.json"),
+            ("serve bench ", repo_root / "BENCH_serve.json"),
+        ):
+            status = "exists" if path.exists() else "missing"
+            print(f"  {label}: {path}  ({status})")
         return 0
 
     harness = ExperimentHarness(spec, artifacts_root=args.artifacts_root)

@@ -213,6 +213,43 @@ class Problem:
         mask[np.asarray(self.dirichlet_nodes, dtype=np.int64)] = True
         return mask
 
+    def fingerprint(self) -> str:
+        """Stable SHA-256 content hash of the discretised problem.
+
+        Covers everything the solver stack consumes: the assembled operator
+        (CSR structure + values), the right-hand side, the mesh geometry and
+        connectivity, the Dirichlet mask, the per-node κ field and the
+        symmetry flag.  Two problems with the same fingerprint produce
+        bit-identical solver setups, which is what makes the hash a safe
+        session-cache key for :mod:`repro.serve`.  The digest is computed
+        once and cached on the instance (problems are immutable by
+        convention after assembly).
+        """
+        cached = getattr(self, "_fingerprint", None)
+        if cached is not None:
+            return cached
+        import hashlib
+
+        digest = hashlib.sha256()
+        matrix = self.matrix.tocsr()
+        for part in (
+            np.asarray(matrix.indptr, dtype=np.int64),
+            np.asarray(matrix.indices, dtype=np.int64),
+            np.ascontiguousarray(matrix.data, dtype=np.float64),
+            np.ascontiguousarray(self.rhs, dtype=np.float64),
+            np.ascontiguousarray(self.mesh.nodes, dtype=np.float64),
+            np.asarray(self.mesh.triangles, dtype=np.int64),
+            self.dirichlet_mask,
+        ):
+            digest.update(part.tobytes())
+            digest.update(b"|")
+        if self.node_diffusion is not None:
+            digest.update(np.ascontiguousarray(self.node_diffusion, dtype=np.float64).tobytes())
+        digest.update(b"|symmetric=1" if self.symmetric else b"|symmetric=0")
+        value = digest.hexdigest()
+        object.__setattr__(self, "_fingerprint", value)
+        return value
+
     def residual(self, u: np.ndarray) -> np.ndarray:
         """Return the algebraic residual ``b - A u``."""
         return self.rhs - self.matrix @ u

@@ -144,6 +144,16 @@ class InferencePlan:
     ``model.infer(plan, source)``.  The returned output array is a view of an
     internal buffer, valid until the next ``run`` on the same plan.  Weights
     are captured at compile time — recompile after training.
+
+    **Ownership / thread safety.**  A plan is single-flight mutable state:
+    every ``run`` writes through the same scratch GEMM buffers, so a plan
+    must only ever be driven by one thread at a time.  The repository's
+    concurrency model keeps this implicit invariant explicit — plans are
+    owned by the preconditioner that compiled them, the preconditioner by
+    its :class:`~repro.solvers.session.SolverSession` (whose lock serialises
+    solves), and in the serve layer each session is pinned to a single
+    worker thread.  For true intra-problem parallelism, clone the session
+    (``session.clone_for_worker()``), which recompiles fresh plans.
     """
 
     def __init__(self, model, batch: Union[GraphBatch, BatchPlan]) -> None:

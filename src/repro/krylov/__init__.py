@@ -7,12 +7,15 @@ Public surface:
   (paper Algorithm 1).
 * :func:`~repro.krylov.bicgstab.bicgstab`, :func:`~repro.krylov.gmres.gmres` —
   additional Krylov methods.
+* :func:`~repro.krylov.block.lockstep_pcg` — fused multi-RHS PCG, bit-identical
+  per column to the single-RHS solver (the micro-batching fast path).
 * :class:`~repro.krylov.ic.IncompleteCholeskyPreconditioner`,
   :func:`~repro.krylov.ic.incomplete_cholesky` — IC(0) baseline of Table III.
 * :class:`~repro.krylov.result.SolveResult` — common result object.
 """
 
 from .bicgstab import bicgstab
+from .block import lockstep_pcg
 from .cg import conjugate_gradient, preconditioned_conjugate_gradient
 from .gmres import gmres
 from .ic import IncompleteCholeskyPreconditioner, incomplete_cholesky
@@ -21,6 +24,7 @@ from .result import SolveResult
 __all__ = [
     "conjugate_gradient",
     "preconditioned_conjugate_gradient",
+    "lockstep_pcg",
     "bicgstab",
     "gmres",
     "IncompleteCholeskyPreconditioner",

@@ -1,0 +1,243 @@
+"""Lockstep multi-RHS Preconditioned Conjugate Gradient.
+
+:func:`lockstep_pcg` solves ``A x_j = b_j`` for a batch of right-hand sides
+**in lockstep**: every Krylov iteration advances all still-active columns at
+once, so the per-iteration work runs on ``(n, k)`` blocks — one SpMM instead
+of ``k`` SpMVs, one multi-column preconditioner application instead of ``k``
+single ones, broadcast AXPYs instead of ``k`` vector updates.  At the serving
+scale of this repository the per-solve cost is dominated by fixed Python/BLAS
+call overhead, so batching ``k`` solves into one lockstep sweep is the
+mechanism that makes request micro-batching (:mod:`repro.serve`) beat
+one-solve-per-request throughput.
+
+**Bit-identity contract.**  Column ``j`` of the lockstep solve is bit-identical
+to :func:`~repro.krylov.cg.preconditioned_conjugate_gradient` run alone on
+``b_j`` — same solution bytes, same iteration count, same residual history.
+This holds because every numerical operation is column-independent and is
+evaluated by the same kernels in the same order as the single-RHS path:
+
+* the work arrays are **Fortran-ordered**, so each column is a contiguous
+  vector and per-column dot products/norms hit the exact BLAS code path of the
+  single-RHS solver (a strided dot is *not* bit-identical to a contiguous
+  one — that is why the layout matters);
+* CSR SpMM (``A @ P``) accumulates each column exactly like the corresponding
+  SpMV (scipy's ``csr_matvecs`` iterates the same nonzeros in the same order);
+* the ``alpha``/``beta`` scalar recurrences are computed per column and applied
+  with elementwise broadcasts, which perform the identical multiply-add per
+  element;
+* a column leaves the active set the moment it converges (or breaks down or
+  hits the iteration cap); the survivors are compacted into fresh F-ordered
+  arrays (exact copies), so later iterations never touch finished columns.
+
+Preconditioners participate through ``apply_columns(R) -> Z`` (see
+:class:`repro.ddm.asm.Preconditioner`), whose own contract is per-column
+bit-identity with ``apply``.
+
+Per-column timing is reported amortised: each :class:`SolveResult` carries
+``batch_elapsed / num_rhs`` (the honest per-RHS share of the lockstep sweep)
+and ``info["lockstep"]`` records the batch-level totals.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..ddm.asm import IdentityPreconditioner, Preconditioner
+from .result import SolveResult
+
+__all__ = ["lockstep_pcg"]
+
+MatrixLike = Union[np.ndarray, sp.spmatrix]
+
+
+def _apply_columns(precond, residuals: np.ndarray) -> np.ndarray:
+    """Multi-column preconditioner application, F-ordered output.
+
+    Uses the preconditioner's ``apply_columns`` when available (the batched
+    fast path of the DDM family); duck-typed preconditioners exposing only
+    ``apply`` are served by a per-column loop, which is trivially
+    bit-identical.
+    """
+    batched = getattr(precond, "apply_columns", None)
+    if batched is not None:
+        return np.asfortranarray(batched(residuals))
+    out = np.empty(residuals.shape, order="F")
+    for i in range(residuals.shape[1]):
+        out[:, i] = precond.apply(residuals[:, i])
+    return out
+
+
+def lockstep_pcg(
+    matrix: MatrixLike,
+    rhs_batch: np.ndarray,
+    preconditioner: Optional[Preconditioner] = None,
+    initial_guess: Optional[np.ndarray] = None,
+    tolerance: float = 1e-6,
+    max_iterations: Optional[int] = None,
+) -> List[SolveResult]:
+    """Solve ``A x_j = b_j`` for every row of ``rhs_batch`` in lockstep.
+
+    Parameters mirror
+    :func:`~repro.krylov.cg.preconditioned_conjugate_gradient`; ``rhs_batch``
+    is ``(num_rhs, n)`` (rows are right-hand sides, matching
+    ``SolverSession.solve_many``) and ``initial_guess`` is a single ``(n,)``
+    vector shared by every column (as sequential solves with the same ``x0``
+    would use).  Returns one :class:`SolveResult` per row, each bit-identical
+    to the corresponding single-RHS solve.
+
+    >>> import numpy as np
+    >>> A = np.array([[4.0, 1.0], [1.0, 3.0]])
+    >>> B = np.array([[1.0, 2.0], [0.5, -1.0]])
+    >>> results = lockstep_pcg(A, B, tolerance=1e-12)
+    >>> [bool(np.allclose(A @ r.solution, b)) for r, b in zip(results, B)]
+    [True, True]
+    """
+    rhs_batch = np.atleast_2d(np.asarray(rhs_batch, dtype=np.float64))
+    num_rhs, n = rhs_batch.shape
+    csr = matrix.tocsr() if sp.issparse(matrix) else np.asarray(matrix)
+    precond = preconditioner if preconditioner is not None else IdentityPreconditioner(n)
+    max_iterations = max_iterations if max_iterations is not None else 10 * n
+
+    start = time.perf_counter()
+    precond_time = 0.0
+
+    def base_info() -> dict:
+        return {"solver": "pcg", "tolerance": tolerance}
+
+    results: List[Optional[SolveResult]] = [None] * num_rhs
+
+    rhs_norms_all = np.array([float(np.linalg.norm(rhs_batch[j])) for j in range(num_rhs)])
+    for j in np.flatnonzero(rhs_norms_all == 0.0):
+        results[j] = SolveResult(
+            solution=np.zeros(n),
+            converged=True,
+            iterations=0,
+            residual_history=[0.0],
+            info=base_info(),
+        )
+    cols = [int(j) for j in np.flatnonzero(rhs_norms_all != 0.0)]
+
+    def finalize(col: int, solution: np.ndarray, converged: bool, iterations: int,
+                 history: List[float]) -> None:
+        info = base_info()
+        info["preconditioner"] = type(precond).__name__
+        results[col] = SolveResult(
+            solution=np.ascontiguousarray(solution),
+            converged=converged,
+            iterations=iterations,
+            residual_history=history,
+            info=info,
+        )
+
+    if cols:
+        k = len(cols)
+        X = np.zeros((n, k), order="F")
+        if initial_guess is not None:
+            x0 = np.asarray(initial_guess, dtype=np.float64)
+            for i in range(k):
+                X[:, i] = x0
+        R = np.asfortranarray(rhs_batch[cols].T - (csr @ X))
+        rhs_norms = rhs_norms_all[cols]
+
+        t0 = time.perf_counter()
+        Z = _apply_columns(precond, R)
+        precond_time += time.perf_counter() - t0
+        P = Z.copy(order="F")
+
+        histories: List[List[float]] = [
+            [float(np.linalg.norm(R[:, i]) / rhs_norms[i])] for i in range(k)
+        ]
+        rho = np.array([float(R[:, i] @ Z[:, i]) for i in range(k)])
+
+        # columns already converged at iteration 0 (mirrors the single-RHS
+        # pre-loop convergence check)
+        keep = [i for i in range(k) if histories[i][0] >= tolerance]
+        for i in range(k):
+            if i not in keep:
+                finalize(cols[i], X[:, i], True, 0, histories[i])
+
+        def compact(keep_idx: List[int]) -> None:
+            nonlocal X, R, P, rho, rhs_norms, cols, histories
+            X = np.asfortranarray(X[:, keep_idx])
+            R = np.asfortranarray(R[:, keep_idx])
+            P = np.asfortranarray(P[:, keep_idx])
+            rho = rho[keep_idx]
+            rhs_norms = rhs_norms[keep_idx]
+            cols = [cols[i] for i in keep_idx]
+            histories = [histories[i] for i in keep_idx]
+
+        if len(keep) != k:
+            compact(keep)
+
+        iteration = 0
+        while cols and iteration < max_iterations:
+            a = len(cols)
+            Q = np.asfortranarray(csr @ P)
+            denom = np.array([float(P[:, i] @ Q[:, i]) for i in range(a)])
+
+            # breakdown (matrix not SPD / severe round-off): the single-RHS
+            # solver breaks *before* the update, keeping the current iterate
+            broken = denom <= 0.0
+            if broken.any():
+                survivors = [i for i in range(a) if not broken[i]]
+                for i in np.flatnonzero(broken):
+                    finalize(cols[i], X[:, i], False, iteration, histories[i])
+                if not survivors:
+                    break
+                Q = np.asfortranarray(Q[:, survivors])
+                denom = denom[survivors]
+                compact(survivors)
+                a = len(cols)
+
+            alpha = rho / denom
+            X += alpha[None, :] * P
+            R -= alpha[None, :] * Q
+            iteration += 1
+
+            rels = np.array([float(np.linalg.norm(R[:, i]) / rhs_norms[i]) for i in range(a)])
+            for i in range(a):
+                histories[i].append(float(rels[i]))
+
+            done = rels < tolerance
+            survivors = [i for i in range(a) if not done[i]]
+            for i in np.flatnonzero(done):
+                finalize(cols[i], X[:, i], True, iteration, histories[i])
+            if not survivors:
+                break
+            if iteration >= max_iterations:
+                for i in survivors:
+                    finalize(cols[i], X[:, i], False, iteration, histories[i])
+                break
+            if len(survivors) != a:
+                compact(survivors)
+                a = len(cols)
+
+            t0 = time.perf_counter()
+            Z = _apply_columns(precond, R)
+            precond_time += time.perf_counter() - t0
+            rho_next = np.array([float(R[:, i] @ Z[:, i]) for i in range(a)])
+            beta = rho_next / rho
+            rho = rho_next
+            P = np.asfortranarray(Z + beta[None, :] * P)
+
+        # columns never entered the loop (e.g. max_iterations == 0)
+        for i, col in enumerate(cols):
+            if results[col] is None:
+                finalize(col, X[:, i], False, iteration, histories[i])
+
+    elapsed = time.perf_counter() - start
+    share = elapsed / num_rhs
+    precond_share = precond_time / num_rhs
+    for result in results:
+        result.elapsed_time = share
+        result.preconditioner_time = precond_share
+        result.info["lockstep"] = {
+            "num_rhs": num_rhs,
+            "batch_elapsed_s": elapsed,
+            "batch_preconditioner_s": precond_time,
+        }
+    return results

@@ -1,0 +1,52 @@
+"""``repro.serve`` — a concurrent solve service over prepared sessions.
+
+The serving layer above :mod:`repro.solvers`: accept a stream of solve
+requests, reuse prepared :class:`~repro.solvers.session.SolverSession`
+objects across them (LRU keyed by problem/config/model content), coalesce
+concurrent single-RHS requests into lockstep multi-RHS solves (bit-identical
+per RHS), and measure the tail latency the ROADMAP's serving story is about.
+
+Components:
+
+* :class:`~repro.serve.service.SolveService` /
+  :class:`~repro.serve.service.ServeConfig` — the service itself: session
+  cache, micro-batching queue, pinned worker pool, metrics.
+* :class:`~repro.serve.cache.SessionCache` — fingerprint-keyed LRU of
+  prepared sessions.
+* :class:`~repro.serve.metrics.ServeMetrics` /
+  :class:`~repro.serve.metrics.LatencyHistogram` — p50/p95/p99 latency,
+  throughput, cache hit-rate.
+* :class:`~repro.serve.http.ServeHTTPServer` — stdlib JSON-over-HTTP front
+  end (``python -m repro.serve``); :class:`~repro.serve.client.ServeClient`
+  is the matching client.
+* :mod:`repro.serve.problems` — deterministic problem-spec resolution for
+  HTTP requests.
+
+Quickstart::
+
+    from repro.serve import ServeConfig, SolveService
+
+    with SolveService(ServeConfig(max_batch=8)) as service:
+        result = service.solve(problem, b)
+        print(service.stats()["latency_ms"]["total"]["p99_ms"])
+"""
+
+from .cache import SessionCache
+from .client import ServeClient, ServeClientError
+from .http import ServeHTTPServer
+from .metrics import LatencyHistogram, ServeMetrics
+from .problems import ProblemCache, build_problem_from_spec
+from .service import ServeConfig, SolveService
+
+__all__ = [
+    "SolveService",
+    "ServeConfig",
+    "SessionCache",
+    "ProblemCache",
+    "build_problem_from_spec",
+    "ServeMetrics",
+    "LatencyHistogram",
+    "ServeHTTPServer",
+    "ServeClient",
+    "ServeClientError",
+]

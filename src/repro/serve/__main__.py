@@ -1,0 +1,90 @@
+"""Command-line entry point: ``python -m repro.serve``.
+
+Starts the JSON-over-HTTP solve server::
+
+    python -m repro.serve --port 8780
+    python -m repro.serve --checkpoint benchmarks/artifacts/<hash>/checkpoint.npz \\
+        --preconditioner ddm-gnn --max-batch 8 --max-wait-ms 2
+
+Then, from any HTTP client::
+
+    curl -s localhost:8780/healthz
+    curl -s -X POST localhost:8780/solve -H 'Content-Type: application/json' \\
+        -d '{"problem": {"family": "poisson", "target_n": 400}}'
+    curl -s localhost:8780/stats
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..solvers.config import SolverConfig
+from .http import ServeHTTPServer
+from .service import ServeConfig, SolveService
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Concurrent solve service: session cache, micro-batching, latency SLOs.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8780, help="bind port (default 8780; 0 = ephemeral)")
+    parser.add_argument("--checkpoint", default=None,
+                        help="versioned DSS checkpoint served to model-based preconditioners")
+    parser.add_argument("--preconditioner", default="ddm-lu",
+                        help="default preconditioner for requests without a config (default ddm-lu)")
+    parser.add_argument("--tolerance", type=float, default=1e-6,
+                        help="default relative-residual tolerance (default 1e-6)")
+    parser.add_argument("--subdomain-size", type=int, default=110,
+                        help="default target sub-domain size (default 110)")
+    parser.add_argument("--workers", type=int, default=2, help="worker threads (default 2)")
+    parser.add_argument("--max-batch", type=int, default=8,
+                        help="micro-batch size bound (1 disables batching; default 8)")
+    parser.add_argument("--max-wait-ms", type=float, default=2.0,
+                        help="micro-batch coalescing window in ms (default 2)")
+    parser.add_argument("--cache-capacity", type=int, default=8,
+                        help="prepared-session LRU capacity (default 8)")
+    args = parser.parse_args(argv)
+
+    model = None
+    if args.checkpoint:
+        from ..gnn.checkpoint import load_model
+
+        model = load_model(args.checkpoint)
+        print(f"loaded model from {args.checkpoint}")
+
+    service = SolveService(
+        ServeConfig(
+            workers=args.workers,
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            cache_capacity=args.cache_capacity,
+        ),
+        model=model,
+        default_solver_config=SolverConfig(
+            preconditioner=args.preconditioner,
+            tolerance=args.tolerance,
+            subdomain_size=args.subdomain_size,
+            checkpoint=args.checkpoint if args.preconditioner == "ddm-gnn" else None,
+        ),
+    )
+    server = ServeHTTPServer(service, host=args.host, port=args.port)
+    host, port = server.address
+    print(f"repro.serve listening on http://{host}:{port} "
+          f"(workers={args.workers}, max_batch={args.max_batch}, "
+          f"max_wait_ms={args.max_wait_ms:g})")
+    print("endpoints: POST /solve, GET /healthz, GET /stats — Ctrl-C to stop")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.stop()
+        service.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

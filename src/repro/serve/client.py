@@ -1,0 +1,88 @@
+"""Minimal stdlib client for the serve HTTP API.
+
+Mirrors the three endpoints of :mod:`repro.serve.http`::
+
+    from repro.serve.client import ServeClient
+
+    client = ServeClient("http://127.0.0.1:8780")
+    client.healthz()                          # liveness
+    response = client.solve(problem={"family": "poisson", "target_n": 400})
+    solution = response["solution"]           # list of floats
+    client.stats()["latency_ms"]["total"]     # SLO percentiles
+
+Uses :mod:`urllib.request` only, so scripts and load generators need no
+third-party HTTP stack.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Dict, Optional, Sequence
+
+__all__ = ["ServeClient", "ServeClientError"]
+
+
+class ServeClientError(RuntimeError):
+    """Raised when the server answers with an error payload or bad status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServeClient:
+    """Thin JSON client bound to one serve endpoint."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = float(timeout)
+
+    # ------------------------------------------------------------------ #
+    def _request(self, path: str, payload: Optional[Dict] = None) -> Dict:
+        url = self.base_url + path
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                body = json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            try:
+                detail = json.loads(error.read().decode("utf-8")).get("error", "")
+            except Exception:  # noqa: BLE001 - best-effort error detail
+                detail = error.reason
+            raise ServeClientError(error.code, str(detail)) from None
+        if isinstance(body, dict) and "error" in body:
+            raise ServeClientError(200, str(body["error"]))
+        return body
+
+    # ------------------------------------------------------------------ #
+    def healthz(self) -> Dict:
+        return self._request("/healthz")
+
+    def stats(self) -> Dict:
+        return self._request("/stats")
+
+    def solve(
+        self,
+        problem: Optional[Dict] = None,
+        b: Optional[Sequence[float]] = None,
+        x0: Optional[Sequence[float]] = None,
+        config: Optional[Dict] = None,
+    ) -> Dict:
+        """POST one solve request; returns the decoded response payload."""
+        payload: Dict = {}
+        if problem is not None:
+            payload["problem"] = problem
+        if b is not None:
+            payload["b"] = [float(v) for v in b]
+        if x0 is not None:
+            payload["x0"] = [float(v) for v in x0]
+        if config is not None:
+            payload["config"] = config
+        return self._request("/solve", payload)

@@ -1,0 +1,169 @@
+"""Stdlib JSON-over-HTTP front end for :class:`~repro.serve.service.SolveService`.
+
+Endpoints:
+
+``POST /solve``
+    Body: ``{"problem": {spec}|null, "config": {SolverConfig fields}|null,
+    "b": [floats]|null, "x0": [floats]|null}``.  The problem spec is resolved
+    server-side (see :mod:`repro.serve.problems`); ``b`` defaults to the
+    problem's assembled right-hand side.  Response carries the solution, the
+    convergence summary and the serving metadata (queue time, batch size,
+    worker).
+``GET /healthz``
+    Liveness: ``{"status": "ok", "uptime_s": ...}``.
+``GET /stats``
+    The service's full :meth:`~repro.serve.service.SolveService.stats` payload.
+
+Built on :class:`http.server.ThreadingHTTPServer` — one thread per in-flight
+request, which is exactly what lets concurrent HTTP clients coalesce in the
+service's micro-batching queue.  This front end is deliberately dependency
+free; production deployments would put a real ASGI server in front of the
+same :class:`SolveService`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .service import SolveService
+
+__all__ = ["ServeHTTPServer"]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # the service is attached to the server object by ServeHTTPServer
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> SolveService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # -- helpers --------------------------------------------------------- #
+    def _send_json(self, payload: dict, status: int = 200) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0))
+        if length == 0:
+            return {}
+        raw = self.rfile.read(length)
+        payload = json.loads(raw.decode("utf-8"))
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if getattr(self.server, "verbose", False):  # pragma: no cover - debug aid
+            super().log_message(format, *args)
+
+    # -- endpoints ------------------------------------------------------- #
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path == "/healthz":
+            stats = self.service.metrics.snapshot()
+            self._send_json({
+                "status": "ok",
+                "uptime_s": stats["uptime_s"],
+                "requests": stats["requests"],
+            })
+        elif self.path == "/stats":
+            self._send_json(self.service.stats())
+        else:
+            self._send_json({"error": f"unknown path {self.path!r}"}, status=404)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path != "/solve":
+            self._send_json({"error": f"unknown path {self.path!r}"}, status=404)
+            return
+        try:
+            payload = self._read_json()
+            b = payload.get("b")
+            x0 = payload.get("x0")
+            result = self.service.solve(
+                payload.get("problem"),
+                b=np.asarray(b, dtype=np.float64) if b is not None else None,
+                x0=np.asarray(x0, dtype=np.float64) if x0 is not None else None,
+                solver_config=payload.get("config"),
+            )
+        except (ValueError, KeyError, json.JSONDecodeError) as error:
+            self._send_json({"error": str(error)}, status=400)
+            return
+        except Exception as error:  # noqa: BLE001 - surfaced to the client
+            self._send_json({"error": f"{type(error).__name__}: {error}"}, status=500)
+            return
+        self._send_json({
+            "solution": result.solution.tolist(),
+            "converged": bool(result.converged),
+            "iterations": int(result.iterations),
+            "final_relative_residual": float(result.final_relative_residual),
+            "elapsed_s": float(result.elapsed_time),
+            "serve": {
+                "queue_s": result.info.get("queue_s"),
+                "batch_size": result.info.get("batch_size"),
+                "worker": result.info.get("worker"),
+                "setup_s": result.info.get("setup_s"),
+                "preconditioner": result.info.get("preconditioner_kind"),
+                "krylov": result.info.get("krylov"),
+            },
+        })
+
+
+class ServeHTTPServer:
+    """A :class:`SolveService` behind a threading HTTP server.
+
+    ``port=0`` binds an ephemeral port (the bound address is available as
+    :attr:`address` after construction) — used by the tests.
+    """
+
+    def __init__(self, service: SolveService, host: str = "127.0.0.1", port: int = 8780) -> None:
+        self.service = service
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.service = service  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "ServeHTTPServer":
+        """Serve in a background thread (returns immediately)."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-serve-http", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI entry point)."""
+        self._httpd.serve_forever()
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(5.0)
+            self._thread = None
+
+    def __enter__(self) -> "ServeHTTPServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,163 @@
+"""Latency and throughput accounting for the solve service.
+
+The serve layer's contract with its operators is an SLO: *p50/p95/p99 latency
+under a given load*.  :class:`LatencyHistogram` keeps a bounded ring of raw
+samples (milliseconds) and computes nearest-rank percentiles on demand —
+exact over the window, no bucketing error, O(window) memory.
+:class:`ServeMetrics` aggregates the three per-request phases the service
+distinguishes (queue wait, solve, total) plus counters for requests, batches,
+errors and per-batch occupancy.
+
+Everything is guarded by one lock and designed for the service's write
+pattern: workers record a handful of floats per request; readers
+(:meth:`ServeMetrics.snapshot`, the ``/stats`` endpoint) pay the sort.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from typing import Dict, List, Optional
+
+__all__ = ["LatencyHistogram", "ServeMetrics"]
+
+
+class LatencyHistogram:
+    """Bounded reservoir of latency samples with exact window percentiles."""
+
+    def __init__(self, window: int = 8192) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = int(window)
+        self._samples: List[float] = []
+        self._next = 0  # ring-buffer write position once the window is full
+        self._count = 0
+        self._total = 0.0
+        self._max = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, value_ms: float) -> None:
+        value_ms = float(value_ms)
+        with self._lock:
+            if len(self._samples) < self.window:
+                self._samples.append(value_ms)
+            else:
+                self._samples[self._next] = value_ms
+                self._next = (self._next + 1) % self.window
+            self._count += 1
+            self._total += value_ms
+            if value_ms > self._max:
+                self._max = value_ms
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Nearest-rank percentile over the retained window (None when empty)."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        with self._lock:
+            if not self._samples:
+                return None
+            ordered = sorted(self._samples)
+        rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+        return ordered[min(rank, len(ordered)) - 1]
+
+    def snapshot(self) -> Dict[str, Optional[float]]:
+        """count/mean/max plus the SLO percentiles, one consistent view."""
+        with self._lock:
+            samples = list(self._samples)
+            count, total, peak = self._count, self._total, self._max
+        if not samples:
+            return {"count": 0, "mean_ms": None, "max_ms": None,
+                    "p50_ms": None, "p95_ms": None, "p99_ms": None}
+        ordered = sorted(samples)
+
+        def rank(q: float) -> float:
+            position = max(1, math.ceil(q / 100.0 * len(ordered)))
+            return ordered[min(position, len(ordered)) - 1]
+
+        return {
+            "count": count,
+            "mean_ms": total / count,
+            "max_ms": peak,
+            "p50_ms": rank(50.0),
+            "p95_ms": rank(95.0),
+            "p99_ms": rank(99.0),
+        }
+
+
+class ServeMetrics:
+    """All service-level counters and histograms in one place.
+
+    Phases per request (all milliseconds):
+
+    ``queue``  — enqueue until the owning worker dequeued the request;
+    ``solve``  — the worker's batch execution wall time (shared by every
+    request in the batch: that *is* each request's serving time);
+    ``total``  — queue + solve, i.e. what the caller experienced.
+    """
+
+    def __init__(self, window: int = 8192) -> None:
+        self.queue = LatencyHistogram(window)
+        self.solve = LatencyHistogram(window)
+        self.total = LatencyHistogram(window)
+        self._lock = threading.Lock()
+        self._requests = 0
+        self._errors = 0
+        self._batches = 0
+        self._batched_requests = 0
+        self._max_batch_seen = 0
+        self._started = time.perf_counter()
+        self._started_wall = time.time()
+
+    # ------------------------------------------------------------------ #
+    def observe_request(self, queue_ms: float, solve_ms: float) -> None:
+        self.queue.observe(queue_ms)
+        self.solve.observe(solve_ms)
+        self.total.observe(queue_ms + solve_ms)
+        with self._lock:
+            self._requests += 1
+
+    def observe_batch(self, size: int) -> None:
+        with self._lock:
+            self._batches += 1
+            self._batched_requests += int(size)
+            if size > self._max_batch_seen:
+                self._max_batch_seen = int(size)
+
+    def observe_error(self) -> None:
+        with self._lock:
+            self._errors += 1
+
+    # ------------------------------------------------------------------ #
+    @property
+    def requests(self) -> int:
+        with self._lock:
+            return self._requests
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            requests = self._requests
+            errors = self._errors
+            batches = self._batches
+            batched = self._batched_requests
+            max_batch = self._max_batch_seen
+        elapsed = max(time.perf_counter() - self._started, 1e-9)
+        return {
+            "uptime_s": elapsed,
+            "started_unix": self._started_wall,
+            "requests": requests,
+            "errors": errors,
+            "throughput_rps": requests / elapsed,
+            "batches": batches,
+            "mean_batch_size": (batched / batches) if batches else None,
+            "max_batch_size": max_batch or None,
+            "latency_ms": {
+                "queue": self.queue.snapshot(),
+                "solve": self.solve.snapshot(),
+                "total": self.total.snapshot(),
+            },
+        }

@@ -1,0 +1,348 @@
+"""The concurrent solve service: session cache + micro-batching worker pool.
+
+:class:`SolveService` is the serving layer the ROADMAP's "heavy traffic"
+north star asks for, built directly on the setup/solve split of
+:mod:`repro.solvers`:
+
+1. **Session cache** — requests are keyed by
+   :func:`repro.solvers.fingerprint.session_key` (problem bytes × solver
+   config × model/checkpoint content); the expensive setup (partition,
+   factorisations, coarse space, compiled DSS plans) is paid once per key
+   and amortised over the request stream (:class:`~repro.serve.cache.SessionCache`).
+2. **Micro-batching queue** — concurrent single-RHS requests for the *same*
+   session are coalesced into one
+   :meth:`~repro.solvers.session.SolverSession.solve_many` call, bounded by
+   ``max_batch`` and ``max_wait_ms``.  With the lockstep multi-RHS Krylov
+   path this turns k solves' SpMVs into SpMMs and batches the preconditioner
+   applications — **bit-identical per RHS** to sequential ``session.solve``
+   (the lockstep contract), so batching is purely a throughput optimisation.
+3. **Worker pool** — sessions are *pinned* to workers by key hash, so one
+   session is only ever driven from one thread and the per-session scratch
+   buffers (``InferencePlan``, stacked-restriction arrays) stay safe; the
+   session lock remains as defence in depth for out-of-band callers.
+4. **Metrics** — per-request queue/solve/total latency histograms
+   (p50/p95/p99), throughput and cache hit-rate via :meth:`SolveService.stats`.
+
+Typical use::
+
+    service = SolveService(model=model)
+    result = service.solve(problem, b)                  # blocking
+    future = service.submit(problem, b)                 # concurrent callers
+    print(service.stats()["latency_ms"]["total"]["p99_ms"])
+    service.close()
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Union
+
+import numpy as np
+
+from ..fem.problem import Problem
+from ..krylov.result import SolveResult
+from ..solvers.config import SolverConfig
+from ..solvers.fingerprint import session_key
+from ..solvers.session import SolverSession
+from .cache import SessionCache
+from .metrics import ServeMetrics
+from .problems import ProblemCache
+
+__all__ = ["ServeConfig", "SolveService"]
+
+
+@dataclass
+class ServeConfig:
+    """Service-level knobs (solver knobs live on each request's SolverConfig).
+
+    Attributes
+    ----------
+    workers:
+        Worker threads; sessions are pinned to workers by key hash.
+    max_batch:
+        Maximum requests coalesced into one ``solve_many`` call (1 disables
+        micro-batching: one solve per request).
+    max_wait_ms:
+        How long a freshly started batch waits for more same-session
+        requests before executing.  Bounds the latency cost of batching.
+    cache_capacity:
+        LRU capacity of the prepared-session cache.
+    problem_cache_capacity:
+        LRU capacity for spec-resolved problems (HTTP requests).
+    latency_window:
+        Samples retained per latency histogram.
+    solve_mode:
+        Forwarded to ``solve_many`` for batched execution: "auto" (default;
+        lockstep-fused when the Krylov method supports it), "fused" or
+        "sequential".
+    """
+
+    workers: int = 2
+    max_batch: int = 8
+    max_wait_ms: float = 2.0
+    cache_capacity: int = 8
+    problem_cache_capacity: int = 16
+    latency_window: int = 8192
+    solve_mode: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        if self.solve_mode not in ("auto", "fused", "sequential"):
+            raise ValueError("solve_mode must be 'auto', 'fused' or 'sequential'")
+
+
+class _Request:
+    __slots__ = ("key", "session", "b", "x0", "future", "enqueued_at", "dequeued_at")
+
+    def __init__(self, key: str, session: SolverSession, b: Optional[np.ndarray],
+                 x0: Optional[np.ndarray]) -> None:
+        self.key = key
+        self.session = session
+        self.b = b
+        self.x0 = x0
+        self.future: "Future[SolveResult]" = Future()
+        self.enqueued_at = time.perf_counter()
+        self.dequeued_at = 0.0
+
+
+class _Worker(threading.Thread):
+    """One serving thread: drains its queue, coalescing same-session runs."""
+
+    def __init__(self, service: "SolveService", index: int) -> None:
+        super().__init__(name=f"repro-serve-worker-{index}", daemon=True)
+        self.service = service
+        self.index = index
+        self.queue: Deque[_Request] = deque()
+        self.condition = threading.Condition()
+        self.stopping = False
+
+    # -- producer side -------------------------------------------------- #
+    def submit(self, request: _Request) -> None:
+        with self.condition:
+            if self.stopping:
+                raise RuntimeError("service is closed")
+            self.queue.append(request)
+            self.condition.notify()
+
+    def stop(self) -> None:
+        with self.condition:
+            self.stopping = True
+            self.condition.notify_all()
+
+    # -- consumer side --------------------------------------------------- #
+    def _take_batchable(self, first: _Request, limit: int) -> List[_Request]:
+        """Pull queued requests that can join ``first``'s batch (same session,
+        no per-request initial guess), preserving FIFO order of the rest."""
+        taken: List[_Request] = []
+        remaining: Deque[_Request] = deque()
+        while self.queue and len(taken) < limit:
+            candidate = self.queue.popleft()
+            if candidate.key == first.key and candidate.x0 is None:
+                taken.append(candidate)
+            else:
+                remaining.append(candidate)
+        # put non-matching requests back in their original order
+        remaining.extend(self.queue)
+        self.queue.clear()
+        self.queue.extend(remaining)
+        return taken
+
+    def run(self) -> None:
+        config = self.service.config
+        while True:
+            with self.condition:
+                while not self.queue and not self.stopping:
+                    self.condition.wait()
+                if not self.queue:
+                    return  # stopping and drained
+                first = self.queue.popleft()
+
+            batch = [first]
+            if config.max_batch > 1 and first.x0 is None:
+                deadline = time.perf_counter() + config.max_wait_ms / 1e3
+                while len(batch) < config.max_batch:
+                    with self.condition:
+                        extracted = self._take_batchable(first, config.max_batch - len(batch))
+                        if not extracted:
+                            remaining = deadline - time.perf_counter()
+                            if remaining <= 0 or self.stopping:
+                                break
+                            self.condition.wait(remaining)
+                            continue
+                    batch.extend(extracted)
+
+            self._execute(batch)
+
+    def _execute(self, batch: List[_Request]) -> None:
+        service = self.service
+        now = time.perf_counter()
+        for request in batch:
+            request.dequeued_at = now
+        session = batch[0].session
+        solve_start = time.perf_counter()
+        try:
+            if len(batch) == 1:
+                request = batch[0]
+                results = [session.solve(request.b, x0=request.x0)]
+            else:
+                vectors = [
+                    request.b if request.b is not None else session.problem.rhs
+                    for request in batch
+                ]
+                results = session.solve_many(
+                    np.stack(vectors), mode=service.config.solve_mode
+                ).results
+        except BaseException as error:  # noqa: BLE001 - delivered to the callers
+            service.metrics.observe_error()
+            for request in batch:
+                request.future.set_exception(error)
+            return
+        solve_ms = (time.perf_counter() - solve_start) * 1e3
+        service.metrics.observe_batch(len(batch))
+        for request, result in zip(batch, results):
+            queue_ms = (request.dequeued_at - request.enqueued_at) * 1e3
+            result.info["queue_s"] = queue_ms / 1e3
+            result.info["batch_size"] = len(batch)
+            result.info["worker"] = self.index
+            service.metrics.observe_request(queue_ms, solve_ms)
+            request.future.set_result(result)
+
+
+class SolveService:
+    """Concurrent solve serving over cached sessions with micro-batching."""
+
+    def __init__(
+        self,
+        config: Optional[ServeConfig] = None,
+        model=None,
+        default_solver_config: Union[SolverConfig, Dict, None] = None,
+    ) -> None:
+        self.config = config or ServeConfig()
+        self.model = model
+        if isinstance(default_solver_config, dict):
+            default_solver_config = SolverConfig.from_dict(default_solver_config)
+        self.default_solver_config = default_solver_config or SolverConfig(
+            preconditioner="ddm-lu"
+        )
+        self.sessions = SessionCache(self.config.cache_capacity)
+        self.problems = ProblemCache(self.config.problem_cache_capacity)
+        self.metrics = ServeMetrics(self.config.latency_window)
+        self._closed = False
+        self._workers = [_Worker(self, i) for i in range(self.config.workers)]
+        for worker in self._workers:
+            worker.start()
+
+    # ------------------------------------------------------------------ #
+    def _resolve_problem(self, problem: Union[Problem, Dict, None]) -> Problem:
+        if isinstance(problem, Problem):
+            return problem
+        return self.problems.resolve(problem)
+
+    def _resolve_config(self, solver_config: Union[SolverConfig, Dict, None]) -> SolverConfig:
+        if solver_config is None:
+            return self.default_solver_config
+        if isinstance(solver_config, dict):
+            return SolverConfig.from_dict(solver_config)
+        return solver_config
+
+    def session_for(
+        self,
+        problem: Union[Problem, Dict, None],
+        solver_config: Union[SolverConfig, Dict, None] = None,
+    ) -> SolverSession:
+        """The cached prepared session for (problem, config) — built on miss."""
+        problem = self._resolve_problem(problem)
+        config = self._resolve_config(solver_config)
+        key = session_key(problem, config, self.model)
+        return self.sessions.get_or_create(
+            key, lambda: SolverSession(problem, config, model=self.model)
+        )
+
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        problem: Union[Problem, Dict, None],
+        b: Optional[np.ndarray] = None,
+        x0: Optional[np.ndarray] = None,
+        solver_config: Union[SolverConfig, Dict, None] = None,
+    ) -> "Future[SolveResult]":
+        """Enqueue one solve; returns a future resolving to its SolveResult.
+
+        ``problem`` is an assembled :class:`~repro.fem.problem.Problem`, a
+        problem-spec dict (see :mod:`repro.serve.problems`), or None for the
+        service's default spec.  Setup cost is paid synchronously on the
+        first request for a new session key (subsequent requests are pure
+        cache hits); the solve itself runs on the session's pinned worker,
+        micro-batched with any concurrent same-session requests.
+        """
+        if self._closed:
+            raise RuntimeError("service is closed")
+        resolved = self._resolve_problem(problem)
+        config = self._resolve_config(solver_config)
+        key = session_key(resolved, config, self.model)
+        session = self.sessions.get_or_create(
+            key, lambda: SolverSession(resolved, config, model=self.model)
+        )
+        if b is not None:
+            b = np.asarray(b, dtype=np.float64)
+            if b.shape != (resolved.num_dofs,):
+                raise ValueError(
+                    f"right-hand side must have shape ({resolved.num_dofs},), got {b.shape}"
+                )
+        if x0 is not None:
+            x0 = np.asarray(x0, dtype=np.float64)
+        request = _Request(key, session, b, x0)
+        worker = self._workers[int(key[:8], 16) % len(self._workers)]
+        worker.submit(request)
+        return request.future
+
+    def solve(
+        self,
+        problem: Union[Problem, Dict, None],
+        b: Optional[np.ndarray] = None,
+        x0: Optional[np.ndarray] = None,
+        solver_config: Union[SolverConfig, Dict, None] = None,
+        timeout: Optional[float] = None,
+    ) -> SolveResult:
+        """Blocking convenience wrapper around :meth:`submit`."""
+        return self.submit(problem, b=b, x0=x0, solver_config=solver_config).result(timeout)
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, object]:
+        """One consistent view of throughput, latency SLOs and cache health."""
+        snapshot = self.metrics.snapshot()
+        snapshot["cache"] = self.sessions.stats()
+        snapshot["cache_hit_rate"] = snapshot["cache"]["hit_rate"]
+        snapshot["problem_cache_size"] = len(self.problems)
+        snapshot["workers"] = len(self._workers)
+        snapshot["config"] = {
+            "max_batch": self.config.max_batch,
+            "max_wait_ms": self.config.max_wait_ms,
+            "solve_mode": self.config.solve_mode,
+        }
+        return snapshot
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Stop accepting work and join the workers (queued work is drained)."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            worker.stop()
+        for worker in self._workers:
+            worker.join(timeout)
+
+    def __enter__(self) -> "SolveService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -35,6 +35,7 @@ over a session.
 
 from . import methods, preconditioners  # noqa: F401  (populate the registries)
 from .config import SolverConfig
+from .fingerprint import checkpoint_fingerprint, model_fingerprint, session_key
 from .registry import (
     KrylovSpec,
     PreconditionerSpec,
@@ -60,4 +61,7 @@ __all__ = [
     "PreconditionerSpec",
     "available_krylov_methods",
     "available_preconditioners",
+    "session_key",
+    "model_fingerprint",
+    "checkpoint_fingerprint",
 ]

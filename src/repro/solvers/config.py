@@ -85,6 +85,34 @@ class SolverConfig:
     checkpoint: Optional[str] = None
 
     # ------------------------------------------------------------------ #
+    def __post_init__(self) -> None:
+        if self.levels not in (1, 2):
+            raise ValueError(
+                f"levels must be 1 (one-level ASM) or 2 (Nicolaides coarse space), "
+                f"got {self.levels!r}"
+            )
+
+    def config_hash(self) -> str:
+        """Stable SHA-256 over every solver-behaviour field.
+
+        The ``checkpoint`` *path* is excluded: the session cache key
+        (:func:`repro.solvers.fingerprint.session_key`) hashes the
+        checkpoint's **content** separately, so moving a checkpoint file does
+        not change a session's identity while retraining it does.
+
+        >>> a = SolverConfig(preconditioner="ddm-lu")
+        >>> b = SolverConfig(preconditioner="ddm-lu", checkpoint="elsewhere.npz")
+        >>> a.config_hash() == b.config_hash()
+        True
+        >>> a.config_hash() == SolverConfig(preconditioner="ic0").config_hash()
+        False
+        """
+        from ..gnn.checkpoint import config_hash
+
+        data = self.to_dict()
+        data.pop("checkpoint", None)
+        return config_hash(data)
+
     def to_dict(self) -> Dict:
         """Plain-dict form (JSON-serialisable).
 

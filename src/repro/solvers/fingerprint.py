@@ -1,0 +1,118 @@
+"""Content fingerprints for sessions: what identifies a prepared solve.
+
+A prepared :class:`~repro.solvers.session.SolverSession` is fully determined
+by three ingredients, and :func:`session_key` hashes exactly those:
+
+* the **problem** — :meth:`repro.fem.problem.Problem.fingerprint` (operator,
+  right-hand side, mesh, boundary data, κ field);
+* the **solver configuration** — :meth:`SolverConfig.config_hash
+  <repro.solvers.config.SolverConfig.config_hash>` (every setup/iteration
+  knob, excluding the checkpoint *path*, whose content is hashed separately);
+* the **model weights** — the checkpoint file's content hash when the config
+  names one, else the in-memory model's parameter hash.
+
+Two calls that agree on this key produce bit-identical sessions, so the key
+is safe to use as a cache identity: the serve layer
+(:mod:`repro.serve.cache`) reuses a prepared session for any request whose
+key matches, amortising partitioning/factorisation/plan compilation across
+the request stream.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Dict, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "model_fingerprint",
+    "checkpoint_fingerprint",
+    "session_key",
+]
+
+#: cache of checkpoint-file content hashes keyed by (path, mtime_ns, size)
+_CHECKPOINT_HASHES: Dict[Tuple[str, int, int], str] = {}
+
+
+def model_fingerprint(model) -> str:
+    """Content hash of a model's parameters (name + bytes of every array).
+
+    Models exposing ``state_dict()`` (the DSS family) hash reproducibly
+    across processes.  Duck-typed models without one (test doubles,
+    custom local solvers) fall back to a process-local identity — still a
+    correct cache key within one service, just not stable across restarts.
+    """
+    state_dict = getattr(model, "state_dict", None)
+    if not callable(state_dict):
+        return f"object-{id(model):x}"
+    digest = hashlib.sha256()
+    for name, value in sorted(state_dict().items()):
+        digest.update(str(name).encode("utf-8"))
+        digest.update(b"=")
+        digest.update(np.ascontiguousarray(np.asarray(value, dtype=np.float64)).tobytes())
+        digest.update(b"|")
+    config = getattr(model, "config", None)
+    if config is not None:
+        from ..gnn.checkpoint import config_hash
+
+        digest.update(config_hash(config).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def checkpoint_fingerprint(path: Union[str, Path]) -> str:
+    """SHA-256 of a checkpoint file's bytes, cached by (path, mtime, size).
+
+    Hashing content rather than the path means a retrained checkpoint saved
+    to the same location invalidates cached sessions, while the same file
+    reached through two paths does not duplicate them.
+    """
+    path = Path(path)
+    stat = path.stat()
+    key = (str(path.resolve()), stat.st_mtime_ns, stat.st_size)
+    cached = _CHECKPOINT_HASHES.get(key)
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    value = digest.hexdigest()
+    _CHECKPOINT_HASHES[key] = value
+    return value
+
+
+def session_key(problem, config, model=None) -> str:
+    """The cache identity of a prepared session: ``(problem, config, model)``.
+
+    ``config`` is a :class:`~repro.solvers.config.SolverConfig` (or plain
+    dict of its fields).  The model contribution mirrors exactly what
+    :class:`~repro.solvers.session.SolverSession` will actually use: nothing
+    at all for model-free preconditioners (so e.g. two services holding
+    different DSS models still share ``ddm-lu`` sessions), the passed
+    model's parameter hash when one is given (an explicit model wins over
+    ``config.checkpoint`` in the session too), else the checkpoint file's
+    *content* hash.
+    """
+    from .config import SolverConfig
+    from .registry import preconditioner_spec
+
+    if config is None:
+        config = SolverConfig()
+    elif isinstance(config, dict):
+        config = SolverConfig.from_dict(config)
+    parts = [
+        "problem:" + problem.fingerprint(),
+        "config:" + config.config_hash(),
+    ]
+    if not preconditioner_spec(config.preconditioner).needs_model:
+        parts.append("model:unused")
+    elif model is not None:
+        parts.append("model:" + model_fingerprint(model))
+    elif config.checkpoint:
+        parts.append("checkpoint:" + checkpoint_fingerprint(config.checkpoint))
+    else:
+        parts.append("model:none")
+    digest = hashlib.sha256("\n".join(parts).encode("utf-8"))
+    return digest.hexdigest()

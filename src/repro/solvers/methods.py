@@ -10,6 +10,7 @@ direct.
 from __future__ import annotations
 
 from ..krylov.bicgstab import bicgstab
+from ..krylov.block import lockstep_pcg
 from ..krylov.cg import preconditioned_conjugate_gradient
 from ..krylov.gmres import gmres
 from .registry import register_krylov
@@ -20,6 +21,7 @@ register_krylov(
     "cg",
     description="Preconditioned Conjugate Gradient (paper Algorithm 1; SPD operators)",
     symmetric_only=True,
+    lockstep=lockstep_pcg,
 )(preconditioned_conjugate_gradient)
 
 register_krylov(

@@ -31,7 +31,7 @@ Registering and looking up:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 __all__ = [
     "KrylovSpec",
@@ -69,6 +69,13 @@ class KrylovSpec:
     #: True when the method assumes a symmetric (SPD) operator, e.g. CG.
     symmetric_only: bool = False
     default_kwargs: Dict[str, object] = field(default_factory=dict)
+    #: optional fused multi-RHS implementation
+    #: ``lockstep(matrix, rhs_batch, preconditioner=..., initial_guess=...,
+    #: tolerance=..., max_iterations=...) -> List[SolveResult]`` whose per-RHS
+    #: results are bit-identical to ``solve`` run on each RHS alone; used by
+    #: ``SolverSession.solve_many`` and the request micro-batching in
+    #: :mod:`repro.serve`
+    lockstep: Optional[Callable[..., object]] = None
 
 
 @dataclass(frozen=True)
@@ -94,13 +101,15 @@ def register_krylov(
     name: str,
     description: str = "",
     symmetric_only: bool = False,
+    lockstep: Optional[Callable[..., object]] = None,
     **default_kwargs,
 ) -> Callable[[KrylovSolve], KrylovSolve]:
     """Decorator registering a Krylov method under ``name``.
 
     ``default_kwargs`` are merged under the caller's ``krylov_kwargs`` at
     solve time, so one implementation can be registered under several names
-    with different presets.
+    with different presets.  ``lockstep`` optionally attaches a fused
+    multi-RHS implementation (see :class:`KrylovSpec`).
     """
 
     def decorator(solve: KrylovSolve) -> KrylovSolve:
@@ -112,6 +121,7 @@ def register_krylov(
             description=_summary(description, solve),
             symmetric_only=symmetric_only,
             default_kwargs=dict(default_kwargs),
+            lockstep=lockstep,
         )
         return solve
 

@@ -28,6 +28,7 @@ benchmarks construct sessions through one code path.
 from __future__ import annotations
 
 import inspect
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Union
@@ -40,6 +41,7 @@ from ..fem.problem import Problem
 from ..krylov.result import SolveResult
 from ..partition.overlap import OverlappingDecomposition
 from .config import SolverConfig
+from .fingerprint import session_key
 from .preconditioners import build_decomposition
 from .registry import KrylovSpec, PreconditionerSpec, krylov_spec, preconditioner_spec
 
@@ -70,6 +72,9 @@ class MultiSolveResult:
 
     results: List[SolveResult] = field(default_factory=list)
     elapsed_time: float = 0.0
+    #: how the batch was executed: "sequential" (per-RHS solves) or "fused"
+    #: (lockstep multi-RHS Krylov; bit-identical per RHS either way)
+    mode: str = "sequential"
 
     @property
     def solutions(self) -> np.ndarray:
@@ -94,11 +99,24 @@ class MultiSolveResult:
             return "0 right-hand sides"
         status = "converged" if self.converged else "NOT converged"
         iters = self.iterations
-        return (
-            f"{self.num_rhs} right-hand sides {status}, "
+        text = (
+            f"{self.num_rhs} right-hand sides {status} ({self.mode}), "
             f"iterations {min(iters)}..{max(iters)} (median {int(np.median(iters))}), "
             f"time {self.elapsed_time:.4f}s"
         )
+        # serving metadata, when the results came through the serve layer's
+        # micro-batching queue (repro.serve stamps queue_s/batch_size)
+        queue_times = [
+            float(r.info["queue_s"]) for r in self.results if "queue_s" in r.info
+        ]
+        if queue_times:
+            text += f", queue p50 {np.median(queue_times) * 1e3:.2f}ms"
+        batch_sizes = [
+            int(r.info["batch_size"]) for r in self.results if "batch_size" in r.info
+        ]
+        if batch_sizes:
+            text += f", batch size {min(batch_sizes)}..{max(batch_sizes)}"
+        return text
 
 
 class SolverSession:
@@ -200,6 +218,16 @@ class SolverSession:
         self.num_solves = 0
         self.total_solve_time = 0.0
 
+        # -- concurrency ----------------------------------------------------- #
+        #: serialises solves: the preconditioners reuse per-session scratch
+        #: buffers (stacked residual/solution arrays, compiled InferencePlan
+        #: buffers), so two concurrent ``solve`` calls on one session would
+        #: silently corrupt each other's results.  The lock is reentrant so
+        #: ``solve_many``'s sequential path can call ``solve`` while holding
+        #: it.  Callers that need true intra-problem parallelism should give
+        #: each worker its own session via :meth:`clone_for_worker`.
+        self._lock = threading.RLock()
+
     # ------------------------------------------------------------------ #
     @classmethod
     def from_problem(
@@ -225,22 +253,33 @@ class SolverSession:
         :func:`prepare`.  The result's ``info`` carries the amortised
         accounting: ``info["setup_s"]`` is the session setup time on the
         session's **first** solve and ``0.0`` on every later one.
+
+        Thread safety: solves are serialised on a per-session lock (the
+        preconditioner scratch buffers are session state); concurrent callers
+        are correct but not parallel — see :meth:`clone_for_worker`.
         """
         config = self.config
         b = self.problem.rhs if b is None else np.asarray(b, dtype=np.float64)
-        result: SolveResult = self.krylov.solve(
-            self.problem.matrix,
-            b,
-            preconditioner=self.preconditioner,
-            initial_guess=x0,
-            tolerance=config.tolerance,
-            max_iterations=config.max_iterations,
-            **self._krylov_kwargs,
-        )
+        with self._lock:
+            result: SolveResult = self.krylov.solve(
+                self.problem.matrix,
+                b,
+                preconditioner=self.preconditioner,
+                initial_guess=x0,
+                tolerance=config.tolerance,
+                max_iterations=config.max_iterations,
+                **self._krylov_kwargs,
+            )
+            self._stamp_info(result)
+        return result
+
+    def _stamp_info(self, result: SolveResult) -> None:
+        """Attach session accounting to a fresh result (first solve pays setup)."""
         first = self.num_solves == 0
         self.num_solves += 1
         self.total_solve_time += result.elapsed_time
 
+        config = self.config
         setup_s = self.setup_time if first else 0.0
         result.info["preconditioner_kind"] = config.preconditioner
         result.info["krylov"] = config.krylov
@@ -260,12 +299,12 @@ class SolverSession:
             result.info["overlap"] = config.overlap
         if isinstance(self.preconditioner, DDMGNNPreconditioner):
             result.info["gnn_stats"] = self.preconditioner.inference_stats()
-        return result
 
     def solve_many(
         self,
         B: Union[np.ndarray, Iterable[np.ndarray]],
         x0: Optional[np.ndarray] = None,
+        mode: str = "auto",
     ) -> MultiSolveResult:
         """Serve a batch of right-hand sides against the prepared operator.
 
@@ -273,9 +312,22 @@ class SolverSession:
         **rows** are right-hand sides).  Every solve reuses the session's
         preconditioner — the setup cost is paid zero additional times — and
         each per-RHS result is bit-identical to a sequential
-        :meth:`solve` call on the same vector (the solves are independent;
-        batching here amortises setup, not floating-point work).
+        :meth:`solve` call on the same vector.
+
+        ``mode`` selects the execution strategy:
+
+        * ``"fused"`` — the Krylov method's lockstep multi-RHS implementation
+          (:func:`repro.krylov.block.lockstep_pcg` for CG): one iteration
+          advances every still-active right-hand side, amortising SpMVs into
+          SpMMs and preconditioner applications into multi-column blocks.
+          Bit-identical per RHS by the lockstep contract.
+        * ``"sequential"`` — one :meth:`solve` per right-hand side.
+        * ``"auto"`` (default) — fused when the method registers a lockstep
+          implementation and no custom ``krylov_kwargs`` are in play, else
+          sequential.
         """
+        if mode not in ("auto", "fused", "sequential"):
+            raise ValueError("mode must be 'auto', 'fused' or 'sequential'")
         if not isinstance(B, np.ndarray):
             B = list(B)  # materialise generators before the array conversion
         vectors = np.atleast_2d(np.asarray(B, dtype=np.float64))
@@ -286,9 +338,59 @@ class SolverSession:
                 f"right-hand sides must have length {self.problem.num_dofs} "
                 f"(got shape {vectors.shape})"
             )
+        fused_available = self.krylov.lockstep is not None and not self._krylov_kwargs
+        if mode == "fused" and not fused_available:
+            raise ValueError(
+                f"Krylov method '{self.config.krylov}' has no lockstep implementation "
+                f"(or custom krylov_kwargs are set); use mode='sequential'"
+            )
+        use_fused = fused_available if mode == "auto" else (mode == "fused")
+
         start = time.perf_counter()
-        results = [self.solve(row, x0=x0) for row in vectors]
-        return MultiSolveResult(results=results, elapsed_time=time.perf_counter() - start)
+        if use_fused and len(vectors) > 1:
+            with self._lock:
+                results = self.krylov.lockstep(
+                    self.problem.matrix,
+                    vectors,
+                    preconditioner=self.preconditioner,
+                    initial_guess=x0,
+                    tolerance=self.config.tolerance,
+                    max_iterations=self.config.max_iterations,
+                )
+                for result in results:
+                    self._stamp_info(result)
+            return MultiSolveResult(
+                results=results, elapsed_time=time.perf_counter() - start, mode="fused"
+            )
+        with self._lock:
+            results = [self.solve(row, x0=x0) for row in vectors]
+        return MultiSolveResult(
+            results=results, elapsed_time=time.perf_counter() - start, mode="sequential"
+        )
+
+    # ------------------------------------------------------------------ #
+    def fingerprint(self) -> str:
+        """Content hash identifying this prepared session.
+
+        Hashes ``(problem fingerprint, config hash, model/checkpoint
+        content)`` via :func:`repro.solvers.fingerprint.session_key`: two
+        sessions with equal fingerprints were prepared from bit-identical
+        ingredients and serve bit-identical results.  This is the key under
+        which :mod:`repro.serve` caches prepared sessions.
+        """
+        return session_key(self.problem, self.config, self.model)
+
+    def clone_for_worker(self) -> "SolverSession":
+        """A freshly prepared session over the same problem/config/model.
+
+        The documented escape hatch for true intra-problem parallelism:
+        solves on one session are serialised by its lock (shared scratch
+        buffers), so a worker pool that wants concurrent solves of the *same*
+        problem gives each worker its own clone.  The clone re-runs the setup
+        (partition, factorisations, plan compilation) and therefore shares no
+        mutable state — only the immutable problem and model objects.
+        """
+        return SolverSession(self.problem, self.config, model=self.model)
 
     # ------------------------------------------------------------------ #
     def diagnostics(self) -> Dict[str, object]:

@@ -23,18 +23,40 @@ def format_timing_split(result, digits: int = 3) -> str:
     and ``krylov_time`` attributes — i.e. a
     :class:`~repro.krylov.result.SolveResult` (the paper's Table III separates
     the preconditioner time T_lu/T_gnn from the total solve time T the same
-    way).
+    way).  Results that came through the serve layer additionally carry
+    ``info["queue_s"]`` (time spent in the micro-batching queue) and
+    ``info["batch_size"]``; when present they are rendered as a leading
+    queue term and a batch annotation.
 
     >>> class R:
     ...     elapsed_time, preconditioner_time, krylov_time = 1.5, 1.2, 0.3
     >>> format_timing_split(R())
     '1.500s = 1.200s precond + 0.300s krylov'
+    >>> class S(R):
+    ...     info = {"queue_s": 0.25, "batch_size": 4}
+    >>> format_timing_split(S())
+    '1.750s = 0.250s queue + 1.200s precond + 0.300s krylov [batch of 4]'
     """
-    return (
-        f"{result.elapsed_time:.{digits}f}s = "
-        f"{result.preconditioner_time:.{digits}f}s precond + "
-        f"{result.krylov_time:.{digits}f}s krylov"
-    )
+    info = getattr(result, "info", None) or {}
+    queue_s = info.get("queue_s")
+    if queue_s is None:
+        text = (
+            f"{result.elapsed_time:.{digits}f}s = "
+            f"{result.preconditioner_time:.{digits}f}s precond + "
+            f"{result.krylov_time:.{digits}f}s krylov"
+        )
+    else:
+        total = result.elapsed_time + float(queue_s)
+        text = (
+            f"{total:.{digits}f}s = "
+            f"{float(queue_s):.{digits}f}s queue + "
+            f"{result.preconditioner_time:.{digits}f}s precond + "
+            f"{result.krylov_time:.{digits}f}s krylov"
+        )
+    batch_size = info.get("batch_size")
+    if batch_size is not None:
+        text += f" [batch of {int(batch_size)}]"
+    return text
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = "") -> str:

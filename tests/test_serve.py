@@ -1,0 +1,498 @@
+"""Tests of the serve subsystem and its foundations: lockstep multi-RHS
+parity, session fingerprints/locking, the session cache (hit/miss/LRU), the
+micro-batching service (bitwise parity under concurrency, hammer test) and
+the JSON-over-HTTP front end on an ephemeral port."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.krylov import lockstep_pcg, preconditioned_conjugate_gradient
+from repro.serve import (
+    LatencyHistogram,
+    ServeClient,
+    ServeClientError,
+    ServeConfig,
+    ServeHTTPServer,
+    SessionCache,
+    SolveService,
+    build_problem_from_spec,
+)
+from repro.solvers import SolverConfig, prepare, session_key
+from repro.utils import format_timing_split
+
+
+@pytest.fixture(scope="module")
+def serve_problem(random_mesh):
+    from repro.fem import random_poisson_problem
+
+    return random_poisson_problem(random_mesh, rng=np.random.default_rng(11))
+
+
+@pytest.fixture(scope="module")
+def serve_config():
+    return SolverConfig(preconditioner="ddm-lu", subdomain_size=80,
+                        tolerance=1e-8, max_iterations=2000)
+
+
+@pytest.fixture(scope="module")
+def rhs_pool(serve_problem):
+    rng = np.random.default_rng(5)
+    return [rng.normal(size=serve_problem.num_dofs) for _ in range(12)]
+
+
+@pytest.fixture(scope="module")
+def reference_solutions(serve_problem, serve_config, rhs_pool):
+    session = prepare(serve_problem, serve_config)
+    return [session.solve(b).solution for b in rhs_pool]
+
+
+# --------------------------------------------------------------------------- #
+# lockstep multi-RHS CG: the bit-identity contract micro-batching rests on
+# --------------------------------------------------------------------------- #
+class TestLockstepParity:
+    @pytest.mark.parametrize("kind", ["ddm-lu", "ddm-jacobi", "ic0", "none"])
+    def test_bitwise_parity_per_preconditioner(self, serve_problem, kind):
+        config = SolverConfig(preconditioner=kind, subdomain_size=80,
+                              tolerance=1e-8, max_iterations=2000)
+        session = prepare(serve_problem, config)
+        rng = np.random.default_rng(7)
+        B = rng.normal(size=(5, serve_problem.num_dofs))
+        batch = lockstep_pcg(serve_problem.matrix, B,
+                             preconditioner=session.preconditioner,
+                             tolerance=1e-8, max_iterations=2000)
+        for row, result in zip(B, batch):
+            single = preconditioned_conjugate_gradient(
+                serve_problem.matrix, row, preconditioner=session.preconditioner,
+                tolerance=1e-8, max_iterations=2000)
+            assert np.array_equal(result.solution, single.solution)
+            assert result.iterations == single.iterations
+            assert result.residual_history == single.residual_history
+            assert result.converged == single.converged
+
+    def test_bitwise_parity_ddm_gnn(self, serve_problem, tiny_dss_model):
+        config = SolverConfig(preconditioner="ddm-gnn", subdomain_size=80,
+                              tolerance=1e-2, max_iterations=400)
+        session = prepare(serve_problem, config, model=tiny_dss_model)
+        rng = np.random.default_rng(8)
+        B = rng.normal(size=(3, serve_problem.num_dofs))
+        batch = lockstep_pcg(serve_problem.matrix, B,
+                             preconditioner=session.preconditioner,
+                             tolerance=1e-2, max_iterations=400)
+        for row, result in zip(B, batch):
+            single = preconditioned_conjugate_gradient(
+                serve_problem.matrix, row, preconditioner=session.preconditioner,
+                tolerance=1e-2, max_iterations=400)
+            assert np.array_equal(result.solution, single.solution)
+            assert result.iterations == single.iterations
+
+    def test_zero_rhs_and_mixed_convergence(self, serve_problem, serve_config):
+        session = prepare(serve_problem, serve_config)
+        rng = np.random.default_rng(9)
+        B = np.stack([np.zeros(serve_problem.num_dofs),
+                      rng.normal(size=serve_problem.num_dofs)])
+        results = lockstep_pcg(serve_problem.matrix, B,
+                               preconditioner=session.preconditioner,
+                               tolerance=1e-8)
+        assert results[0].converged and results[0].iterations == 0
+        assert np.array_equal(results[0].solution, np.zeros(serve_problem.num_dofs))
+        assert results[1].converged and results[1].iterations > 0
+
+    def test_max_iterations_respected(self, serve_problem):
+        session = prepare(serve_problem, SolverConfig(preconditioner="none",
+                                                      tolerance=1e-14))
+        rng = np.random.default_rng(10)
+        B = rng.normal(size=(2, serve_problem.num_dofs))
+        results = lockstep_pcg(serve_problem.matrix, B,
+                               preconditioner=session.preconditioner,
+                               tolerance=1e-14, max_iterations=3)
+        for row, result in zip(B, results):
+            single = preconditioned_conjugate_gradient(
+                serve_problem.matrix, row, preconditioner=session.preconditioner,
+                tolerance=1e-14, max_iterations=3)
+            assert result.iterations == single.iterations == 3
+            assert not result.converged
+            assert np.array_equal(result.solution, single.solution)
+
+    def test_solve_many_fused_matches_sequential(self, serve_problem, serve_config):
+        fused_session = prepare(serve_problem, serve_config)
+        sequential_session = prepare(serve_problem, serve_config)
+        rng = np.random.default_rng(12)
+        B = rng.normal(size=(6, serve_problem.num_dofs))
+        fused = fused_session.solve_many(B, mode="fused")
+        sequential = sequential_session.solve_many(B, mode="sequential")
+        assert fused.mode == "fused" and sequential.mode == "sequential"
+        for a, b in zip(fused.results, sequential.results):
+            assert np.array_equal(a.solution, b.solution)
+            assert a.iterations == b.iterations
+        # amortisation counters advance per RHS in both modes
+        assert fused_session.num_solves == sequential_session.num_solves == 6
+
+    def test_solve_many_auto_uses_lockstep_for_cg(self, serve_problem, serve_config):
+        session = prepare(serve_problem, serve_config)
+        rng = np.random.default_rng(13)
+        result = session.solve_many(rng.normal(size=(3, serve_problem.num_dofs)))
+        assert result.mode == "fused"
+
+    def test_fused_mode_rejected_without_lockstep(self, serve_problem):
+        session = prepare(serve_problem, SolverConfig(
+            preconditioner="ddm-lu", krylov="gmres", subdomain_size=80))
+        with pytest.raises(ValueError, match="lockstep"):
+            session.solve_many(np.zeros((2, serve_problem.num_dofs)), mode="fused")
+        # auto silently falls back to sequential
+        out = session.solve_many(np.stack([serve_problem.rhs] * 2))
+        assert out.mode == "sequential"
+
+
+# --------------------------------------------------------------------------- #
+# session thread-safety: the per-session lock regression test
+# --------------------------------------------------------------------------- #
+class TestSessionThreadSafety:
+    def test_concurrent_solves_bitwise_correct(self, serve_problem, serve_config,
+                                               rhs_pool, reference_solutions):
+        """Fails on unlocked sessions: concurrent solves share the ASM scratch
+        buffers (stacked residual/solution arrays) and corrupt each other."""
+        session = prepare(serve_problem, serve_config)
+        mismatches = []
+
+        def worker(tid):
+            for i in range(15):
+                index = (tid + 3 * i) % len(rhs_pool)
+                result = session.solve(rhs_pool[index])
+                if not np.array_equal(result.solution, reference_solutions[index]):
+                    mismatches.append((tid, i))
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not mismatches
+        assert session.num_solves == 60
+
+    def test_unlocked_sessions_would_corrupt(self, serve_problem, serve_config,
+                                             rhs_pool, reference_solutions):
+        """The control experiment: bypassing the lock reproduces the race the
+        lock exists to prevent (concurrent applies on shared buffers diverge).
+        Skipped (not failed) if the platform happens to interleave benignly —
+        the positive guarantee is the locked test above."""
+        session = prepare(serve_problem, serve_config)
+        mismatches = []
+        barrier = threading.Barrier(4)
+
+        def worker(tid):
+            barrier.wait()
+            for i in range(15):
+                index = (tid + 3 * i) % len(rhs_pool)
+                try:
+                    # deliberately call the Krylov layer directly, skipping the lock
+                    result = session.krylov.solve(
+                        serve_problem.matrix, rhs_pool[index],
+                        preconditioner=session.preconditioner,
+                        tolerance=session.config.tolerance,
+                        max_iterations=session.config.max_iterations)
+                except Exception as error:  # crash inside shared buffers = the race
+                    mismatches.append((tid, i, repr(error)))
+                    return
+                if not np.array_equal(result.solution, reference_solutions[index]):
+                    mismatches.append((tid, i))
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if not mismatches:
+            pytest.skip("benign interleaving on this run; lock still required")
+        assert mismatches  # the race is real: unlocked concurrent solves corrupt
+
+    def test_clone_for_worker_independent_and_equal(self, serve_problem, serve_config,
+                                                    rhs_pool, reference_solutions):
+        session = prepare(serve_problem, serve_config)
+        clone = session.clone_for_worker()
+        assert clone is not session
+        assert clone.preconditioner is not session.preconditioner
+        assert clone.fingerprint() == session.fingerprint()
+        result = clone.solve(rhs_pool[0])
+        assert np.array_equal(result.solution, reference_solutions[0])
+
+
+# --------------------------------------------------------------------------- #
+# fingerprints
+# --------------------------------------------------------------------------- #
+class TestFingerprints:
+    def test_problem_fingerprint_stable_and_distinct(self, serve_problem, random_mesh):
+        from repro.fem import random_poisson_problem
+
+        assert serve_problem.fingerprint() == serve_problem.fingerprint()
+        other = random_poisson_problem(random_mesh, rng=np.random.default_rng(99))
+        assert other.fingerprint() != serve_problem.fingerprint()
+
+    def test_session_key_sensitive_to_config_not_checkpoint_path(self, serve_problem):
+        a = session_key(serve_problem, SolverConfig(preconditioner="ddm-lu"))
+        b = session_key(serve_problem, SolverConfig(preconditioner="ddm-jacobi"))
+        assert a != b
+        assert a == session_key(serve_problem, SolverConfig(preconditioner="ddm-lu"))
+
+    def test_session_key_sensitive_to_model(self, serve_problem, tiny_dss_model):
+        from repro.gnn import DSS, DSSConfig
+
+        config = SolverConfig(preconditioner="ddm-gnn", subdomain_size=80)
+        a = session_key(serve_problem, config, tiny_dss_model)
+        other_model = DSS(DSSConfig(num_iterations=3, latent_dim=4, seed=2))
+        b = session_key(serve_problem, config, other_model)
+        assert a != b
+
+    def test_levels_config_threaded_through_factories(self, serve_problem):
+        one = prepare(serve_problem, SolverConfig(preconditioner="ddm-lu",
+                                                  subdomain_size=80, levels=1))
+        two = prepare(serve_problem, SolverConfig(preconditioner="ddm-lu",
+                                                  subdomain_size=80, levels=2))
+        assert one.preconditioner.coarse_space is None
+        assert two.preconditioner.coarse_space is not None
+        assert one.fingerprint() != two.fingerprint()
+        assert one.solve().converged and two.solve().converged
+
+    def test_invalid_levels_rejected(self):
+        with pytest.raises(ValueError, match="levels"):
+            SolverConfig(levels=3)
+
+
+# --------------------------------------------------------------------------- #
+# session cache
+# --------------------------------------------------------------------------- #
+class TestSessionCache:
+    def test_hit_miss_counters(self, serve_problem, serve_config):
+        cache = SessionCache(capacity=4)
+        build_count = [0]
+
+        def builder():
+            build_count[0] += 1
+            return prepare(serve_problem, serve_config)
+
+        first = cache.get_or_create("key-a", builder)
+        second = cache.get_or_create("key-a", builder)
+        assert first is second
+        assert build_count[0] == 1
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate() == 0.5
+
+    def test_lru_eviction_order(self, serve_problem, serve_config):
+        cache = SessionCache(capacity=2)
+        builder = lambda: prepare(serve_problem, serve_config)  # noqa: E731
+        cache.get_or_create("a", builder)
+        cache.get_or_create("b", builder)
+        cache.get_or_create("a", builder)  # refresh a: b is now LRU
+        cache.get_or_create("c", builder)  # evicts b
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.evictions == 1
+        assert len(cache) == 2
+
+    def test_failed_build_not_cached(self):
+        cache = SessionCache(capacity=2)
+
+        def broken():
+            raise RuntimeError("setup exploded")
+
+        with pytest.raises(RuntimeError, match="setup exploded"):
+            cache.get_or_create("bad", broken)
+        assert "bad" not in cache
+        # next attempt retries the build
+        with pytest.raises(RuntimeError, match="setup exploded"):
+            cache.get_or_create("bad", broken)
+
+    def test_concurrent_misses_build_once(self, serve_problem, serve_config):
+        cache = SessionCache(capacity=2)
+        build_count = [0]
+        barrier = threading.Barrier(4)
+        sessions = []
+
+        def builder():
+            build_count[0] += 1
+            return prepare(serve_problem, serve_config)
+
+        def worker():
+            barrier.wait()
+            sessions.append(cache.get_or_create("shared", builder))
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert build_count[0] == 1
+        assert all(s is sessions[0] for s in sessions)
+
+
+# --------------------------------------------------------------------------- #
+# the solve service: micro-batching, parity, metrics
+# --------------------------------------------------------------------------- #
+class TestSolveService:
+    def test_sequential_requests_cache_hit(self, serve_problem, serve_config, rhs_pool,
+                                           reference_solutions):
+        with SolveService(ServeConfig(workers=1, max_batch=1)) as service:
+            for index in (0, 1, 2):
+                result = service.solve(serve_problem, rhs_pool[index],
+                                       solver_config=serve_config)
+                assert np.array_equal(result.solution, reference_solutions[index])
+            stats = service.stats()
+            assert stats["cache"]["misses"] == 1
+            assert stats["cache"]["hits"] == 2
+            assert stats["requests"] == 3
+            assert stats["latency_ms"]["total"]["count"] == 3
+
+    def test_microbatched_hammer_bitwise_parity(self, serve_problem, serve_config,
+                                                rhs_pool, reference_solutions):
+        """N client threads against one service: every batched response must
+        equal the sequential session.solve reference bit for bit."""
+        mismatches = []
+        with SolveService(ServeConfig(workers=2, max_batch=4, max_wait_ms=4.0)) as service:
+            barrier = threading.Barrier(6)
+
+            def client(tid):
+                barrier.wait()
+                for i in range(10):
+                    index = (5 * tid + i) % len(rhs_pool)
+                    result = service.solve(serve_problem, rhs_pool[index],
+                                           solver_config=serve_config)
+                    if not np.array_equal(result.solution, reference_solutions[index]):
+                        mismatches.append((tid, i))
+
+            threads = [threading.Thread(target=client, args=(t,)) for t in range(6)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            stats = service.stats()
+        assert not mismatches
+        assert stats["requests"] == 60
+        assert stats["errors"] == 0
+        # concurrency must actually have produced multi-request batches
+        assert stats["max_batch_size"] >= 2
+
+    def test_batched_results_carry_serving_metadata(self, serve_problem, serve_config,
+                                                    rhs_pool):
+        with SolveService(ServeConfig(workers=1, max_batch=4, max_wait_ms=20.0)) as service:
+            futures = [service.submit(serve_problem, rhs_pool[i], solver_config=serve_config)
+                       for i in range(4)]
+            results = [f.result(30.0) for f in futures]
+        sizes = [r.info["batch_size"] for r in results]
+        assert max(sizes) >= 2
+        for result in results:
+            assert result.info["queue_s"] >= 0.0
+            assert "worker" in result.info
+            # the timing-split satellite: queue/batch render when present
+            text = format_timing_split(result)
+            assert "queue" in text and "batch of" in text
+
+    def test_default_rhs_and_problem_spec(self):
+        spec = {"family": "poisson", "target_n": 150, "seed": 4}
+        with SolveService(ServeConfig(workers=1, max_batch=2)) as service:
+            result = service.solve(spec)  # b defaults to the problem's rhs
+            assert result.converged
+            direct = build_problem_from_spec(spec)
+            assert np.allclose(direct.matrix @ result.solution, direct.rhs,
+                               atol=1e-4 * np.linalg.norm(direct.rhs))
+            # same spec → same fingerprint → cache hit
+            service.solve(spec)
+            assert service.stats()["cache"]["hits"] >= 1
+
+    def test_error_requests_deliver_exceptions(self, serve_problem):
+        with SolveService(ServeConfig(workers=1)) as service:
+            with pytest.raises(ValueError, match="right-hand side"):
+                service.solve(serve_problem, np.zeros(3))
+            with pytest.raises(ValueError, match="unknown solver-config fields"):
+                service.solve(serve_problem, solver_config={"no_such_field": 1})
+
+    def test_closed_service_rejects_work(self, serve_problem):
+        service = SolveService(ServeConfig(workers=1))
+        service.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            service.submit(serve_problem)
+
+
+# --------------------------------------------------------------------------- #
+# metrics
+# --------------------------------------------------------------------------- #
+class TestMetrics:
+    def test_histogram_percentiles_exact(self):
+        histogram = LatencyHistogram(window=100)
+        for value in range(1, 101):  # 1..100 ms
+            histogram.observe(float(value))
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == 100
+        assert snapshot["p50_ms"] == 50.0
+        assert snapshot["p95_ms"] == 95.0
+        assert snapshot["p99_ms"] == 99.0
+        assert snapshot["max_ms"] == 100.0
+
+    def test_histogram_window_bound(self):
+        histogram = LatencyHistogram(window=10)
+        for value in range(1000):
+            histogram.observe(float(value))
+        assert histogram.count == 1000
+        assert len(histogram._samples) == 10
+
+    def test_empty_snapshot(self):
+        assert LatencyHistogram().snapshot()["p50_ms"] is None
+
+
+# --------------------------------------------------------------------------- #
+# HTTP front end on an ephemeral port
+# --------------------------------------------------------------------------- #
+class TestHTTP:
+    @pytest.fixture()
+    def server(self):
+        service = SolveService(ServeConfig(workers=1, max_batch=2, max_wait_ms=1.0))
+        server = ServeHTTPServer(service, port=0).start()
+        yield server
+        server.stop()
+        service.close()
+
+    def test_healthz(self, server):
+        payload = ServeClient(server.url).healthz()
+        assert payload["status"] == "ok"
+        assert payload["uptime_s"] > 0
+
+    def test_solve_and_stats_roundtrip(self, server):
+        client = ServeClient(server.url)
+        spec = {"family": "poisson", "target_n": 150, "seed": 4}
+        response = client.solve(problem=spec, config={"preconditioner": "ddm-lu",
+                                                      "subdomain_size": 80})
+        assert response["converged"] is True
+        assert response["serve"]["batch_size"] >= 1
+        direct = build_problem_from_spec(spec)
+        solution = np.asarray(response["solution"])
+        assert solution.shape == (direct.num_dofs,)
+        assert np.allclose(direct.matrix @ solution, direct.rhs,
+                           atol=1e-4 * np.linalg.norm(direct.rhs))
+
+        stats = client.stats()
+        assert stats["requests"] >= 1
+        assert stats["cache"]["misses"] >= 1
+        assert "p50_ms" in stats["latency_ms"]["total"]
+
+    def test_custom_rhs_bitwise_over_http(self, server):
+        client = ServeClient(server.url)
+        spec = {"family": "poisson", "target_n": 150, "seed": 4}
+        problem = build_problem_from_spec(spec)
+        rng = np.random.default_rng(6)
+        b = rng.normal(size=problem.num_dofs)
+        config = {"preconditioner": "ddm-lu", "subdomain_size": 80, "tolerance": 1e-8}
+        response = client.solve(problem=spec, b=b.tolist(), config=config)
+        reference = prepare(problem, SolverConfig.from_dict(config)).solve(b)
+        # JSON float round-trip is exact for binary64
+        assert np.array_equal(np.asarray(response["solution"]), reference.solution)
+        assert response["iterations"] == reference.iterations
+
+    def test_bad_requests_rejected(self, server):
+        client = ServeClient(server.url)
+        with pytest.raises(ServeClientError) as excinfo:
+            client.solve(problem={"family": "no-such-family"})
+        assert excinfo.value.status == 400
+        with pytest.raises(ServeClientError) as excinfo:
+            client._request("/nope")
+        assert excinfo.value.status == 404
