@@ -19,10 +19,19 @@ Solvers covered:
   fast-path speedup is measured rather than assumed (no resolve metric — the
   reference path is benched per-apply only).
 
+The ddm-gnn rows additionally cover the precision/fused trajectory: a second
+session served in float32 (``precision: "f32"`` records — same schema, its
+iteration drift vs f64 is gated by ``check_perf.py``) and
+``ddm-gnn-fused`` records timing one fused ``apply_columns`` over ``k=8``
+RHS columns against the ``k`` sequential applies lockstep CG issued before
+the fused path existed (``apply_ms_p50`` vs ``seq_apply_ms_p50``,
+``fused_apply_speedup``), in both precisions.
+
 Results are appended to stdout as a table and written to ``BENCH_perf.json``
-(schema per record: ``solver, n, K, setup_s, apply_ms_p50, resolve_ms_p50,
-iters, total_s``) so the repository's performance trajectory accumulates
-across PRs.
+(schema per record: ``solver, precision, n, K, setup_s, apply_ms_p50,
+resolve_ms_p50, iters, total_s`` plus ``k, seq_apply_ms_p50,
+fused_apply_speedup`` on the fused records) so the repository's performance
+trajectory accumulates across PRs.
 
 Usage::
 
@@ -58,6 +67,9 @@ from common import ELEMENT_SIZE, SUBDOMAIN_SIZE, bench_scale, get_pretrained_mod
 DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
 TOLERANCE = 1e-3  # the tolerance of the paper's timing experiments (Table III)
 SMOKE_TARGET_N = 640
+#: column count of the fused multi-column apply records (lockstep CG widths
+#: of interest are k>=4; 8 matches the serve layer's default max_batch)
+FUSED_K = 8
 
 
 class _ReferenceAdapter:
@@ -105,6 +117,32 @@ def median_apply_ms_paired(fn_a, fn_b, residual: np.ndarray, repeats: int):
     return float(np.median(times_a) * 1e3), float(np.median(times_b) * 1e3)
 
 
+def median_columns_ms(preconditioner, residuals: np.ndarray, repeats: int) -> float:
+    """Median wall time of one fused ``apply_columns`` call, in milliseconds."""
+    preconditioner.apply_columns(residuals)  # warm-up (compiles/keeps k-wide buffers)
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        preconditioner.apply_columns(residuals)
+        times.append(time.perf_counter() - t0)
+    return float(np.median(times) * 1e3)
+
+
+def median_sequential_columns_ms(preconditioner, residuals: np.ndarray,
+                                 repeats: int) -> float:
+    """Median wall time of k per-column ``apply`` calls — the pre-fused cost
+    lockstep CG paid when the GNN serialized over the batch."""
+    k = residuals.shape[1]
+    preconditioner.apply(residuals[:, 0])
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for i in range(k):
+            preconditioner.apply(residuals[:, i])
+        times.append(time.perf_counter() - t0)
+    return float(np.median(times) * 1e3)
+
+
 def median_resolve_ms(session, rng: np.random.Generator, repeats: int) -> float:
     """Median wall time of a full re-solve on a fresh RHS, in milliseconds.
 
@@ -122,21 +160,37 @@ def median_resolve_ms(session, rng: np.random.Generator, repeats: int) -> float:
     return float(np.median(times) * 1e3)
 
 
+def record_label(record: dict) -> str:
+    """Table/print label: the solver name, tagged when not plain f64."""
+    label = record["solver"]
+    if record.get("precision", "f64") != "f64":
+        label += f"[{record['precision']}]"
+    if "k" in record:
+        label += f" k={record['k']}"
+    return label
+
+
+def make_config(kind: str, precision: str = "f64", max_iterations: int = 4000) -> SolverConfig:
+    return SolverConfig(
+        preconditioner=kind,
+        subdomain_size=SUBDOMAIN_SIZE,
+        overlap=2,
+        tolerance=TOLERANCE,
+        max_iterations=max_iterations,
+        precision=precision,
+    )
+
+
 def bench_problem(problem, model, repeats: int, resolve_repeats: int, max_iterations: int = 4000):
     """All per-solver records for one global problem."""
     records = []
     solves = {}
     resolve_rng = np.random.default_rng(2)
+    n = int(problem.num_dofs)
     for kind in ("ic0", "ddm-lu", "ddm-gnn"):
         session = prepare(
             problem,
-            SolverConfig(
-                preconditioner=kind,
-                subdomain_size=SUBDOMAIN_SIZE,
-                overlap=2,
-                tolerance=TOLERANCE,
-                max_iterations=max_iterations,
-            ),
+            make_config(kind, max_iterations=max_iterations),
             model=model if kind == "ddm-gnn" else None,
         )
         preconditioner = session.preconditioner
@@ -152,7 +206,8 @@ def bench_problem(problem, model, repeats: int, resolve_repeats: int, max_iterat
         solves[kind] = result
         records.append({
             "solver": kind,
-            "n": int(problem.num_dofs),
+            "precision": "f64",
+            "n": n,
             "K": int(getattr(preconditioner, "num_subdomains", 0)),
             "setup_s": round(session.setup_time, 6),
             "apply_ms_p50": round(apply_ms, 4),
@@ -172,13 +227,51 @@ def bench_problem(problem, model, repeats: int, resolve_repeats: int, max_iterat
             solves["ddm-gnn-ref"] = ref_result
             records.append({
                 "solver": "ddm-gnn-ref",
-                "n": int(problem.num_dofs),
+                "precision": "f64",
+                "n": n,
                 "K": int(preconditioner.num_subdomains),
                 "setup_s": round(session.setup_time, 6),
                 "apply_ms_p50": round(ref_apply_ms, 4),
                 "iters": int(ref_result.iterations),
                 "total_s": round(ref_result.elapsed_time, 6),
             })
+
+            # ---- precision trajectory: the same model served in float32 ----
+            f32_session = prepare(problem, make_config(kind, "f32", max_iterations),
+                                  model=model)
+            f32_pre = f32_session.preconditioner
+            f32_apply_ms = median_apply_ms(f32_pre.apply, problem.rhs, repeats)
+            f32_result = f32_session.solve()
+            f32_resolve_ms = median_resolve_ms(f32_session, resolve_rng, resolve_repeats)
+            solves["ddm-gnn[f32]"] = f32_result
+            records.append({
+                "solver": "ddm-gnn",
+                "precision": "f32",
+                "n": n,
+                "K": int(f32_pre.num_subdomains),
+                "setup_s": round(f32_session.setup_time, 6),
+                "apply_ms_p50": round(f32_apply_ms, 4),
+                "resolve_ms_p50": round(f32_resolve_ms, 4),
+                "iters": int(f32_result.iterations),
+                "total_s": round(f32_result.elapsed_time, 6),
+            })
+
+            # ---- fused multi-column apply: one forward for k RHS columns ----
+            # vs the k sequential applies lockstep CG issued before fusing
+            R = np.asfortranarray(np.random.default_rng(3).normal(size=(n, FUSED_K)))
+            for precision, pre in (("f64", preconditioner), ("f32", f32_pre)):
+                fused_ms = median_columns_ms(pre, R, repeats)
+                seq_ms = median_sequential_columns_ms(pre, R, repeats)
+                records.append({
+                    "solver": "ddm-gnn-fused",
+                    "precision": precision,
+                    "n": n,
+                    "K": int(pre.num_subdomains),
+                    "k": FUSED_K,
+                    "apply_ms_p50": round(fused_ms, 4),
+                    "seq_apply_ms_p50": round(seq_ms, 4),
+                    "fused_apply_speedup": round(seq_ms / fused_ms, 3),
+                })
     return records, solves
 
 
@@ -214,27 +307,49 @@ def main(argv=None) -> int:
 
     all_records = []
     speedups = {}
+    lockstep_speedups = {}
     for target_n in sizes:
         mesh = mesh_for_target_size(target_n, element_size=ELEMENT_SIZE, rng=rng)
         problem = random_poisson_problem(mesh, rng=rng)
         records, solves = bench_problem(problem, model, repeats, resolve_repeats)
         all_records.extend(records)
-        by_solver = {r["solver"]: r for r in records}
+        by_solver = {record_label(r): r for r in records}
         speedup = by_solver["ddm-gnn-ref"]["apply_ms_p50"] / by_solver["ddm-gnn"]["apply_ms_p50"]
         speedups[problem.num_dofs] = speedup
         print(f"\nn={problem.num_dofs}  (K={by_solver['ddm-gnn']['K']}, tolerance={TOLERANCE:g})")
         print(format_table(
             ["solver", "setup_s", "apply_ms_p50", "resolve_ms_p50", "iters", "total_s", "timing split"],
             [
-                [r["solver"], f"{r['setup_s']:.3f}", f"{r['apply_ms_p50']:.2f}",
+                [record_label(r),
+                 f"{r['setup_s']:.3f}" if "setup_s" in r else "-",
+                 f"{r['apply_ms_p50']:.2f}",
                  f"{r['resolve_ms_p50']:.2f}" if "resolve_ms_p50" in r else "-",
-                 r["iters"], f"{r['total_s']:.3f}", format_timing_split(solves[r["solver"]])]
+                 r.get("iters", "-"),
+                 f"{r['total_s']:.3f}" if "total_s" in r else "-",
+                 format_timing_split(solves[record_label(r)])
+                 if record_label(r) in solves else "-"]
                 for r in records
             ],
         ))
         print(f"DDM-GNN fast-path apply speedup vs pre-PR path: {speedup:.2f}x")
+        for r in records:
+            if r["solver"] == "ddm-gnn-fused":
+                print(f"DDM-GNN fused apply_columns ({r['precision']}, k={r['k']}): "
+                      f"{r['fused_apply_speedup']:.2f}x vs {r['k']} sequential applies")
+        fused = {r["precision"]: r for r in records if r["solver"] == "ddm-gnn-fused"}
+        if "f64" in fused and "f32" in fused:
+            # the lockstep headline: what a k-wide CG iteration costs now
+            # (one fused f32 forward) vs before this PR (k sequential f64 applies)
+            lockstep = fused["f64"]["seq_apply_ms_p50"] / fused["f32"]["apply_ms_p50"]
+            lockstep_speedups[problem.num_dofs] = round(lockstep, 3)
+            print(f"DDM-GNN lockstep k={FUSED_K} apply speedup "
+                  f"(fused f32 vs sequential f64): {lockstep:.2f}x")
+        f64_iters = by_solver["ddm-gnn"]["iters"]
+        f32_iters = by_solver["ddm-gnn[f32]"]["iters"]
+        print(f"DDM-GNN f32 iteration drift: {f32_iters}/{f64_iters} "
+              f"({f32_iters / max(f64_iters, 1):.2f}x)")
         amortised = {
-            r["solver"]: (r["setup_s"] * 1e3 + r["total_s"] * 1e3) / max(r["resolve_ms_p50"], 1e-9)
+            record_label(r): (r["setup_s"] * 1e3 + r["total_s"] * 1e3) / max(r["resolve_ms_p50"], 1e-9)
             for r in records if "resolve_ms_p50" in r
         }
         print("first-solve (setup+solve) / repeat-solve ratio: "
@@ -246,10 +361,16 @@ def main(argv=None) -> int:
         "tolerance": TOLERANCE,
         "smoke": bool(args.smoke),
         "checkpoint": str(args.checkpoint) if args.checkpoint else None,
-        "schema": ["solver", "n", "K", "setup_s", "apply_ms_p50", "resolve_ms_p50",
-                   "iters", "total_s"],
+        "schema": ["solver", "precision", "n", "K", "setup_s", "apply_ms_p50",
+                   "resolve_ms_p50", "iters", "total_s", "k", "seq_apply_ms_p50",
+                   "fused_apply_speedup"],
         "records": all_records,
         "fastpath_apply_speedup": {str(n): round(s, 3) for n, s in speedups.items()},
+        "fused_apply_speedup": {
+            f"{r['n']}/{r['precision']}": r["fused_apply_speedup"]
+            for r in all_records if r["solver"] == "ddm-gnn-fused"
+        },
+        "lockstep_apply_speedup": {str(n): s for n, s in lockstep_speedups.items()},
     }
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"\nwrote {len(all_records)} records to {args.output}")

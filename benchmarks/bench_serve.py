@@ -202,17 +202,12 @@ def main(argv=None) -> int:
     for kind in solvers:
         solver_config = make_solver_config(kind)
         cell_model = model if kind == "ddm-gnn" else None
-        # the GNN's per-solve cost is ~20x the exact solvers'; its cells
-        # demonstrate GNN serving (cache + batching + parity), not the
-        # headline speedup sweep, so they run at reduced load
-        if kind == "ddm-gnn":
-            cell_clients = tuple(c for c in client_counts if c in (1, 8)) or (8,)
-            cell_requests = max(6, requests_per_client // 3)
-            cell_pool = pool[:8]
-        else:
-            cell_clients = client_counts
-            cell_requests = requests_per_client
-            cell_pool = pool
+        # the GNN runs the same clients x batching grid as the exact solvers:
+        # fused multi-column inference makes its micro-batched lockstep solves
+        # share one forward pass, so reduced-load special-casing is gone
+        cell_clients = client_counts
+        cell_requests = requests_per_client
+        cell_pool = pool
         # bit-parity references: sequential solves on a standalone session
         reference_session = prepare(problem, solver_config, model=cell_model)
         references = [reference_session.solve(b).solution for b in cell_pool]

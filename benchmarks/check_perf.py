@@ -22,6 +22,13 @@ The comparison is deliberately noise-tolerant:
   looks like.  A uniform slowdown of every solver at once is indistinguishable
   from slower hardware and is intentionally not gated.
 
+Records are matched per ``(solver, precision)`` — f32 ddm-gnn records gate
+against f32 baselines only.  On top of the latency gates, ``--fresh`` runs an
+**iters-drift gate keyed on precision mode**: the f32 ddm-gnn record at each
+problem size must not need more than ``--iters-drift-limit`` (default 1.2×)
+the iterations of its f64 sibling in the *same run* — the bound the precision
+tests (tests/test_solvers.py::TestPrecision) assert on the smoke sizes.
+
 The gate also covers the serving layer: ``--serve-fresh`` compares a fresh
 ``bench_serve.py`` run against the committed ``BENCH_serve.json``.  Serve
 records are matched exactly on ``(solver, clients, batching)`` and gated on
@@ -66,9 +73,18 @@ def load_records(path: Path) -> List[Dict]:
     return records
 
 
+def record_precision(record: Dict) -> str:
+    """The record's precision mode; baselines predating the knob are f64."""
+    return str(record.get("precision", "f64"))
+
+
 def nearest_baseline(record: Dict, baseline: List[Dict]) -> Optional[Dict]:
-    """The baseline record for the same solver with the closest problem size."""
-    candidates = [b for b in baseline if b["solver"] == record["solver"]]
+    """The baseline record for the same solver (and precision mode) with the
+    closest problem size — an f32 record must never be compared against an
+    f64 baseline or the precision speedup would read as a regression."""
+    candidates = [b for b in baseline
+                  if b["solver"] == record["solver"]
+                  and record_precision(b) == record_precision(record)]
     if not candidates:
         return None
     return min(candidates, key=lambda b: abs(math.log(b["n"] / record["n"])))
@@ -78,9 +94,12 @@ def collect_ratios(fresh: List[Dict], baseline: List[Dict]) -> List[Tuple[str, i
     """(solver, n, metric, fresh/baseline ratio) for every gated pair."""
     ratios = []
     for record in fresh:
+        label = record["solver"]
+        if record_precision(record) != "f64":
+            label += f"[{record_precision(record)}]"
         matched = nearest_baseline(record, baseline)
         if matched is None:
-            print(f"note: solver '{record['solver']}' has no baseline record — skipped")
+            print(f"note: solver '{label}' has no baseline record — skipped")
             continue
         for metric in GATED_METRICS:
             if matched.get(metric) is None or record.get(metric) is None:
@@ -89,7 +108,7 @@ def collect_ratios(fresh: List[Dict], baseline: List[Dict]) -> List[Tuple[str, i
             fresh_value = float(record[metric])
             if base_value <= 0.0:
                 continue
-            ratios.append((record["solver"], int(record["n"]), metric, fresh_value / base_value))
+            ratios.append((label, int(record["n"]), metric, fresh_value / base_value))
     return ratios
 
 
@@ -139,6 +158,38 @@ def collect_serve_ratios(fresh: List[Dict], baseline: List[Dict]) -> List[Tuple[
     return ratios
 
 
+def gate_precision_drift(records: List[Dict], limit: float) -> List[Tuple]:
+    """The iters-drift gate, keyed on precision mode.
+
+    float32 inference may cost Krylov iterations, but no more than ``limit``x
+    the f64 count at the same problem size.  Unlike the latency gates this
+    compares the fresh run against *itself* (f32 vs f64 records of the same
+    ``n``), so it needs no machine-speed normalisation and no baseline —
+    iteration counts are deterministic per (problem, model, precision).
+    """
+    by_n: Dict[int, Dict[str, int]] = {}
+    for record in records:
+        if record.get("solver") == "ddm-gnn" and record.get("iters") is not None:
+            by_n.setdefault(int(record["n"]), {})[record_precision(record)] = \
+                int(record["iters"])
+    failures = []
+    pairs = {n: p for n, p in by_n.items() if "f64" in p and "f32" in p}
+    if not pairs:
+        print("\n[precision drift] no f64/f32 ddm-gnn iteration pairs — gate skipped")
+        return failures
+    print(f"\n[precision drift] f32 iterations gated at {limit:g}x f64, per size")
+    print(f"{'n':>9} {'f64 iters':>10} {'f32 iters':>10} {'drift':>8}  verdict")
+    for n, by_precision in sorted(pairs.items()):
+        f64_iters, f32_iters = by_precision["f64"], by_precision["f32"]
+        drift = f32_iters / max(f64_iters, 1)
+        verdict = "ok"
+        if f32_iters > math.ceil(limit * f64_iters):
+            verdict = f"DRIFT (> {limit:g}x)"
+            failures.append(("ddm-gnn[f32]", n, "iters", drift))
+        print(f"{n:>9} {f64_iters:>10} {f32_iters:>10} {drift:>7.2f}x  {verdict}")
+    return failures
+
+
 def gate(ratios: List[Tuple[str, int, str, float]], threshold: float, title: str) -> List[Tuple]:
     """Print the normalised table for one ratio pool; returns its failures."""
     machine_factor = median([ratio for _, _, _, ratio in ratios])
@@ -168,6 +219,9 @@ def main(argv=None) -> int:
                         help=f"committed serve baseline (default: {DEFAULT_SERVE_BASELINE})")
     parser.add_argument("--threshold", type=float, default=2.0,
                         help="maximum allowed machine-normalised regression ratio (default 2.0)")
+    parser.add_argument("--iters-drift-limit", type=float, default=1.2,
+                        help="maximum f32/f64 ddm-gnn iteration-count ratio at the same "
+                             "problem size (default 1.2; applied to --fresh records)")
     args = parser.parse_args(argv)
 
     if args.fresh is None and args.serve_fresh is None:
@@ -183,6 +237,7 @@ def main(argv=None) -> int:
             print("error: no comparable solver records between fresh run and baseline")
             return 1
         failures += gate(ratios, args.threshold, "perf")
+        failures += gate_precision_drift(fresh, args.iters_drift_limit)
 
     if args.serve_fresh is not None:
         if not args.serve_baseline.exists():

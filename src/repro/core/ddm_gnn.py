@@ -32,7 +32,7 @@ against the original implementation.
 from __future__ import annotations
 
 import time
-from typing import List, Literal, Optional
+from typing import Dict, List, Literal, Optional
 
 import numpy as np
 import scipy.sparse as sp
@@ -89,6 +89,14 @@ class DDMGNNPreconditioner(Preconditioner):
         Diagonal equilibration of the local solves (see
         :class:`~repro.core.dataset.SubdomainGeometry`); None (default)
         enables it exactly when ``node_diffusion`` is present.
+    precision:
+        Staging precision of the compiled DSS inference plans: ``"f64"``
+        (default) or ``"f32"``.  In float32 mode the residual normalisation,
+        scaling and gluing stay in float64 — only the network forward runs in
+        float32, with casts at the source/output boundary — so the
+        preconditioner remains a fixed (SPD-consistent) function of the
+        residual and PCG converges with a small, gated iteration drift.
+        Requires the compiled fast path (a real DSS model).
     """
 
     def __init__(
@@ -103,9 +111,12 @@ class DDMGNNPreconditioner(Preconditioner):
         global_dirichlet_mask: Optional[np.ndarray] = None,
         node_diffusion: Optional[np.ndarray] = None,
         equilibrate: Optional[bool] = None,
+        precision: str = "f64",
     ) -> None:
         if levels not in (1, 2):
             raise ValueError("levels must be 1 or 2")
+        if precision not in ("f64", "f32"):
+            raise ValueError(f"precision must be 'f64' or 'f32', got {precision!r}")
         self.matrix = matrix.tocsr()
         self.mesh = mesh
         self.decomposition = decomposition
@@ -113,6 +124,7 @@ class DDMGNNPreconditioner(Preconditioner):
         self.levels = int(levels)
         self.batch_size = batch_size
         self.normalize_local_residuals = bool(normalize_local_residuals)
+        self.precision = precision
 
         n = self.matrix.shape[0]
         subdomains = decomposition.subdomain_nodes
@@ -156,8 +168,20 @@ class DDMGNNPreconditioner(Preconditioner):
         # Compile the inference fast path when the model supports it (a real
         # DSS); duck-typed `predict`-only models use the batched path.
         if hasattr(model, "compile_plan") and hasattr(model, "infer"):
-            self._plans = [model.compile_plan(batch) for batch in self._batches]
+            if self.precision == "f64":
+                self._plans = [model.compile_plan(batch) for batch in self._batches]
+            else:
+                self._plans = [
+                    model.compile_plan(batch, precision=self.precision)
+                    for batch in self._batches
+                ]
         else:
+            if self.precision != "f64":
+                raise ValueError(
+                    "precision='f32' requires the compiled inference fast path "
+                    "(a model with compile_plan/infer); duck-typed predict-only "
+                    "models run the float64 batched path"
+                )
             self._plans = None
 
         # Stacked residual-independent vectors and per-application scratch:
@@ -182,8 +206,13 @@ class DDMGNNPreconditioner(Preconditioner):
         self._denominators = np.empty(k)
         self._scales = np.empty(k)
 
+        # multi-column scratch, cached per column count (lockstep active sets
+        # shrink as right-hand sides converge, so a few k values recur)
+        self._column_scratch: Dict[int, Dict[str, np.ndarray]] = {}
+
         # bookkeeping for the performance tables
         self.num_applications = 0
+        self.num_fused_applications = 0
         self.total_inference_time = 0.0
         self.total_coarse_time = 0.0
 
@@ -238,6 +267,39 @@ class DDMGNNPreconditioner(Preconditioner):
             correction += self._local_correction_batched(residual)
         self.total_inference_time += time.perf_counter() - t0
         return correction
+
+    def apply_columns(self, residuals: np.ndarray) -> np.ndarray:
+        """Apply DDM-GNN to all ``k`` columns of an ``(n, k)`` residual block.
+
+        One fused sweep serves every column: a single gather/normalisation
+        pass over the ``(total, k)`` stacked residuals, **one** DSS forward
+        per inference batch (``infer_columns``, k-wide SpMMs and gathers with
+        per-column GEMMs) and one gluing SpMM.  Column ``i`` of the result is
+        bit-identical to ``apply(residuals[:, i])`` — the contract
+        :func:`repro.krylov.block.lockstep_pcg` relies on — because every
+        fused kernel accumulates each column in exactly the single-column
+        order.  This is what stops lockstep CG from serializing on the GNN.
+        """
+        residuals = np.asarray(residuals, dtype=np.float64)
+        if residuals.ndim != 2:
+            raise ValueError(f"apply_columns expects an (n, k) block, got shape {residuals.shape}")
+        if self._plans is None or not hasattr(self.model, "infer_columns"):
+            # batched / duck-typed path: the trivially-correct per-column loop
+            return super().apply_columns(residuals)
+        k = residuals.shape[1]
+        correction = np.zeros(residuals.shape)
+        self.num_applications += k
+        self.num_fused_applications += 1
+
+        if self.coarse_space is not None:
+            t0 = time.perf_counter()
+            correction += self.coarse_space.apply_columns(residuals)
+            self.total_coarse_time += time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        correction += self._local_correction_fast_columns(residuals)
+        self.total_inference_time += time.perf_counter() - t0
+        return np.asfortranarray(correction)
 
     def apply_reference(self, residual: np.ndarray) -> np.ndarray:
         """The pre-fast-path implementation (per-sub-domain loops, tape forward).
@@ -295,6 +357,73 @@ class DDMGNNPreconditioner(Preconditioner):
             np.multiply(self._outputs, self._equilibration, out=self._outputs)
         return self.stacked_restriction.glue(self._outputs)
 
+    def _columns_scratch(self, k: int) -> Dict[str, np.ndarray]:
+        """Preallocated ``(total, k)`` / ``(K, k)`` buffers for ``k`` columns."""
+        scratch = self._column_scratch.get(k)
+        if scratch is None:
+            total = self.stacked_restriction.total_rows
+            num_subdomains = len(self.geometries)
+            scratch = {
+                "local": np.empty((total, k)),
+                "squares": np.empty((total, k)),
+                "source": np.empty((total, k)),
+                "outputs": np.empty((total, k)),
+                "per_row": np.empty((total, k)),
+                "norms": np.empty((num_subdomains, k)),
+                "denominators": np.empty((num_subdomains, k)),
+                "scales": np.empty((num_subdomains, k)),
+            }
+            self._column_scratch[k] = scratch
+        return scratch
+
+    def _local_correction_fast_columns(self, residuals: np.ndarray) -> np.ndarray:
+        """Multi-column :meth:`_local_correction_fast`: one fused sweep for all k.
+
+        Every step is the column-parallel form of the single-column op —
+        row gathers, per-column ``reduceat`` norms, elementwise broadcasts,
+        one ``infer_columns`` per inference batch, one gluing SpMM — and each
+        accumulates per column in the single-column order, so column ``i`` is
+        bit-identical to ``_local_correction_fast(residuals[:, i])``.
+        """
+        scratch = self._columns_scratch(residuals.shape[1])
+        stacked = scratch["local"]
+        np.take(residuals, self.stacked_restriction.node_indices, axis=0, out=stacked)
+        if self._equilibration is not None:
+            stacked *= self._equilibration[:, None]
+
+        # ‖R_i r_j‖ for every sub-domain × column, one reduceat over the rows
+        norms = scratch["norms"]
+        np.multiply(stacked, stacked, out=scratch["squares"])
+        np.add.reduceat(scratch["squares"], self._offsets[:-1], axis=0, out=norms)
+        np.sqrt(norms, out=norms)
+
+        denominators = scratch["denominators"]
+        np.copyto(denominators, norms)
+        denominators[denominators == 0.0] = 1.0
+        np.take(denominators, self._segment_ids, axis=0, out=scratch["per_row"])
+        np.divide(stacked, scratch["per_row"], out=scratch["source"])
+        if not self.normalize_local_residuals:
+            np.take(norms, self._segment_ids, axis=0, out=scratch["per_row"])
+            np.multiply(scratch["source"], scratch["per_row"], out=scratch["source"])
+
+        # all local problems × all columns: one fused forward per batch (the
+        # f32 boundary lives inside infer_columns; outputs upcast on store)
+        outputs = scratch["outputs"]
+        for plan, members in zip(self._plans, self._batch_membership):
+            lo = self._offsets[members[0]]
+            hi = self._offsets[members[-1] + 1]
+            outputs[lo:hi, :] = self.model.infer_columns(plan, scratch["source"][lo:hi, :])
+
+        if self.normalize_local_residuals:
+            np.copyto(scratch["scales"], norms)
+        else:
+            np.sign(norms, out=scratch["scales"])  # 1 where ‖R_i r_j‖ > 0, else 0
+        np.take(scratch["scales"], self._segment_ids, axis=0, out=scratch["per_row"])
+        np.multiply(outputs, scratch["per_row"], out=outputs)
+        if self._equilibration is not None:
+            outputs *= self._equilibration[:, None]
+        return self.stacked_restriction.glue(outputs)
+
     def _local_correction_batched(self, residual: np.ndarray) -> np.ndarray:
         """Classical batched path (per-sub-domain loops through ``model.predict``)."""
         correction = np.zeros_like(residual)
@@ -331,6 +460,7 @@ class DDMGNNPreconditioner(Preconditioner):
         """Timing counters accumulated over all applications (Table III columns)."""
         return {
             "applications": self.num_applications,
+            "fused_applications": self.num_fused_applications,
             "total_inference_time": self.total_inference_time,
             "total_coarse_time": self.total_coarse_time,
             "mean_inference_time": self.total_inference_time / max(self.num_applications, 1),

@@ -251,6 +251,13 @@ class BatchPlan:
 
     def load_source(self, values: np.ndarray) -> None:
         """Copy the current per-node inputs into the preallocated buffer."""
+        values = np.asarray(values)
+        if values.shape != self.source.shape:
+            raise ValueError(
+                f"source must have shape {self.source.shape} (one value per stacked "
+                f"node), got {values.shape}; multi-column sources go through "
+                f"InferencePlan.load_source_columns"
+            )
         self.source[...] = values
 
     def split_node_values(self, values: np.ndarray) -> List[np.ndarray]:

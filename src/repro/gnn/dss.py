@@ -174,14 +174,19 @@ class DSS(Module):
     # ------------------------------------------------------------------ #
     # allocation-free inference engine (the solver hot path)
     # ------------------------------------------------------------------ #
-    def compile_plan(self, batch: Union[GraphBatch, BatchPlan]) -> InferencePlan:
+    def compile_plan(
+        self, batch: Union[GraphBatch, BatchPlan], precision: str = "f64"
+    ) -> InferencePlan:
         """Precompile a batch into an :class:`~repro.gnn.infer.InferencePlan`.
 
         All structure (edge index, padded attributes, feature preparation) and
         every forward-pass buffer are fixed once; subsequent
-        :meth:`infer` calls only rewrite the per-node source.
+        :meth:`infer` calls only rewrite the per-node source.  ``precision``
+        selects the staging dtype of the plan: ``"f64"`` (default, pinned to
+        the tape forward) or ``"f32"`` (half the memory traffic; sources and
+        outputs are cast at the plan boundary).
         """
-        return InferencePlan(self, batch)
+        return InferencePlan(self, batch, precision=precision)
 
     def infer(self, plan: InferencePlan, source: Optional[np.ndarray] = None) -> np.ndarray:
         """Run the forward pass on a precompiled plan, without the tape.
@@ -193,6 +198,20 @@ class DSS(Module):
         if source is not None:
             plan.load_source(source)
         return plan.run()
+
+    def infer_columns(self, plan: InferencePlan, sources: np.ndarray) -> np.ndarray:
+        """Run one forward pass for ``k`` source columns on a precompiled plan.
+
+        ``sources`` is ``(num_nodes, k)``; the result is ``(num_nodes, k)``
+        with column ``c`` bit-identical (at plan precision ``"f64"``) to
+        ``infer(plan, source=sources[:, c])``.  One sweep over the network
+        serves every column: the gathers and the aggregation SpMM fuse across
+        columns, which is what the lockstep multi-RHS solver batches on.  The
+        returned array is a view of a per-``k`` workspace, overwritten by the
+        next ``infer_columns`` with the same column count.
+        """
+        workspace = plan.load_source_columns(sources)
+        return plan.run_columns(workspace.k)
 
     def training_loss(self, problem: Union[GraphProblem, GraphBatch]) -> Tensor:
         """Sum of the residual losses of all intermediate states (paper Eq. 23)."""

@@ -154,6 +154,49 @@ class DSSBlock(Module):
         # aggregation onto the destination nodes fused with the output layer
         ws.aggregate(ws.edge_hidden, direction, agg_out)
 
+    # ------------------------------------------------------------------ #
+    # multi-column inference (k sources per node, one network sweep)
+    # ------------------------------------------------------------------ #
+    def infer_columns_into(self, ws, cw, ops) -> None:
+        """Advance all ``k`` latent columns of workspace ``cw`` by one iteration.
+
+        The structure mirrors :meth:`infer_into` exactly; the gather-add, the
+        aggregation SpMM and every elementwise op are fused across columns
+        (all exact per column), the GEMMs run per contiguous column slab (the
+        bitwise-safe form — see :mod:`repro.gnn.infer`).
+        """
+        from .infer import _matmul_slabs
+
+        self._messages_columns_into(ws, cw, ops.forward_dir, cw.agg_fwd)
+        self._messages_columns_into(ws, cw, ops.backward_dir, cw.agg_bwd)
+
+        _matmul_slabs(cw.node_cat, ops.psi_w1_T, cw.node_hidden)
+        if ops.psi_b1 is not None:
+            cw.node_hidden += ops.psi_b1
+        relu_(cw.node_hidden)
+        _matmul_slabs(cw.node_hidden, ops.psi_w2_T, cw.update)
+        if ops.psi_b2 is not None:
+            cw.update += ops.psi_b2
+        np.multiply(cw.update, self.alpha, out=cw.update)
+        cw.latent += cw.update
+
+    @staticmethod
+    def _messages_columns_into(ws, cw, direction, agg_out: np.ndarray) -> None:
+        """Multi-column :meth:`_messages_into`: slab GEMMs, one gather SpMM.
+
+        The per-node projections land in the ``(k, 2, n, d)`` projection
+        buffer whose flattened rows are exactly the columns of the
+        block-diagonal two-ones gather operator; one SpMM then replaces the
+        two per-column ``np.take`` gathers *and* their addition.
+        """
+        from .infer import _matmul_slabs
+
+        _matmul_slabs(cw.latent, direction.w_dst_T, cw.proj_dst)
+        _matmul_slabs(cw.latent, direction.w_src_T, cw.proj_src)
+        ws.gather_add_columns(cw, direction)
+        relu_(cw.edge_hidden)
+        ws.aggregate_columns(cw, direction, agg_out)
+
 
 class Decoder(Module):
     """Per-iteration decoder ``D_θ^{k}`` mapping the latent state to a scalar field."""
@@ -176,3 +219,16 @@ class Decoder(Module):
         if ops.b2 is not None:
             ws.output += ops.b2
         return ws.output
+
+    def infer_columns_into(self, ws, cw, ops) -> np.ndarray:
+        """Decode all ``k`` latent columns into ``cw.output`` at once."""
+        from .infer import _matmul_slabs
+
+        _matmul_slabs(cw.latent, ops.w1_T, cw.node_hidden)
+        if ops.b1 is not None:
+            cw.node_hidden += ops.b1
+        relu_(cw.node_hidden)
+        _matmul_slabs(cw.node_hidden, ops.w2_T, cw.output)
+        if ops.b2 is not None:
+            cw.output += ops.b2
+        return cw.output

@@ -31,7 +31,11 @@ evaluated by the same kernels in the same order as the single-RHS path:
 
 Preconditioners participate through ``apply_columns(R) -> Z`` (see
 :class:`repro.ddm.asm.Preconditioner`), whose own contract is per-column
-bit-identity with ``apply``.
+bit-identity with ``apply``.  The whole DDM family batches genuinely:
+DDM-LU/Jacobi solve all stacked locals at once, and DDM-GNN runs **one**
+fused multi-column DSS forward per inference batch
+(:meth:`repro.core.ddm_gnn.DDMGNNPreconditioner.apply_columns`), so a
+lockstep iteration costs one network sweep instead of k.
 
 Per-column timing is reported amortised: each :class:`SolveResult` carries
 ``batch_elapsed / num_rhs`` (the honest per-RHS share of the lockstep sweep)

@@ -9,13 +9,18 @@ north star asks for, built directly on the setup/solve split of
    config × model/checkpoint content); the expensive setup (partition,
    factorisations, coarse space, compiled DSS plans) is paid once per key
    and amortised over the request stream (:class:`~repro.serve.cache.SessionCache`).
+   The solver config hash covers the inference ``precision``, so float32 and
+   float64 requests always resolve to distinct cached sessions — a request
+   can never be answered at a precision it did not ask for.
 2. **Micro-batching queue** — concurrent single-RHS requests for the *same*
    session are coalesced into one
    :meth:`~repro.solvers.session.SolverSession.solve_many` call, bounded by
    ``max_batch`` and ``max_wait_ms``.  With the lockstep multi-RHS Krylov
    path this turns k solves' SpMVs into SpMMs and batches the preconditioner
-   applications — **bit-identical per RHS** to sequential ``session.solve``
-   (the lockstep contract), so batching is purely a throughput optimisation.
+   applications — for ddm-gnn, one fused multi-column DSS forward per
+   inference batch instead of k sequential ones — **bit-identical per RHS**
+   to sequential ``session.solve`` (the lockstep contract), so batching is
+   purely a throughput optimisation.
 3. **Worker pool** — sessions are *pinned* to workers by key hash, so one
    session is only ever driven from one thread and the per-session scratch
    buffers (``InferencePlan``, stacked-restriction arrays) stay safe; the

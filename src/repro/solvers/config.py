@@ -61,6 +61,14 @@ class SolverConfig:
         enables it exactly when the problem carries a κ field.
     jacobi_sweeps:
         Sweeps of the Jacobi local solver (``ddm-jacobi`` only).
+    precision:
+        Inference precision of the DDM-GNN local solves: ``"f64"`` (default,
+        bit-compatible with the tape forward) or ``"f32"`` (float32-staged
+        weights and scratch, casts at the source/output boundary; the Krylov
+        iteration itself always runs in float64).  Other preconditioner
+        families are exact solvers and ignore it.  The field enters
+        :meth:`config_hash` — and therefore the serve-layer session keys —
+        so cached f32 and f64 sessions never mix.
     seed:
         Seed for the partitioner.
     checkpoint:
@@ -81,6 +89,7 @@ class SolverConfig:
     gnn_batch_size: Optional[int] = None
     gnn_equilibrate: Optional[bool] = None
     jacobi_sweeps: int = 10
+    precision: str = "f64"
     seed: int = 0
     checkpoint: Optional[str] = None
 
@@ -90,6 +99,10 @@ class SolverConfig:
             raise ValueError(
                 f"levels must be 1 (one-level ASM) or 2 (Nicolaides coarse space), "
                 f"got {self.levels!r}"
+            )
+        if self.precision not in ("f64", "f32"):
+            raise ValueError(
+                f"precision must be 'f64' or 'f32', got {self.precision!r}"
             )
 
     def config_hash(self) -> str:

@@ -7,7 +7,9 @@ by three ingredients, and :func:`session_key` hashes exactly those:
   right-hand side, mesh, boundary data, κ field);
 * the **solver configuration** — :meth:`SolverConfig.config_hash
   <repro.solvers.config.SolverConfig.config_hash>` (every setup/iteration
-  knob, excluding the checkpoint *path*, whose content is hashed separately);
+  knob — including the inference ``precision``, so a float32 session never
+  answers for a float64 one — excluding the checkpoint *path*, whose content
+  is hashed separately);
 * the **model weights** — the checkpoint file's content hash when the config
   names one, else the in-memory model's parameter hash.
 

@@ -48,6 +48,7 @@ def _build_ddm_gnn(
         global_dirichlet_mask=getattr(problem, "dirichlet_mask", None),
         node_diffusion=getattr(problem, "node_diffusion", None),
         equilibrate=config.gnn_equilibrate,
+        precision=config.precision,
     )
 
 

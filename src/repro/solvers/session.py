@@ -283,6 +283,7 @@ class SolverSession:
         setup_s = self.setup_time if first else 0.0
         result.info["preconditioner_kind"] = config.preconditioner
         result.info["krylov"] = config.krylov
+        result.info["precision"] = config.precision
         result.info["setup_s"] = setup_s
         result.info["setup_time"] = setup_s  # legacy key of HybridSolver.solve
         result.info["stage_timings"] = {

@@ -65,3 +65,29 @@ def small_decomposition(random_mesh):
 def tiny_dss_model():
     """An untrained, tiny DSS model (weights random but deterministic)."""
     return DSS(DSSConfig(num_iterations=3, latent_dim=4, seed=1))
+
+
+@pytest.fixture(scope="session")
+def trained_dss_model():
+    """A small DSS model trained just enough to converge as a preconditioner.
+
+    The untrained ``tiny_dss_model`` stalls as a PCG preconditioner (its random
+    weights do not approximate the local inverses), so tests that assert
+    *convergence* — rather than parity or bounded iterations — train this one
+    for a few seconds on a handful of local problems harvested with the
+    paper's dataset recipe.  Deterministic: fixed rngs and seeds throughout.
+    """
+    from repro.core import generate_dataset
+    from repro.gnn import DSSTrainer, TrainingConfig
+
+    dataset = generate_dataset(num_global_problems=6, mesh_element_size=0.18,
+                               subdomain_size=80, overlap=2,
+                               rng=np.random.default_rng(42))
+    graphs = dataset.train + dataset.validation + dataset.test
+    model = DSS(DSSConfig(num_iterations=10, latent_dim=10, seed=0))
+    trainer = DSSTrainer(model, TrainingConfig(epochs=20, batch_size=8,
+                                               learning_rate=1e-2,
+                                               gradient_clip=1e-2))
+    trainer.fit(graphs, verbose=False)
+    model.eval()
+    return model

@@ -7,6 +7,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 import scipy.sparse.linalg as spla
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core import DDMGNNPreconditioner
 from repro.ddm import (
@@ -32,6 +34,19 @@ def toy_batch(small_disk_mesh):
         graph_from_mesh(small_disk_mesh, rng.normal(size=small_disk_mesh.num_nodes))
         for _ in range(3)
     ]
+    return GraphBatch.from_graphs(graphs)
+
+
+@pytest.fixture(scope="module")
+def kappa_batch(small_disk_mesh):
+    """Batch whose graphs carry κ features (node_attr + a 4th edge column)."""
+    rng = np.random.default_rng(21)
+    graphs = []
+    for _ in range(3):
+        g = graph_from_mesh(small_disk_mesh, rng.normal(size=small_disk_mesh.num_nodes))
+        g.node_attr = rng.normal(size=(small_disk_mesh.num_nodes, 1))
+        g.edge_attr = np.hstack([g.edge_attr, rng.normal(size=(g.edge_attr.shape[0], 1))])
+        graphs.append(g)
     return GraphBatch.from_graphs(graphs)
 
 
@@ -94,6 +109,158 @@ class TestInferParity:
         sorted_ = {tuple(col) for col in np.vstack([plan.edge_index, plan.edge_attr.T]).T.tolist()}
         assert original == sorted_
         assert np.all(np.diff(plan.edge_index[1]) >= 0)
+
+
+# --------------------------------------------------------------------------- #
+# multi-column (fused) inference parity
+# --------------------------------------------------------------------------- #
+PLAIN_CONFIG = DSSConfig(num_iterations=3, latent_dim=4, seed=1)
+KAPPA_CONFIG = DSSConfig(num_iterations=4, latent_dim=5, seed=3, edge_attr_dim=4, node_input_dim=2)
+
+COLUMN_COUNTS = [1, 2, 7, 16]
+
+
+class TestMultiColumnParity:
+    """``infer_columns(k)`` against ``k`` sequential ``infer`` calls.
+
+    The f64 contract is *bitwise* (the lockstep CG relies on it); the f32
+    interleaved path trades bit-identity for fusion and is pinned by
+    tolerance against the f32 sequential path instead.
+    """
+
+    def _model_and_batch(self, config, toy_batch, kappa_batch):
+        batch = kappa_batch if config.node_input_dim > 1 else toy_batch
+        model = DSS(config)
+        model.eval()
+        return model, batch
+
+    def _sequential(self, model, plan, sources):
+        return np.stack(
+            [model.infer(plan, sources[:, j]).copy() for j in range(sources.shape[1])],
+            axis=1,
+        )
+
+    @pytest.mark.parametrize("config", [PLAIN_CONFIG, KAPPA_CONFIG])
+    @pytest.mark.parametrize("k", COLUMN_COUNTS)
+    def test_f64_columns_bitwise_match_sequential(self, toy_batch, kappa_batch, config, k):
+        model, batch = self._model_and_batch(config, toy_batch, kappa_batch)
+        plan = model.compile_plan(batch)
+        sources = np.random.default_rng(100 + k).normal(size=(batch.num_nodes, k))
+        fused = model.infer_columns(plan, sources).copy()
+        assert np.array_equal(fused, self._sequential(model, plan, sources))
+
+    @pytest.mark.parametrize("config", [PLAIN_CONFIG, KAPPA_CONFIG])
+    @pytest.mark.parametrize("k", COLUMN_COUNTS)
+    def test_f32_columns_match_f32_sequential_to_tolerance(self, toy_batch, kappa_batch, config, k):
+        model, batch = self._model_and_batch(config, toy_batch, kappa_batch)
+        plan32 = model.compile_plan(batch, precision="f32")
+        rng = np.random.default_rng(200 + k)
+        sources = rng.normal(size=(batch.num_nodes, k))
+        fused = model.infer_columns(plan32, sources).copy()
+        sequential = self._sequential(model, plan32, sources)
+        assert fused.dtype == np.float32
+        scale = np.abs(sequential).max()
+        assert np.allclose(fused, sequential, rtol=1e-4, atol=1e-5 * max(scale, 1.0))
+
+    @pytest.mark.parametrize("precision", ["f64", "f32"])
+    def test_shrinking_column_counts_reuse_buffers(self, toy_batch, precision):
+        """Lockstep compaction shrinks k mid-solve; the plan must serve every
+        smaller count from the buffers allocated at the largest one, without
+        losing per-column correctness."""
+        model = DSS(PLAIN_CONFIG)
+        model.eval()
+        plan = model.compile_plan(toy_batch, precision=precision)
+        rng = np.random.default_rng(31)
+        sources16 = rng.normal(size=(toy_batch.num_nodes, 16))
+        model.infer_columns(plan, sources16)
+        buffers = plan._fused if precision == "f64" else plan._interleaved
+        assert buffers is not None and buffers.k_max == 16
+        for k in (7, 2, 1):
+            sources = rng.normal(size=(toy_batch.num_nodes, k))
+            fused = model.infer_columns(plan, sources).copy()
+            sequential = self._sequential(model, plan, sources)
+            if precision == "f64":
+                assert np.array_equal(fused, sequential)
+            else:
+                assert np.allclose(fused, sequential, rtol=1e-4, atol=1e-6)
+            # same buffer object: shrinking k never reallocates
+            assert (plan._fused if precision == "f64" else plan._interleaved) is buffers
+
+    @pytest.mark.parametrize("precision", ["f64", "f32"])
+    def test_no_per_call_allocation_growth(self, toy_batch, precision):
+        """Repeated fused calls reuse one workspace: outputs are views of the
+        same memory and no new buffer objects appear after warm-up."""
+        model = DSS(PLAIN_CONFIG)
+        model.eval()
+        plan = model.compile_plan(toy_batch, precision=precision)
+        rng = np.random.default_rng(37)
+        first = model.infer_columns(plan, rng.normal(size=(toy_batch.num_nodes, 5)))
+        buffers = plan._fused if precision == "f64" else plan._interleaved
+        second = model.infer_columns(plan, rng.normal(size=(toy_batch.num_nodes, 5)))
+        third = model.infer_columns(plan, rng.normal(size=(toy_batch.num_nodes, 3)))
+        assert np.shares_memory(first, second)
+        assert np.shares_memory(first, third)
+        assert (plan._fused if precision == "f64" else plan._interleaved) is buffers
+
+    def test_load_source_columns_validates_shape(self, toy_batch):
+        model = DSS(PLAIN_CONFIG)
+        plan = model.compile_plan(toy_batch)
+        with pytest.raises(ValueError):
+            plan.load_source_columns(np.zeros(toy_batch.num_nodes))
+        with pytest.raises(ValueError):
+            plan.load_source_columns(np.zeros((toy_batch.num_nodes + 1, 2)))
+
+    def test_single_column_fused_matches_single_infer(self, toy_batch):
+        """k=1 through the fused path is bit-identical to the 1-D fast path."""
+        model = DSS(PLAIN_CONFIG)
+        model.eval()
+        plan = model.compile_plan(toy_batch)
+        source = np.random.default_rng(41).normal(size=toy_batch.num_nodes)
+        fused = model.infer_columns(plan, source[:, None]).copy()
+        assert np.array_equal(fused[:, 0], model.infer(plan, source))
+
+
+class TestPreconditionerApplyColumns:
+    """``DDMGNNPreconditioner.apply_columns`` against per-column ``apply``,
+    including ragged last inference batches (``batch_size`` not dividing the
+    sub-domain count)."""
+
+    def _build(self, problem, decomposition, model, **kwargs):
+        return DDMGNNPreconditioner(
+            problem.matrix, problem.mesh, decomposition, model, **kwargs
+        )
+
+    @pytest.mark.parametrize("batch_size", [None, 4])
+    def test_f64_apply_columns_bitwise(self, random_problem, small_decomposition, tiny_dss_model, batch_size):
+        pre = self._build(
+            random_problem, small_decomposition, tiny_dss_model, batch_size=batch_size
+        )
+        if batch_size is not None:
+            # the point of the parametrization: a ragged last inference batch
+            assert len({len(m) for m in pre._batch_membership}) > 1
+        R = np.random.default_rng(43).normal(size=(random_problem.num_dofs, 5))
+        fused = pre.apply_columns(R)
+        for j in range(R.shape[1]):
+            assert np.array_equal(fused[:, j], pre.apply(R[:, j]))
+
+    @pytest.mark.parametrize("batch_size", [None, 4])
+    def test_f32_apply_columns_tolerance(self, random_problem, small_decomposition, tiny_dss_model, batch_size):
+        pre = self._build(
+            random_problem, small_decomposition, tiny_dss_model,
+            batch_size=batch_size, precision="f32",
+        )
+        R = np.random.default_rng(47).normal(size=(random_problem.num_dofs, 5))
+        fused = pre.apply_columns(R)
+        for j in range(R.shape[1]):
+            single = pre.apply(R[:, j])
+            scale = np.abs(single).max()
+            assert np.allclose(fused[:, j], single, rtol=1e-4, atol=1e-5 * max(scale, 1.0))
+
+    def test_fused_application_counter(self, random_problem, small_decomposition, tiny_dss_model):
+        pre = self._build(random_problem, small_decomposition, tiny_dss_model)
+        before = pre.inference_stats()["fused_applications"]
+        pre.apply_columns(np.random.default_rng(53).normal(size=(random_problem.num_dofs, 3)))
+        assert pre.inference_stats()["fused_applications"] == before + 1
 
 
 # --------------------------------------------------------------------------- #
@@ -323,3 +490,75 @@ class TestBatchDims:
     def test_too_narrow_dims_rejected(self, toy_batch):
         with pytest.raises(ValueError):
             GraphBatch.from_graphs(toy_batch.graphs, edge_attr_dim=2)
+
+
+# --------------------------------------------------------------------------- #
+# randomized lockstep parity: random SPD problems x random column counts
+# --------------------------------------------------------------------------- #
+class TestRandomizedLockstep:
+    """Property-based sweep over the fused multi-RHS path: random Poisson
+    problems and random batch widths must match sequential per-RHS solves
+    exactly (f64) or to float32 tolerance — the fixed-k parity tests above
+    cannot catch column-compaction or stride bugs that only appear at odd
+    (problem size, k) combinations."""
+
+    _problems: dict = {}
+    _sessions: dict = {}
+
+    @classmethod
+    def _problem(cls, seed):
+        if seed not in cls._problems:
+            from repro.fem import random_poisson_problem
+            from repro.mesh import random_domain_mesh
+
+            mesh = random_domain_mesh(radius=1.0, element_size=0.2,
+                                      rng=np.random.default_rng(seed))
+            cls._problems[seed] = random_poisson_problem(
+                mesh, rng=np.random.default_rng(seed + 1))
+        return cls._problems[seed]
+
+    @classmethod
+    def _session(cls, seed, precision, mode, model):
+        """One session per (problem, precision, mode) — reused across draws so
+        the sweep also exercises buffer shrink/regrow between random widths.
+
+        An *untrained* model is unusable here: its random weights make PCG
+        breakdown-prone (ρ can underflow to exactly zero through a float32
+        apply), so the sweep runs on the trained session-scoped model.
+        """
+        key = (seed, precision, mode)
+        if key not in cls._sessions:
+            from repro.solvers import SolverConfig, prepare
+
+            config = SolverConfig(preconditioner="ddm-gnn", subdomain_size=60,
+                                  tolerance=1e-4, max_iterations=200,
+                                  precision=precision)
+            cls._sessions[key] = prepare(cls._problem(seed), config, model=model)
+        return cls._sessions[key]
+
+    @given(st.integers(0, 3), st.integers(1, 9), st.integers(0, 1000))
+    @settings(max_examples=12, deadline=None)
+    def test_fused_matches_sequential(self, trained_dss_model, problem_seed, k,
+                                      rhs_seed):
+        problem = self._problem(problem_seed)
+        B = np.random.default_rng(rhs_seed).normal(size=(k, problem.num_dofs))
+
+        fused = self._session(problem_seed, "f64", "fused",
+                              trained_dss_model).solve_many(B, mode="fused")
+        sequential = self._session(problem_seed, "f64", "sequential",
+                                   trained_dss_model).solve_many(B, mode="sequential")
+        for a, b in zip(fused.results, sequential.results):
+            assert np.array_equal(a.solution, b.solution)
+            assert a.iterations == b.iterations
+            assert a.converged == b.converged
+
+        # f32: fused vs sequential run the same float32 inference through
+        # different (interleaved vs single-column) layouts — tolerance only
+        f32_fused = self._session(problem_seed, "f32", "fused",
+                                  trained_dss_model).solve_many(B, mode="fused")
+        f32_seq = self._session(problem_seed, "f32", "sequential",
+                                trained_dss_model).solve_many(B, mode="sequential")
+        for a, b in zip(f32_fused.results, f32_seq.results):
+            assert a.info["precision"] == "f32"
+            scale = np.linalg.norm(b.solution) + 1e-30
+            assert np.linalg.norm(a.solution - b.solution) / scale < 1e-3

@@ -415,6 +415,50 @@ class TestSolveService:
 
 
 # --------------------------------------------------------------------------- #
+# precision-aware serving: cache separation and the f32 HTTP round trip
+# --------------------------------------------------------------------------- #
+class TestPrecisionServing:
+    def test_session_cache_keeps_precisions_distinct(self, serve_problem):
+        """Two requests differing only in ``precision`` must build two
+        sessions — a cached f64 session must never answer an f32 request."""
+        with SolveService(ServeConfig(workers=1, max_batch=1)) as service:
+            base = {"preconditioner": "ddm-lu", "subdomain_size": 80,
+                    "tolerance": 1e-8}
+            r64 = service.solve(serve_problem, solver_config=dict(base, precision="f64"))
+            r32 = service.solve(serve_problem, solver_config=dict(base, precision="f32"))
+            stats = service.stats()
+            assert stats["cache"]["misses"] == 2
+            assert r64.info["precision"] == "f64"
+            assert r32.info["precision"] == "f32"
+            # repeating either precision now hits its own cached session
+            service.solve(serve_problem, solver_config=dict(base, precision="f32"))
+            assert service.stats()["cache"]["hits"] == 1
+
+    def test_f32_request_round_trips_http(self):
+        service = SolveService(ServeConfig(workers=1, max_batch=2, max_wait_ms=1.0))
+        server = ServeHTTPServer(service, port=0).start()
+        try:
+            client = ServeClient(server.url)
+            spec = {"family": "poisson", "target_n": 150, "seed": 4}
+            config = {"preconditioner": "ddm-lu", "subdomain_size": 80,
+                      "tolerance": 1e-6, "precision": "f32"}
+            response = client.solve(problem=spec, config=config)
+            assert response["converged"] is True
+            direct = build_problem_from_spec(spec)
+            solution = np.asarray(response["solution"])
+            assert np.allclose(direct.matrix @ solution, direct.rhs,
+                               atol=1e-3 * np.linalg.norm(direct.rhs))
+            # the served result matches a local f32 session bit for bit
+            # (JSON float round-trip is exact for binary64 payloads)
+            reference = prepare(direct, SolverConfig.from_dict(config)).solve()
+            assert np.array_equal(solution, reference.solution)
+            assert response["iterations"] == reference.iterations
+        finally:
+            server.stop()
+            service.close()
+
+
+# --------------------------------------------------------------------------- #
 # metrics
 # --------------------------------------------------------------------------- #
 class TestMetrics:

@@ -430,6 +430,79 @@ class TestNonsymmetricSmoke:
 
 
 # --------------------------------------------------------------------------- #
+# inference precision: f32 sessions across the registry
+# --------------------------------------------------------------------------- #
+class TestPrecision:
+    """The ``precision`` knob: registry-wide f32 convergence, bounded
+    iteration drift against f64, and cache-key separation."""
+
+    def _gnn_config(self, precision, **overrides):
+        kwargs = dict(preconditioner="ddm-gnn", subdomain_size=80,
+                      tolerance=1e-3, max_iterations=500, precision=precision)
+        kwargs.update(overrides)
+        return SolverConfig(**kwargs)
+
+    @pytest.mark.parametrize("kind", ["ddm-gnn", "ddm-lu", "ddm-jacobi", "ic0", "none"])
+    def test_f32_sessions_converge_on_every_family(self, random_problem,
+                                                   trained_dss_model, kind):
+        config = SolverConfig(preconditioner=kind, subdomain_size=80,
+                              tolerance=1e-3, max_iterations=500, precision="f32")
+        model = trained_dss_model if preconditioner_spec(kind).needs_model else None
+        result = prepare(random_problem, config, model=model).solve()
+        assert result.converged
+        assert result.info["precision"] == "f32"
+
+    @pytest.mark.parametrize("problem_fixture", ["random_problem", "manufactured"])
+    def test_f32_iteration_drift_within_gate(self, random_problem,
+                                             manufactured_problem, trained_dss_model,
+                                             problem_fixture):
+        """f32 inference may cost iterations, but no more than the +20% the
+        perf gate (benchmarks/check_perf.py) enforces on the benchmark records."""
+        problem = (
+            random_problem if problem_fixture == "random_problem"
+            else manufactured_problem[0]
+        )
+        iters = {}
+        for precision in ("f64", "f32"):
+            result = prepare(
+                problem, self._gnn_config(precision), model=trained_dss_model
+            ).solve()
+            assert result.converged
+            iters[precision] = result.iterations
+        assert iters["f32"] <= int(np.ceil(1.2 * iters["f64"]))
+
+    def test_config_hash_differs_across_precision(self):
+        a = SolverConfig(preconditioner="ddm-gnn", precision="f64")
+        b = SolverConfig(preconditioner="ddm-gnn", precision="f32")
+        assert a.config_hash() != b.config_hash()
+
+    def test_session_key_differs_across_precision(self, random_problem, tiny_dss_model):
+        from repro.solvers.fingerprint import session_key
+
+        k64 = session_key(random_problem, self._gnn_config("f64"), tiny_dss_model)
+        k32 = session_key(random_problem, self._gnn_config("f32"), tiny_dss_model)
+        assert k64 != k32
+
+    def test_invalid_precision_rejected(self):
+        with pytest.raises(ValueError, match="precision"):
+            SolverConfig(precision="f16")
+
+    def test_precision_survives_config_round_trip(self):
+        config = self._gnn_config("f32")
+        assert SolverConfig.from_dict(config.to_dict()).precision == "f32"
+
+    def test_f32_solve_many_lockstep_converges(self, random_problem, trained_dss_model):
+        """The fused lockstep path serves f32 sessions end to end."""
+        session = prepare(random_problem, self._gnn_config("f32"),
+                          model=trained_dss_model)
+        B = np.random.default_rng(9).normal(size=(4, random_problem.num_dofs))
+        batch = session.solve_many(B, mode="fused")
+        assert batch.converged
+        for result in batch.results:
+            assert result.info["precision"] == "f32"
+
+
+# --------------------------------------------------------------------------- #
 # the backwards-compatible facade
 # --------------------------------------------------------------------------- #
 class TestHybridSolverShim:
