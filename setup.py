@@ -30,6 +30,11 @@ setup(
     ],
     extras_require={
         "test": ["pytest", "pytest-benchmark", "hypothesis"],
+        # CI-only hang protection: the dev container ships without
+        # pytest-timeout, and the local tier-1 invocation must not require it
+        # (plain `python -m pytest -x -q`); CI installs `.[test,ci]` and adds
+        # the --timeout flags explicitly.
+        "ci": ["pytest-timeout"],
     },
     classifiers=[
         "Programming Language :: Python :: 3",

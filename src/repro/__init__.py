@@ -24,7 +24,11 @@ The package is organised bottom-up (see DESIGN.md):
 * :mod:`repro.serve` — the concurrent solve service
   (``python -m repro.serve``): fingerprint-keyed session cache, request
   micro-batching onto lockstep multi-RHS solves, worker pool, latency SLO
-  metrics and a stdlib JSON-over-HTTP front end.
+  metrics and a stdlib JSON-over-HTTP front end;
+* :mod:`repro.faults` — deterministic, seedable fault injection
+  (``with faults.inject("gnn-nan-apply"): ...``) backing the chaos tests of
+  the failure-hardening layer (breakdown taxonomy, degradation ladder,
+  circuit breakers, deadlines).
 
 Typical usage::
 
@@ -45,6 +49,7 @@ from . import (
     core,
     ddm,
     experiments,
+    faults,
     fem,
     gnn,
     krylov,
@@ -57,7 +62,7 @@ from . import (
     utils,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "nn",
@@ -72,6 +77,7 @@ __all__ = [
     "solvers",
     "serve",
     "experiments",
+    "faults",
     "utils",
     "__version__",
 ]

@@ -1,0 +1,400 @@
+"""Deterministic fault injection for the solver and serving stack.
+
+Robustness claims are only as good as the failures they were tested against.
+This module is a small, **seedable** chaos harness: each named fault is a
+context-managed patch of one production seam (the GNN preconditioner's
+``apply``, a local subdomain solver, session construction, the session solve
+itself), installed for exactly the duration of a ``with`` block and removed
+afterwards even when the block raises.
+
+All randomness is driven by ``numpy.random.default_rng(seed)``, so a chaos
+test that fails replays bit-identically from its seed — there is no
+wall-clock or global-RNG dependence anywhere in the harness.
+
+Registered faults:
+
+``gnn-nan-apply``
+    :class:`~repro.core.ddm_gnn.DDMGNNPreconditioner` emits NaN corrections
+    (all entries, or a seeded random subset) starting at call ``after_calls``.
+    Exercises the Krylov ``non_finite_preconditioner`` guard and the
+    degradation ladder end-to-end.
+``local-solver-raise``
+    :class:`~repro.ddm.local_solvers.LULocalSolver` raises
+    :class:`FaultInjected` from its solve entry points starting at call
+    ``after_calls``.  Exercises exception-path degradation.
+``session-build-fail``
+    :class:`~repro.solvers.session.SolverSession` construction raises
+    :class:`FaultInjected` for the first ``builds`` attempts.  Exercises the
+    serve cache's miss path and breaker accounting for setup failures.
+``worker-stall``
+    :class:`~repro.solvers.session.SolverSession.solve`/``solve_many`` block
+    on an event (bounded by ``max_stall_s``) until :meth:`Fault.release` or
+    fault deactivation.  Exercises deadlines: the reaper must fail the
+    caller's future on time even though the worker thread is wedged.
+
+Usage::
+
+    from repro import faults
+
+    with faults.inject("gnn-nan-apply", after_calls=2, seed=0) as fault:
+        result = session.solve(b)          # primary fails, ladder serves
+        assert result.info["degraded"]
+    assert fault.calls > 2                 # the patch really fired
+
+>>> sorted(available_faults())
+['gnn-nan-apply', 'local-solver-raise', 'session-build-fail', 'worker-stall']
+>>> fault_spec("gnn-nan-apply").description
+'DDM-GNN preconditioner emits NaN corrections'
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "FaultInjected",
+    "Fault",
+    "FaultSpec",
+    "register_fault",
+    "available_faults",
+    "fault_spec",
+    "inject",
+    "PoisonedPreconditioner",
+]
+
+
+class FaultInjected(RuntimeError):
+    """The error raised by injected raise-type faults.
+
+    A distinct type so tests can assert that a failure came from the harness
+    and production code is never tempted to catch it specifically.
+    """
+
+
+class Fault:
+    """Base class: reversible class-attribute patching with bookkeeping.
+
+    Subclasses implement :meth:`_install` (calling :meth:`patch` for each
+    seam) and optionally :meth:`_on_deactivate`.  ``calls`` counts how often
+    any patched seam fired — tests assert it to prove the fault was actually
+    exercised rather than silently bypassed.
+    """
+
+    name: str = "?"
+
+    def __init__(self) -> None:
+        self._patches: List[Tuple[object, str, object]] = []
+        self._active = False
+        self._lock = threading.Lock()
+        self.calls = 0
+
+    # -- bookkeeping ----------------------------------------------------- #
+    def patch(self, obj: object, attr: str, replacement: object) -> None:
+        """Replace ``obj.attr``, remembering the original for deactivation."""
+        self._patches.append((obj, attr, getattr(obj, attr)))
+        setattr(obj, attr, replacement)
+
+    def _count(self) -> int:
+        """Thread-safe call counter; returns the index of this call (0-based)."""
+        with self._lock:
+            index = self.calls
+            self.calls += 1
+            return index
+
+    # -- lifecycle ------------------------------------------------------- #
+    def activate(self) -> "Fault":
+        if self._active:
+            raise RuntimeError(f"fault {self.name!r} is already active")
+        self._install()
+        self._active = True
+        return self
+
+    def deactivate(self) -> None:
+        if not self._active:
+            return
+        self._on_deactivate()
+        while self._patches:
+            obj, attr, original = self._patches.pop()
+            setattr(obj, attr, original)
+        self._active = False
+
+    def _install(self) -> None:
+        raise NotImplementedError
+
+    def _on_deactivate(self) -> None:
+        """Hook for subclasses (e.g. releasing stalled threads)."""
+
+    def release(self) -> None:
+        """No-op for most faults; worker-stall unblocks stalled solves."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Registry entry: a named fault and its factory."""
+
+    name: str
+    description: str
+    factory: Callable[..., Fault]
+
+
+_REGISTRY: Dict[str, FaultSpec] = {}
+
+
+def register_fault(name: str, description: str):
+    """Class decorator registering a :class:`Fault` subclass under ``name``."""
+
+    def decorator(cls):
+        if name in _REGISTRY:
+            raise ValueError(f"fault {name!r} is already registered")
+        cls.name = name
+        _REGISTRY[name] = FaultSpec(name=name, description=description, factory=cls)
+        return cls
+
+    return decorator
+
+
+def available_faults() -> List[str]:
+    """Registered fault names (sorted)."""
+    return sorted(_REGISTRY)
+
+
+def fault_spec(name: str) -> FaultSpec:
+    """The registry entry for ``name`` (KeyError with the valid names if not)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown fault {name!r}; available: {', '.join(available_faults())}"
+        ) from None
+
+
+@contextmanager
+def inject(name: str, **kwargs) -> Iterator[Fault]:
+    """Activate fault ``name`` for the duration of the ``with`` block.
+
+    The patch is installed on entry and removed on exit — including when the
+    body raises — so no chaos test can leak a broken seam into later tests.
+    """
+    fault = fault_spec(name).factory(**kwargs)
+    fault.activate()
+    try:
+        yield fault
+    finally:
+        fault.deactivate()
+
+
+# --------------------------------------------------------------------------- #
+# the faults
+# --------------------------------------------------------------------------- #
+@register_fault("gnn-nan-apply", "DDM-GNN preconditioner emits NaN corrections")
+class GNNNaNApplyFault(Fault):
+    """Poison DDM-GNN corrections with NaN from call ``after_calls`` on.
+
+    ``fraction`` < 1 poisons a seeded random subset of entries (one NaN is
+    enough to trip the Krylov non-finite guard); the default poisons all.
+    """
+
+    def __init__(self, after_calls: int = 0, fraction: float = 1.0, seed: int = 0) -> None:
+        super().__init__()
+        if after_calls < 0:
+            raise ValueError("after_calls must be >= 0")
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        self.after_calls = int(after_calls)
+        self.fraction = float(fraction)
+        self.rng = np.random.default_rng(seed)
+
+    def _poison(self, z: np.ndarray) -> np.ndarray:
+        z = np.array(z, dtype=np.float64, copy=True)
+        if self.fraction >= 1.0:
+            z[...] = np.nan
+        else:
+            flat = z.reshape(-1)
+            count = max(1, int(self.fraction * flat.size))
+            with self._lock:
+                idx = self.rng.choice(flat.size, size=count, replace=False)
+            flat[idx] = np.nan
+        return z
+
+    def _install(self) -> None:
+        from .core.ddm_gnn import DDMGNNPreconditioner
+
+        fault = self
+        original_apply = DDMGNNPreconditioner.apply
+        original_columns = DDMGNNPreconditioner.apply_columns
+
+        def apply(self, residual):
+            z = original_apply(self, residual)
+            if fault._count() >= fault.after_calls:
+                z = fault._poison(z)
+            return z
+
+        def apply_columns(self, residuals):
+            z = original_columns(self, residuals)
+            if fault._count() >= fault.after_calls:
+                z = fault._poison(z)
+            return z
+
+        self.patch(DDMGNNPreconditioner, "apply", apply)
+        self.patch(DDMGNNPreconditioner, "apply_columns", apply_columns)
+
+
+@register_fault("local-solver-raise", "LU local subdomain solver raises")
+class LocalSolverRaiseFault(Fault):
+    """Make every LU local-solver entry point raise from call ``after_calls``."""
+
+    def __init__(self, after_calls: int = 0) -> None:
+        super().__init__()
+        if after_calls < 0:
+            raise ValueError("after_calls must be >= 0")
+        self.after_calls = int(after_calls)
+
+    def _install(self) -> None:
+        from .ddm.local_solvers import LULocalSolver
+
+        fault = self
+
+        def wrap(original):
+            def solve(self, *args, **kwargs):
+                if fault._count() >= fault.after_calls:
+                    raise FaultInjected("injected LU local-solver failure")
+                return original(self, *args, **kwargs)
+
+            return solve
+
+        for attr in ("solve_all", "solve_stacked", "solve_stacked_columns"):
+            self.patch(LULocalSolver, attr, wrap(getattr(LULocalSolver, attr)))
+
+
+@register_fault("session-build-fail", "SolverSession construction fails")
+class SessionBuildFailFault(Fault):
+    """Fail the first ``builds`` session constructions, then recover."""
+
+    def __init__(self, builds: int = 1) -> None:
+        super().__init__()
+        if builds < 1:
+            raise ValueError("builds must be >= 1")
+        self.builds = int(builds)
+
+    def _install(self) -> None:
+        from .solvers.session import SolverSession
+
+        fault = self
+        original_init = SolverSession.__init__
+
+        def __init__(self, *args, **kwargs):
+            if fault._count() < fault.builds:
+                raise FaultInjected("injected session-build failure")
+            original_init(self, *args, **kwargs)
+
+        self.patch(SolverSession, "__init__", __init__)
+
+
+@register_fault("worker-stall", "SolverSession solves block until released")
+class WorkerStallFault(Fault):
+    """Block ``solve``/``solve_many`` on an event, bounded by ``max_stall_s``.
+
+    The bound guarantees no test hangs forever even if it forgets to
+    :meth:`release`; deactivation always releases.
+    """
+
+    def __init__(self, max_stall_s: float = 30.0) -> None:
+        super().__init__()
+        if max_stall_s <= 0:
+            raise ValueError("max_stall_s must be positive")
+        self.max_stall_s = float(max_stall_s)
+        self._event = threading.Event()
+
+    def release(self) -> None:
+        """Unblock all stalled (and future) solves."""
+        self._event.set()
+
+    def _on_deactivate(self) -> None:
+        self.release()
+
+    def _install(self) -> None:
+        from .solvers.session import SolverSession
+
+        fault = self
+
+        def wrap(original):
+            def solve(self, *args, **kwargs):
+                fault._count()
+                fault._event.wait(fault.max_stall_s)
+                return original(self, *args, **kwargs)
+
+            return solve
+
+        self.patch(SolverSession, "solve", wrap(SolverSession.solve))
+        self.patch(SolverSession, "solve_many", wrap(SolverSession.solve_many))
+
+
+# --------------------------------------------------------------------------- #
+# deterministic per-column poisoning for lockstep tests
+# --------------------------------------------------------------------------- #
+class PoisonedPreconditioner:
+    """Wrap a preconditioner, poisoning chosen columns of one apply call.
+
+    On call number ``on_call`` (counting ``apply`` and ``apply_columns``
+    together), the selected ``columns`` of the result are set to ``value``
+    (NaN by default); ``apply`` poisons the whole vector when ``0`` is among
+    the poisoned columns.  All other calls pass through untouched, so in a
+    lockstep run poisoned columns fail with ``non_finite_preconditioner``
+    while the survivors' arithmetic is untouched — the basis of the
+    bit-identity chaos tests.
+
+    >>> import numpy as np
+    >>> class Ident:
+    ...     def apply(self, r): return np.asarray(r, dtype=float)
+    ...     def apply_columns(self, R): return np.asarray(R, dtype=float)
+    >>> poisoned = PoisonedPreconditioner(Ident(), columns=(1,), on_call=0)
+    >>> Z = poisoned.apply_columns(np.ones((3, 2)))
+    >>> bool(np.isnan(Z[:, 1]).all()), bool(np.isfinite(Z[:, 0]).all())
+    (True, True)
+    >>> bool(np.isfinite(poisoned.apply_columns(np.ones((3, 2)))).all())  # later calls clean
+    True
+    """
+
+    def __init__(self, inner, columns: Sequence[int] = (0,), on_call: int = 0,
+                 value: float = np.nan) -> None:
+        self.inner = inner
+        self.columns = tuple(int(c) for c in columns)
+        self.on_call = int(on_call)
+        self.value = float(value)
+        self._calls = 0
+        self._lock = threading.Lock()
+
+    def _next_call(self) -> int:
+        with self._lock:
+            index = self._calls
+            self._calls += 1
+            return index
+
+    @property
+    def shape(self):
+        return self.inner.shape
+
+    def apply(self, residual: np.ndarray) -> np.ndarray:
+        z = self.inner.apply(residual)
+        if self._next_call() == self.on_call and 0 in self.columns:
+            z = np.array(z, dtype=np.float64, copy=True)
+            z[...] = self.value
+        return z
+
+    def apply_columns(self, residuals: np.ndarray) -> np.ndarray:
+        if hasattr(self.inner, "apply_columns"):
+            z = self.inner.apply_columns(residuals)
+        else:  # pragma: no cover - exercised only by apply-only inners
+            z = np.stack([self.inner.apply(residuals[:, j])
+                          for j in range(residuals.shape[1])], axis=1)
+        if self._next_call() == self.on_call:
+            z = np.array(z, dtype=np.float64, copy=True)
+            for column in self.columns:
+                if 0 <= column < z.shape[1]:
+                    z[:, column] = self.value
+        return z

@@ -12,8 +12,12 @@ Public surface:
 * :class:`~repro.krylov.ic.IncompleteCholeskyPreconditioner`,
   :func:`~repro.krylov.ic.incomplete_cholesky` — IC(0) baseline of Table III.
 * :class:`~repro.krylov.result.SolveResult` — common result object.
+* :mod:`~repro.krylov.failures` — the machine-readable breakdown taxonomy
+  stamped on ``SolveResult.failure_reason`` when a solve terminates without
+  converging.
 """
 
+from . import failures
 from .bicgstab import bicgstab
 from .block import lockstep_pcg
 from .cg import conjugate_gradient, preconditioned_conjugate_gradient
@@ -30,4 +34,5 @@ __all__ = [
     "IncompleteCholeskyPreconditioner",
     "incomplete_cholesky",
     "SolveResult",
+    "failures",
 ]

@@ -15,6 +15,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..ddm.asm import IdentityPreconditioner, Preconditioner
+from . import failures
 from .result import SolveResult
 
 __all__ = ["bicgstab"]
@@ -29,8 +30,14 @@ def bicgstab(
     initial_guess: Optional[np.ndarray] = None,
     tolerance: float = 1e-6,
     max_iterations: Optional[int] = None,
+    stagnation_window: Optional[int] = None,
 ) -> SolveResult:
     """Right-preconditioned BiCGStab with relative-residual stopping test.
+
+    Breakdowns (``ρ = 0``, ``r̂ᵀv = 0``, ``ω = 0``), non-finite
+    matvec/preconditioner output and (when ``stagnation_window`` is set)
+    stagnation terminate the iteration with a machine-readable
+    ``failure_reason`` (see :mod:`repro.krylov.failures`).
 
     >>> import numpy as np
     >>> A = np.array([[3.0, 1.0], [-1.0, 2.0]])   # non-symmetric is fine
@@ -52,6 +59,14 @@ def bicgstab(
     rhs_norm = np.linalg.norm(rhs)
     if rhs_norm == 0.0:
         return SolveResult(np.zeros(n), True, 0, [0.0], info={"solver": "bicgstab"})
+    if not np.isfinite(rhs_norm):
+        return SolveResult(
+            np.zeros(n) if initial_guess is None
+            else np.asarray(initial_guess, dtype=np.float64).copy(),
+            False, 0, [float("inf")],
+            info={"solver": "bicgstab"},
+            failure_reason=failures.NON_FINITE_RHS,
+        )
 
     start = time.perf_counter()
     precond_time = 0.0
@@ -65,19 +80,32 @@ def bicgstab(
     residual_history = [float(np.linalg.norm(r) / rhs_norm)]
     converged = residual_history[-1] < tolerance
     iteration = 0
+    failure: Optional[str] = None
+    if not converged and not np.isfinite(residual_history[-1]):
+        failure = failures.NON_FINITE_RESIDUAL
+    best_rel = residual_history[-1]
+    since_best = 0
 
-    while not converged and iteration < max_iterations:
+    while not converged and failure is None and iteration < max_iterations:
         rho = float(r_hat @ r)
-        if rho == 0.0:
+        if rho == 0.0 or not np.isfinite(rho):
+            failure = failures.RHO_BREAKDOWN
             break
         beta = (rho / rho_prev) * (alpha / omega) if iteration > 0 else 0.0
         p = r + beta * (p - omega * v)
         t0 = time.perf_counter()
         p_hat = precond.apply(p)
         precond_time += time.perf_counter() - t0
+        if not np.isfinite(p_hat).all():
+            failure = failures.NON_FINITE_PRECONDITIONER
+            break
         v = matvec(p_hat)
+        if not np.isfinite(v).all():
+            failure = failures.NON_FINITE_OPERATOR
+            break
         denom = float(r_hat @ v)
-        if denom == 0.0:
+        if denom == 0.0 or not np.isfinite(denom):
+            failure = failures.RHO_BREAKDOWN
             break
         alpha = rho / denom
         s = r - alpha * v
@@ -90,7 +118,13 @@ def bicgstab(
         t0 = time.perf_counter()
         s_hat = precond.apply(s)
         precond_time += time.perf_counter() - t0
+        if not np.isfinite(s_hat).all():
+            failure = failures.NON_FINITE_PRECONDITIONER
+            break
         t = matvec(s_hat)
+        if not np.isfinite(t).all():
+            failure = failures.NON_FINITE_OPERATOR
+            break
         tt = float(t @ t)
         omega = float(t @ s) / tt if tt > 0.0 else 0.0
         x += alpha * p_hat + omega * s_hat
@@ -99,10 +133,27 @@ def bicgstab(
         iteration += 1
         rel = float(np.linalg.norm(r) / rhs_norm)
         residual_history.append(rel)
+        if not np.isfinite(rel):
+            failure = failures.NON_FINITE_RESIDUAL
+            break
         if rel < tolerance:
             converged = True
-        if omega == 0.0:
             break
+        if omega == 0.0:
+            # omega breakdown: the stabilisation step degenerated
+            failure = failures.BREAKDOWN
+            break
+        if rel < best_rel:
+            best_rel = rel
+            since_best = 0
+        else:
+            since_best += 1
+            if stagnation_window is not None and since_best >= stagnation_window:
+                failure = failures.STAGNATION
+                break
+
+    if not converged and failure is None:
+        failure = failures.MAX_ITERATIONS
 
     return SolveResult(
         solution=x,
@@ -112,4 +163,5 @@ def bicgstab(
         elapsed_time=time.perf_counter() - start,
         preconditioner_time=precond_time,
         info={"solver": "bicgstab", "tolerance": tolerance},
+        failure_reason=failure,
     )

@@ -51,6 +51,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..ddm.asm import IdentityPreconditioner, Preconditioner
+from . import failures
 from .result import SolveResult
 
 __all__ = ["lockstep_pcg"]
@@ -82,6 +83,7 @@ def lockstep_pcg(
     initial_guess: Optional[np.ndarray] = None,
     tolerance: float = 1e-6,
     max_iterations: Optional[int] = None,
+    stagnation_window: Optional[int] = None,
 ) -> List[SolveResult]:
     """Solve ``A x_j = b_j`` for every row of ``rhs_batch`` in lockstep.
 
@@ -92,6 +94,14 @@ def lockstep_pcg(
     vector shared by every column (as sequential solves with the same ``x0``
     would use).  Returns one :class:`SolveResult` per row, each bit-identical
     to the corresponding single-RHS solve.
+
+    Failure handling mirrors the single-RHS solver guard-for-guard (the guard
+    *order* is part of the bit-identity contract): a column whose matvec,
+    preconditioner output or residual goes non-finite — or that breaks down
+    or stagnates — is finalized with the same
+    :attr:`~repro.krylov.result.SolveResult.failure_reason` the single-RHS
+    solve would stamp, and is compacted out so the surviving columns continue
+    bit-identically.
 
     >>> import numpy as np
     >>> A = np.array([[4.0, 1.0], [1.0, 3.0]])
@@ -123,10 +133,25 @@ def lockstep_pcg(
             residual_history=[0.0],
             info=base_info(),
         )
-    cols = [int(j) for j in np.flatnonzero(rhs_norms_all != 0.0)]
+    # non-finite right-hand sides never enter the batch (the single-RHS
+    # solver refuses them up front, before any preconditioner work)
+    for j in np.flatnonzero(~np.isfinite(rhs_norms_all)):
+        results[j] = SolveResult(
+            solution=np.zeros(n) if initial_guess is None
+            else np.asarray(initial_guess, dtype=np.float64).copy(),
+            converged=False,
+            iterations=0,
+            residual_history=[float("inf")],
+            info=base_info(),
+            failure_reason=failures.NON_FINITE_RHS,
+        )
+    cols = [
+        int(j)
+        for j in np.flatnonzero((rhs_norms_all != 0.0) & np.isfinite(rhs_norms_all))
+    ]
 
     def finalize(col: int, solution: np.ndarray, converged: bool, iterations: int,
-                 history: List[float]) -> None:
+                 history: List[float], failure_reason: Optional[str] = None) -> None:
         info = base_info()
         info["preconditioner"] = type(precond).__name__
         results[col] = SolveResult(
@@ -135,6 +160,7 @@ def lockstep_pcg(
             iterations=iterations,
             residual_history=history,
             info=info,
+            failure_reason=failure_reason,
         )
 
     if cols:
@@ -157,15 +183,32 @@ def lockstep_pcg(
         ]
         rho = np.array([float(R[:, i] @ Z[:, i]) for i in range(k)])
 
-        # columns already converged at iteration 0 (mirrors the single-RHS
-        # pre-loop convergence check)
-        keep = [i for i in range(k) if histories[i][0] >= tolerance]
+        # per-column stagnation trackers (mirroring the single-RHS solver's
+        # best-so-far counters)
+        best_rel = np.array([histories[i][0] for i in range(k)])
+        since_best = np.zeros(k, dtype=np.int64)
+
+        # pre-loop checks, in the single-RHS guard order: convergence at
+        # iteration 0, then non-finite residual / preconditioner output /
+        # vanishing rho
+        keep = []
         for i in range(k):
-            if i not in keep:
+            if histories[i][0] < tolerance:
                 finalize(cols[i], X[:, i], True, 0, histories[i])
+            elif not np.isfinite(histories[i][0]):
+                finalize(cols[i], X[:, i], False, 0, histories[i],
+                         failures.NON_FINITE_RESIDUAL)
+            elif not np.isfinite(Z[:, i]).all():
+                finalize(cols[i], X[:, i], False, 0, histories[i],
+                         failures.NON_FINITE_PRECONDITIONER)
+            elif rho[i] == 0.0 or not np.isfinite(rho[i]):
+                finalize(cols[i], X[:, i], False, 0, histories[i],
+                         failures.RHO_BREAKDOWN)
+            else:
+                keep.append(i)
 
         def compact(keep_idx: List[int]) -> None:
-            nonlocal X, R, P, rho, rhs_norms, cols, histories
+            nonlocal X, R, P, rho, rhs_norms, cols, histories, best_rel, since_best
             X = np.asfortranarray(X[:, keep_idx])
             R = np.asfortranarray(R[:, keep_idx])
             P = np.asfortranarray(P[:, keep_idx])
@@ -173,6 +216,8 @@ def lockstep_pcg(
             rhs_norms = rhs_norms[keep_idx]
             cols = [cols[i] for i in keep_idx]
             histories = [histories[i] for i in keep_idx]
+            best_rel = best_rel[keep_idx]
+            since_best = since_best[keep_idx]
 
         if len(keep) != k:
             compact(keep)
@@ -183,13 +228,23 @@ def lockstep_pcg(
             Q = np.asfortranarray(csr @ P)
             denom = np.array([float(P[:, i] @ Q[:, i]) for i in range(a)])
 
-            # breakdown (matrix not SPD / severe round-off): the single-RHS
+            # pre-update breakdowns (mirroring cg.py's guard order: non-finite
+            # matvec output, non-finite denom, then p'Ap <= 0): the single-RHS
             # solver breaks *before* the update, keeping the current iterate
-            broken = denom <= 0.0
-            if broken.any():
-                survivors = [i for i in range(a) if not broken[i]]
-                for i in np.flatnonzero(broken):
-                    finalize(cols[i], X[:, i], False, iteration, histories[i])
+            pre_reason: List[Optional[str]] = [None] * a
+            for i in range(a):
+                if not np.isfinite(Q[:, i]).all():
+                    pre_reason[i] = failures.NON_FINITE_OPERATOR
+                elif not np.isfinite(denom[i]):
+                    pre_reason[i] = failures.NON_FINITE_OPERATOR
+                elif denom[i] <= 0.0:
+                    pre_reason[i] = failures.INDEFINITE_OPERATOR
+            if any(reason is not None for reason in pre_reason):
+                survivors = [i for i in range(a) if pre_reason[i] is None]
+                for i in range(a):
+                    if pre_reason[i] is not None:
+                        finalize(cols[i], X[:, i], False, iteration, histories[i],
+                                 pre_reason[i])
                 if not survivors:
                     break
                 Q = np.asfortranarray(Q[:, survivors])
@@ -206,15 +261,36 @@ def lockstep_pcg(
             for i in range(a):
                 histories[i].append(float(rels[i]))
 
-            done = rels < tolerance
-            survivors = [i for i in range(a) if not done[i]]
-            for i in np.flatnonzero(done):
-                finalize(cols[i], X[:, i], True, iteration, histories[i])
+            # post-update checks in the single-RHS order: non-finite residual,
+            # convergence, stagnation
+            post_reason: List[Optional[str]] = [None] * a
+            done = [False] * a
+            for i in range(a):
+                rel = float(rels[i])
+                if not np.isfinite(rel):
+                    post_reason[i] = failures.NON_FINITE_RESIDUAL
+                elif rel < tolerance:
+                    done[i] = True
+                elif rel < best_rel[i]:
+                    best_rel[i] = rel
+                    since_best[i] = 0
+                else:
+                    since_best[i] += 1
+                    if stagnation_window is not None and since_best[i] >= stagnation_window:
+                        post_reason[i] = failures.STAGNATION
+            survivors = [i for i in range(a) if not done[i] and post_reason[i] is None]
+            for i in range(a):
+                if done[i]:
+                    finalize(cols[i], X[:, i], True, iteration, histories[i])
+                elif post_reason[i] is not None:
+                    finalize(cols[i], X[:, i], False, iteration, histories[i],
+                             post_reason[i])
             if not survivors:
                 break
             if iteration >= max_iterations:
                 for i in survivors:
-                    finalize(cols[i], X[:, i], False, iteration, histories[i])
+                    finalize(cols[i], X[:, i], False, iteration, histories[i],
+                             failures.MAX_ITERATIONS)
                 break
             if len(survivors) != a:
                 compact(survivors)
@@ -224,6 +300,29 @@ def lockstep_pcg(
             Z = _apply_columns(precond, R)
             precond_time += time.perf_counter() - t0
             rho_next = np.array([float(R[:, i] @ Z[:, i]) for i in range(a)])
+
+            # post-apply guards (cg.py order): a poisoned preconditioner
+            # column or a vanishing rho leaves the batch with the current
+            # iterate; survivors continue bit-identically
+            apply_reason: List[Optional[str]] = [None] * a
+            for i in range(a):
+                if not np.isfinite(Z[:, i]).all():
+                    apply_reason[i] = failures.NON_FINITE_PRECONDITIONER
+                elif rho_next[i] == 0.0 or not np.isfinite(rho_next[i]):
+                    apply_reason[i] = failures.RHO_BREAKDOWN
+            if any(reason is not None for reason in apply_reason):
+                survivors = [i for i in range(a) if apply_reason[i] is None]
+                for i in range(a):
+                    if apply_reason[i] is not None:
+                        finalize(cols[i], X[:, i], False, iteration, histories[i],
+                                 apply_reason[i])
+                if not survivors:
+                    break
+                Z = np.asfortranarray(Z[:, survivors])
+                rho_next = rho_next[survivors]
+                compact(survivors)
+                a = len(cols)
+
             beta = rho_next / rho
             rho = rho_next
             P = np.asfortranarray(Z + beta[None, :] * P)
@@ -231,7 +330,8 @@ def lockstep_pcg(
         # columns never entered the loop (e.g. max_iterations == 0)
         for i, col in enumerate(cols):
             if results[col] is None:
-                finalize(col, X[:, i], False, iteration, histories[i])
+                finalize(col, X[:, i], False, iteration, histories[i],
+                         failures.MAX_ITERATIONS)
 
     elapsed = time.perf_counter() - start
     share = elapsed / num_rhs

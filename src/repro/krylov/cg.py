@@ -16,6 +16,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..ddm.asm import IdentityPreconditioner, Preconditioner
+from . import failures
 from .result import SolveResult
 
 __all__ = ["conjugate_gradient", "preconditioned_conjugate_gradient"]
@@ -39,6 +40,7 @@ def preconditioned_conjugate_gradient(
     tolerance: float = 1e-6,
     max_iterations: Optional[int] = None,
     callback: Optional[Callable[[int, float], None]] = None,
+    stagnation_window: Optional[int] = None,
 ) -> SolveResult:
     """Preconditioned Conjugate Gradient (paper Algorithm 1).
 
@@ -58,6 +60,15 @@ def preconditioned_conjugate_gradient(
         Hard iteration cap (defaults to 10·N).
     callback:
         Optional ``callback(iteration, relative_residual)`` invoked per iteration.
+    stagnation_window:
+        If set, stop with ``failure_reason="stagnation"`` after this many
+        consecutive iterations without a new best relative residual
+        (disabled by default, so direct callers see the classic behaviour).
+
+    Non-finite matvec or preconditioner output, an indefinite ``pᵀAp`` and a
+    vanishing ``ρ`` all terminate the iteration immediately and stamp a
+    machine-readable :attr:`SolveResult.failure_reason`
+    (see :mod:`repro.krylov.failures`) instead of looping to the cap on NaNs.
 
     >>> import numpy as np
     >>> A = np.array([[4.0, 1.0], [1.0, 3.0]])
@@ -81,6 +92,16 @@ def preconditioned_conjugate_gradient(
             residual_history=[0.0],
             info={"solver": "pcg", "tolerance": tolerance},
         )
+    if not np.isfinite(rhs_norm):
+        return SolveResult(
+            solution=np.zeros(n) if initial_guess is None
+            else np.asarray(initial_guess, dtype=np.float64).copy(),
+            converged=False,
+            iterations=0,
+            residual_history=[float("inf")],
+            info={"solver": "pcg", "tolerance": tolerance},
+            failure_reason=failures.NON_FINITE_RHS,
+        )
 
     start = time.perf_counter()
     precond_time = 0.0
@@ -97,12 +118,34 @@ def preconditioned_conjugate_gradient(
     rho = float(r @ z)
     converged = residual_history[-1] < tolerance
     iteration = 0
+    failure: Optional[str] = None
 
-    while not converged and iteration < max_iterations:
+    # pre-loop guards, mirroring the per-iteration ones below (the guard
+    # ORDER here is part of the lockstep bit-identity contract — block.py
+    # checks the same quantities in the same sequence)
+    if not converged:
+        if not np.isfinite(residual_history[-1]):
+            failure = failures.NON_FINITE_RESIDUAL
+        elif not np.isfinite(z).all():
+            failure = failures.NON_FINITE_PRECONDITIONER
+        elif rho == 0.0 or not np.isfinite(rho):
+            failure = failures.RHO_BREAKDOWN
+
+    best_rel = residual_history[-1]
+    since_best = 0
+
+    while not converged and failure is None and iteration < max_iterations:
         q = matvec(p)
+        if not np.isfinite(q).all():
+            failure = failures.NON_FINITE_OPERATOR
+            break
         denom = float(p @ q)
+        if not np.isfinite(denom):
+            failure = failures.NON_FINITE_OPERATOR
+            break
         if denom <= 0.0:
             # matrix not SPD (or severe round-off): stop with the current iterate
+            failure = failures.INDEFINITE_OPERATOR
             break
         alpha = rho / denom
         u += alpha * p
@@ -112,16 +155,36 @@ def preconditioned_conjugate_gradient(
         residual_history.append(rel)
         if callback is not None:
             callback(iteration, rel)
+        if not np.isfinite(rel):
+            failure = failures.NON_FINITE_RESIDUAL
+            break
         if rel < tolerance:
             converged = True
             break
+        if rel < best_rel:
+            best_rel = rel
+            since_best = 0
+        else:
+            since_best += 1
+            if stagnation_window is not None and since_best >= stagnation_window:
+                failure = failures.STAGNATION
+                break
         t0 = time.perf_counter()
         z = precond.apply(r)
         precond_time += time.perf_counter() - t0
+        if not np.isfinite(z).all():
+            failure = failures.NON_FINITE_PRECONDITIONER
+            break
         rho_next = float(r @ z)
+        if rho_next == 0.0 or not np.isfinite(rho_next):
+            failure = failures.RHO_BREAKDOWN
+            break
         beta = rho_next / rho
         rho = rho_next
         p = z + beta * p
+
+    if not converged and failure is None:
+        failure = failures.MAX_ITERATIONS
 
     elapsed = time.perf_counter() - start
     return SolveResult(
@@ -132,6 +195,7 @@ def preconditioned_conjugate_gradient(
         elapsed_time=elapsed,
         preconditioner_time=precond_time,
         info={"solver": "pcg", "tolerance": tolerance, "preconditioner": type(precond).__name__},
+        failure_reason=failure,
     )
 
 
@@ -141,6 +205,7 @@ def conjugate_gradient(
     initial_guess: Optional[np.ndarray] = None,
     tolerance: float = 1e-6,
     max_iterations: Optional[int] = None,
+    stagnation_window: Optional[int] = None,
 ) -> SolveResult:
     """Unpreconditioned Conjugate Gradient (the "CG" baseline of the paper).
 
@@ -156,6 +221,7 @@ def conjugate_gradient(
         initial_guess=initial_guess,
         tolerance=tolerance,
         max_iterations=max_iterations,
+        stagnation_window=stagnation_window,
     )
     result.info["solver"] = "cg"
     return result

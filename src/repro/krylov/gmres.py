@@ -14,6 +14,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..ddm.asm import IdentityPreconditioner, Preconditioner
+from . import failures
 from .result import SolveResult
 
 __all__ = ["gmres"]
@@ -29,8 +30,15 @@ def gmres(
     tolerance: float = 1e-6,
     restart: int = 50,
     max_iterations: Optional[int] = None,
+    stagnation_window: Optional[int] = None,
 ) -> SolveResult:
     """Right-preconditioned restarted GMRES(m) with Givens rotations.
+
+    Non-finite preconditioner/matvec output, a singular projected system and
+    (when ``stagnation_window`` is set) stagnation all terminate the iteration
+    with a machine-readable ``failure_reason`` (:mod:`repro.krylov.failures`);
+    the update from the valid Arnoldi columns built so far is still applied,
+    so the returned iterate is the best one available.
 
     >>> import numpy as np
     >>> A = np.array([[2.0, 1.0], [0.0, 1.5]])    # non-symmetric is fine
@@ -53,6 +61,14 @@ def gmres(
     rhs_norm = np.linalg.norm(rhs)
     if rhs_norm == 0.0:
         return SolveResult(np.zeros(n), True, 0, [0.0], info={"solver": "gmres"})
+    if not np.isfinite(rhs_norm):
+        return SolveResult(
+            np.zeros(n) if initial_guess is None
+            else np.asarray(initial_guess, dtype=np.float64).copy(),
+            False, 0, [float("inf")],
+            info={"solver": "gmres"},
+            failure_reason=failures.NON_FINITE_RHS,
+        )
 
     start = time.perf_counter()
     precond_time = 0.0
@@ -60,15 +76,22 @@ def gmres(
     residual_history = []
     total_iterations = 0
     converged = False
+    failure: Optional[str] = None
+    best_rel = float("inf")
+    since_best = 0
 
-    while total_iterations < max_iterations and not converged:
+    while total_iterations < max_iterations and not converged and failure is None:
         r = rhs - matvec(x)
         beta = np.linalg.norm(r)
         rel0 = float(beta / rhs_norm)
         if not residual_history:
             residual_history.append(rel0)
+            best_rel = rel0
         if rel0 < tolerance:
             converged = True
+            break
+        if not np.isfinite(rel0):
+            failure = failures.NON_FINITE_RESIDUAL
             break
 
         # Arnoldi with modified Gram-Schmidt on the preconditioned operator A M^{-1}
@@ -79,7 +102,7 @@ def gmres(
         g = np.zeros(restart + 1)
         g[0] = beta
         basis[0] = r / beta
-        inner_converged_at = -1
+        completed = 0
 
         for j in range(restart):
             if total_iterations >= max_iterations:
@@ -87,7 +110,15 @@ def gmres(
             t0 = time.perf_counter()
             z = precond.apply(basis[j])
             precond_time += time.perf_counter() - t0
+            if not np.isfinite(z).all():
+                # column j is poisoned; the update below still uses the
+                # `completed` valid columns built before it
+                failure = failures.NON_FINITE_PRECONDITIONER
+                break
             w = matvec(z)
+            if not np.isfinite(w).all():
+                failure = failures.NON_FINITE_OPERATOR
+                break
             for i in range(j + 1):
                 hessenberg[i, j] = float(w @ basis[i])
                 w -= hessenberg[i, j] * basis[i]
@@ -111,27 +142,57 @@ def gmres(
             g[j + 1] = -givens_s[j] * g[j]
             g[j] = givens_c[j] * g[j]
 
+            completed = j + 1
             total_iterations += 1
             rel = float(abs(g[j + 1]) / rhs_norm)
             residual_history.append(rel)
-            if rel < tolerance:
-                inner_converged_at = j
-                converged = True
+            if not np.isfinite(rel):
+                failure = failures.NON_FINITE_RESIDUAL
                 break
+            if rel < tolerance:
+                # the Givens estimate says converged — end the sweep and let
+                # the outer loop's *true* residual confirm it (the estimate
+                # lies when the projected system degenerates, e.g. singular
+                # operators, so it never declares convergence on its own)
+                break
+            if rel < best_rel:
+                best_rel = rel
+                since_best = 0
+            else:
+                since_best += 1
+                if stagnation_window is not None and since_best >= stagnation_window:
+                    failure = failures.STAGNATION
+                    break
 
-        # solve the small triangular system and update x
-        j_dim = (inner_converged_at + 1) if inner_converged_at >= 0 else min(restart, total_iterations if total_iterations < restart else restart)
-        j_dim = max(j_dim, 1)
-        y = np.linalg.solve(hessenberg[:j_dim, :j_dim], g[:j_dim]) if j_dim > 0 else np.zeros(0)
-        update = basis[:j_dim].T @ y
-        t0 = time.perf_counter()
-        x = x + precond.apply(update)
-        precond_time += time.perf_counter() - t0
+        # solve the small triangular system and update x with the valid
+        # Arnoldi columns completed before convergence/failure/restart
+        if completed > 0:
+            try:
+                y = np.linalg.solve(hessenberg[:completed, :completed], g[:completed])
+            except np.linalg.LinAlgError:
+                # singular projected system (happy breakdown gone wrong)
+                if failure is None:
+                    failure = failures.BREAKDOWN
+                break
+            update = basis[:completed].T @ y
+            t0 = time.perf_counter()
+            correction = precond.apply(update)
+            precond_time += time.perf_counter() - t0
+            if not np.isfinite(correction).all():
+                if failure is None:
+                    failure = failures.NON_FINITE_PRECONDITIONER
+                break
+            x = x + correction
 
     # final residual check
     final_rel = float(np.linalg.norm(rhs - matvec(x)) / rhs_norm)
     residual_history.append(final_rel)
     converged = converged or final_rel < tolerance
+    if converged:
+        failure = None
+    elif failure is None:
+        failure = (failures.NON_FINITE_RESIDUAL if not np.isfinite(final_rel)
+                   else failures.MAX_ITERATIONS)
 
     return SolveResult(
         solution=x,
@@ -141,4 +202,5 @@ def gmres(
         elapsed_time=time.perf_counter() - start,
         preconditioner_time=precond_time,
         info={"solver": "gmres", "tolerance": tolerance, "restart": restart},
+        failure_reason=failure,
     )

@@ -9,7 +9,7 @@ performance tables (Table III's ``T`` and ``T_gnn``/``T_lu`` columns).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -38,6 +38,11 @@ class SolveResult:
         (the ``T_lu`` / ``T_gnn`` columns of paper Table III).
     info:
         Free-form extra information (solver name, tolerance, ...).
+    failure_reason:
+        ``None`` on convergence; otherwise one of the machine-readable
+        constants in :mod:`repro.krylov.failures` saying *why* the iteration
+        stopped (non-finite operator/preconditioner output, rho breakdown,
+        stagnation, iteration cap, ...).
     """
 
     solution: np.ndarray
@@ -47,6 +52,19 @@ class SolveResult:
     elapsed_time: float = 0.0
     preconditioner_time: float = 0.0
     info: Dict[str, object] = field(default_factory=dict)
+    failure_reason: Optional[str] = None
+
+    @property
+    def failed(self) -> bool:
+        """True when the solve terminated with a stamped failure reason.
+
+        >>> import numpy as np
+        >>> SolveResult(np.zeros(2), True, 3).failed
+        False
+        >>> SolveResult(np.zeros(2), False, 3, failure_reason="stagnation").failed
+        True
+        """
+        return self.failure_reason is not None
 
     @property
     def krylov_time(self) -> float:
@@ -83,6 +101,8 @@ class SolveResult:
         True
         """
         status = "converged" if self.converged else "NOT converged"
+        if not self.converged and self.failure_reason is not None:
+            status += f" ({self.failure_reason})"
         return (
             f"{self.info.get('solver', 'solver')}: {status} in {self.iterations} iterations, "
             f"relative residual {self.final_relative_residual:.3e}, "

@@ -21,6 +21,12 @@ Components:
   is the matching client.
 * :mod:`repro.serve.problems` — deterministic problem-spec resolution for
   HTTP requests.
+* :mod:`repro.serve.errors` — typed failures with stable codes
+  (:class:`~repro.serve.errors.InvalidRequest`,
+  :class:`~repro.serve.errors.ServiceOverloaded`,
+  :class:`~repro.serve.errors.DeadlineExceeded`);
+  :class:`~repro.serve.breaker.CircuitBreaker` guards each primary session
+  key and reroutes onto fallback rungs while the primary is down.
 
 Quickstart::
 
@@ -31,8 +37,10 @@ Quickstart::
         print(service.stats()["latency_ms"]["total"]["p99_ms"])
 """
 
+from .breaker import CircuitBreaker
 from .cache import SessionCache
 from .client import ServeClient, ServeClientError
+from .errors import DeadlineExceeded, InvalidRequest, ServeError, ServiceOverloaded
 from .http import ServeHTTPServer
 from .metrics import LatencyHistogram, ServeMetrics
 from .problems import ProblemCache, build_problem_from_spec
@@ -49,4 +57,9 @@ __all__ = [
     "ServeHTTPServer",
     "ServeClient",
     "ServeClientError",
+    "ServeError",
+    "InvalidRequest",
+    "ServiceOverloaded",
+    "DeadlineExceeded",
+    "CircuitBreaker",
 ]

@@ -46,6 +46,16 @@ def main(argv=None) -> int:
                         help="micro-batch coalescing window in ms (default 2)")
     parser.add_argument("--cache-capacity", type=int, default=8,
                         help="prepared-session LRU capacity (default 8)")
+    parser.add_argument("--max-queue", type=int, default=64,
+                        help="per-worker queue bound before 503 load shedding (default 64)")
+    parser.add_argument("--deadline-ms", type=float, default=None,
+                        help="default per-request deadline in ms (default: none)")
+    parser.add_argument("--fallback", action="append", default=None, metavar="KIND",
+                        help="degradation-ladder rung for the default config "
+                             "(repeatable, tried in order; e.g. --fallback ddm-lu)")
+    parser.add_argument("--debug", action="store_true",
+                        help="include tracebacks in internal-error responses "
+                             "(never enable on untrusted networks)")
     args = parser.parse_args(argv)
 
     model = None
@@ -61,6 +71,8 @@ def main(argv=None) -> int:
             max_batch=args.max_batch,
             max_wait_ms=args.max_wait_ms,
             cache_capacity=args.cache_capacity,
+            max_queue=args.max_queue,
+            default_deadline_ms=args.deadline_ms,
         ),
         model=model,
         default_solver_config=SolverConfig(
@@ -68,9 +80,10 @@ def main(argv=None) -> int:
             tolerance=args.tolerance,
             subdomain_size=args.subdomain_size,
             checkpoint=args.checkpoint if args.preconditioner == "ddm-gnn" else None,
+            fallback=args.fallback or [],
         ),
     )
-    server = ServeHTTPServer(service, host=args.host, port=args.port)
+    server = ServeHTTPServer(service, host=args.host, port=args.port, debug=args.debug)
     host, port = server.address
     print(f"repro.serve listening on http://{host}:{port} "
           f"(workers={args.workers}, max_batch={args.max_batch}, "

@@ -1,0 +1,143 @@
+"""Per-session-key circuit breaker for the solve service.
+
+A breaker guards the *primary* solver configuration of one session key.  When
+``failure_threshold`` consecutive primary failures accumulate, the breaker
+**opens**: the service stops preparing/solving with the failing primary and
+routes requests straight onto the first fallback rung (no per-request primary
+attempt, no repeated ladder latency).  After ``reset_after_s`` the breaker
+goes **half-open** and admits exactly one probe request back onto the
+primary; a successful probe closes the breaker, a failed one re-opens it.
+
+State machine::
+
+    closed --(N consecutive failures)--> open
+    open --(reset_after_s elapsed)--> half-open (one probe admitted)
+    half-open --(probe succeeds)--> closed
+    half-open --(probe fails)--> open
+
+The clock is injectable so tests drive the open→half-open transition
+deterministically instead of sleeping.
+
+>>> t = [0.0]
+>>> b = CircuitBreaker(failure_threshold=2, reset_after_s=10.0, clock=lambda: t[0])
+>>> b.allow_primary(), b.state
+(True, 'closed')
+>>> b.record_failure(); b.record_failure(); b.state
+'open'
+>>> b.allow_primary()
+False
+>>> t[0] = 11.0
+>>> b.allow_primary(), b.state    # the single half-open probe
+(True, 'half_open')
+>>> b.allow_primary()             # a second concurrent probe is rejected
+False
+>>> b.record_success(); b.state
+'closed'
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+__all__ = ["CircuitBreaker"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with half-open probing."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_after_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_after_s < 0:
+            raise ValueError("reset_after_s must be >= 0")
+        self.failure_threshold = int(failure_threshold)
+        self.reset_after_s = float(reset_after_s)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self._probe_in_flight = False
+        self._total_failures = 0
+        self._total_opens = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def state(self) -> str:
+        """Current state: ``closed``, ``open`` or ``half_open``."""
+        with self._lock:
+            return self._state
+
+    def allow_primary(self) -> bool:
+        """May this request attempt the primary configuration?
+
+        Closed: always.  Open: only once ``reset_after_s`` has elapsed, which
+        transitions to half-open and claims the probe slot.  Half-open: only
+        if no probe is already in flight.
+        """
+        with self._lock:
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                if (self._opened_at is not None
+                        and self._clock() - self._opened_at >= self.reset_after_s):
+                    self._state = HALF_OPEN
+                    self._probe_in_flight = True
+                    return True
+                return False
+            # half-open: a single probe at a time
+            if not self._probe_in_flight:
+                self._probe_in_flight = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """A primary attempt succeeded: reset the failure streak, close."""
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probe_in_flight = False
+            if self._state != CLOSED:
+                self._state = CLOSED
+                self._opened_at = None
+
+    def record_failure(self) -> None:
+        """A primary attempt failed: extend the streak, maybe open."""
+        with self._lock:
+            self._consecutive_failures += 1
+            self._total_failures += 1
+            was_probe = self._probe_in_flight
+            self._probe_in_flight = False
+            if (self._state == HALF_OPEN and was_probe) or (
+                self._state == CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self._total_opens += 1
+
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Dict[str, object]:
+        """One consistent view for ``/healthz`` and ``stats()``."""
+        with self._lock:
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "total_failures": self._total_failures,
+                "total_opens": self._total_opens,
+                "opened_for_s": (
+                    self._clock() - self._opened_at
+                    if self._opened_at is not None and self._state == OPEN
+                    else None
+                ),
+            }

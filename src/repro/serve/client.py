@@ -10,6 +10,14 @@ Mirrors the three endpoints of :mod:`repro.serve.http`::
     solution = response["solution"]           # list of floats
     client.stats()["latency_ms"]["total"]     # SLO percentiles
 
+Retry policy: solve requests are idempotent (same problem/config/b → same
+deterministic answer), so the client transparently retries *retryable*
+failures — 503 overload responses and connection-level errors — with
+exponential backoff and deterministic jitter, honouring the server's
+``Retry-After`` hint when present.  Non-retryable errors (400 invalid
+request, 404, 500, 504 deadline) surface immediately as
+:class:`ServeClientError` with the server's stable error ``code``.
+
 Uses :mod:`urllib.request` only, so scripts and load generators need no
 third-party HTTP stack.
 """
@@ -17,30 +25,74 @@ third-party HTTP stack.
 from __future__ import annotations
 
 import json
+import random
+import time
 import urllib.error
 import urllib.request
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 __all__ = ["ServeClient", "ServeClientError"]
 
+#: HTTP statuses worth retrying — overload shedding is explicitly transient
+_RETRYABLE_STATUSES = frozenset({503})
+
+
+def _parse_error_payload(raw: bytes) -> Tuple[str, Optional[str]]:
+    """Extract (message, code) from an error body.
+
+    Understands both the structured shape ``{"error": {"code", "message"}}``
+    and the legacy flat shape ``{"error": "message"}``.
+    """
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+    except Exception:  # noqa: BLE001 - best-effort error detail
+        return raw.decode("utf-8", errors="replace"), None
+    detail = payload.get("error") if isinstance(payload, dict) else None
+    if isinstance(detail, dict):
+        return str(detail.get("message", detail)), detail.get("code")
+    if detail is not None:
+        return str(detail), None
+    return str(payload), None
+
 
 class ServeClientError(RuntimeError):
-    """Raised when the server answers with an error payload or bad status."""
+    """Raised when the server answers with an error payload or bad status.
 
-    def __init__(self, status: int, message: str) -> None:
+    ``status`` is the HTTP status, ``code`` the server's stable error code
+    (``invalid_request``, ``overloaded``, ``deadline_exceeded``, ...; None
+    for legacy/unstructured errors), and ``retry_after_s`` the parsed
+    ``Retry-After`` hint when the server sent one.
+    """
+
+    def __init__(self, status: int, message: str, code: Optional[str] = None,
+                 retry_after_s: Optional[float] = None) -> None:
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
+        self.code = code
+        self.retry_after_s = retry_after_s
 
 
 class ServeClient:
-    """Thin JSON client bound to one serve endpoint."""
+    """Thin JSON client bound to one serve endpoint.
 
-    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+    ``retries`` bounds how many times a retryable failure (503, connection
+    refused/reset) is retried per request; backoff sleeps
+    ``backoff_s * 2**attempt`` plus deterministic jitter from ``seed``, or
+    the server's ``Retry-After`` when larger.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 60.0, retries: int = 2,
+                 backoff_s: float = 0.05, seed: int = 0) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = float(timeout)
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.retries = int(retries)
+        self.backoff_s = float(backoff_s)
+        self._jitter = random.Random(seed)
 
     # ------------------------------------------------------------------ #
-    def _request(self, path: str, payload: Optional[Dict] = None) -> Dict:
+    def _request_once(self, path: str, payload: Optional[Dict]) -> Dict:
         url = self.base_url + path
         data = None
         headers = {"Accept": "application/json"}
@@ -52,14 +104,41 @@ class ServeClient:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
                 body = json.loads(response.read().decode("utf-8"))
         except urllib.error.HTTPError as error:
+            message, code = _parse_error_payload(error.read())
+            retry_after = error.headers.get("Retry-After")
             try:
-                detail = json.loads(error.read().decode("utf-8")).get("error", "")
-            except Exception:  # noqa: BLE001 - best-effort error detail
-                detail = error.reason
-            raise ServeClientError(error.code, str(detail)) from None
+                retry_after_s = float(retry_after) if retry_after else None
+            except ValueError:
+                retry_after_s = None
+            raise ServeClientError(error.code, message or str(error.reason),
+                                   code=code, retry_after_s=retry_after_s) from None
         if isinstance(body, dict) and "error" in body:
-            raise ServeClientError(200, str(body["error"]))
+            detail = body["error"]
+            if isinstance(detail, dict):
+                raise ServeClientError(int(detail.get("status", 200)),
+                                       str(detail.get("message", detail)),
+                                       code=detail.get("code"))
+            raise ServeClientError(200, str(detail))
         return body
+
+    def _request(self, path: str, payload: Optional[Dict] = None) -> Dict:
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(path, payload)
+            except ServeClientError as error:
+                if error.status not in _RETRYABLE_STATUSES or attempt >= self.retries:
+                    raise
+                delay = error.retry_after_s
+            except urllib.error.URLError:
+                # connection-level failure (refused, reset, DNS)
+                if attempt >= self.retries:
+                    raise
+                delay = None
+            backoff = self.backoff_s * (2.0 ** attempt)
+            backoff += self._jitter.uniform(0.0, self.backoff_s)
+            time.sleep(max(delay or 0.0, backoff))
+            attempt += 1
 
     # ------------------------------------------------------------------ #
     def healthz(self) -> Dict:
@@ -74,6 +153,7 @@ class ServeClient:
         b: Optional[Sequence[float]] = None,
         x0: Optional[Sequence[float]] = None,
         config: Optional[Dict] = None,
+        deadline_ms: Optional[float] = None,
     ) -> Dict:
         """POST one solve request; returns the decoded response payload."""
         payload: Dict = {}
@@ -85,4 +165,6 @@ class ServeClient:
             payload["x0"] = [float(v) for v in x0]
         if config is not None:
             payload["config"] = config
+        if deadline_ms is not None:
+            payload["deadline_ms"] = float(deadline_ms)
         return self._request("/solve", payload)

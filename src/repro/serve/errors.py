@@ -1,0 +1,75 @@
+"""Typed serve-layer errors with stable codes and HTTP status mappings.
+
+Every failure the service surfaces to a caller is one of these exception
+types.  Each carries a machine-readable ``code`` (stable across releases —
+clients and dashboards match on it) and the HTTP status the JSON front end
+maps it to, so :mod:`repro.serve.http` never has to guess a status from an
+exception message.
+
+>>> InvalidRequest("bad shape").code, InvalidRequest("bad shape").http_status
+('invalid_request', 400)
+>>> issubclass(InvalidRequest, ValueError)   # legacy callers catch ValueError
+True
+>>> ServiceOverloaded("queue full", retry_after_s=0.25).retry_after_s
+0.25
+>>> issubclass(DeadlineExceeded, TimeoutError)
+True
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = [
+    "ServeError",
+    "InvalidRequest",
+    "ServiceOverloaded",
+    "DeadlineExceeded",
+]
+
+
+class ServeError(Exception):
+    """Base class of all typed serve-layer failures."""
+
+    #: stable machine-readable error code (the HTTP layer returns it verbatim)
+    code: str = "internal"
+    #: HTTP status the JSON front end maps this error to
+    http_status: int = 500
+
+    def __init__(self, message: str, retry_after_s: Optional[float] = None) -> None:
+        super().__init__(message)
+        #: optional client back-off hint (serialised as a ``Retry-After`` header)
+        self.retry_after_s = retry_after_s
+
+
+class InvalidRequest(ServeError, ValueError):
+    """Malformed request: bad shape/dtype/finiteness, unknown fields (HTTP 400).
+
+    Subclasses :class:`ValueError` so pre-existing callers that caught
+    ``ValueError`` from ``submit`` keep working unchanged.
+    """
+
+    code = "invalid_request"
+    http_status = 400
+
+
+class ServiceOverloaded(ServeError, RuntimeError):
+    """Load shed: the target worker queue is at capacity (HTTP 503).
+
+    Carries ``retry_after_s`` so clients can back off for the suggested
+    interval instead of hammering a saturated service.
+    """
+
+    code = "overloaded"
+    http_status = 503
+
+
+class DeadlineExceeded(ServeError, TimeoutError):
+    """The request's ``deadline_ms`` elapsed before a result was ready (HTTP 504).
+
+    Raised *through the future* by the deadline reaper: a timed-out request
+    fails fast even when its worker is stalled mid-solve.
+    """
+
+    code = "deadline_exceeded"
+    http_status = 504

@@ -4,15 +4,23 @@ Endpoints:
 
 ``POST /solve``
     Body: ``{"problem": {spec}|null, "config": {SolverConfig fields}|null,
-    "b": [floats]|null, "x0": [floats]|null}``.  The problem spec is resolved
-    server-side (see :mod:`repro.serve.problems`); ``b`` defaults to the
-    problem's assembled right-hand side.  Response carries the solution, the
-    convergence summary and the serving metadata (queue time, batch size,
-    worker).
+    "b": [floats]|null, "x0": [floats]|null, "deadline_ms": float|null}``.
+    The problem spec is resolved server-side (see
+    :mod:`repro.serve.problems`); ``b`` defaults to the problem's assembled
+    right-hand side.  Response carries the solution, the convergence summary
+    and the serving metadata (queue time, batch size, worker, degradation).
 ``GET /healthz``
-    Liveness: ``{"status": "ok", "uptime_s": ...}``.
+    Liveness + failure-domain view: worker threads, queue depths, circuit
+    breaker states.  ``status`` is ``"ok"``, ``"degraded"`` (a breaker is
+    open, fallback rungs serving) or ``"unhealthy"`` (a worker died).
 ``GET /stats``
     The service's full :meth:`~repro.serve.service.SolveService.stats` payload.
+
+Error handling contract: every error response is
+``{"error": {"code", "message", "status"}}`` with a stable machine-readable
+``code`` (see :mod:`repro.serve.errors`).  Overload (503) responses carry a
+``Retry-After`` header.  Tracebacks and internal exception details are never
+leaked unless the server was constructed with ``debug=True``.
 
 Built on :class:`http.server.ThreadingHTTPServer` — one thread per in-flight
 request, which is exactly what lets concurrent HTTP clients coalesce in the
@@ -24,12 +32,15 @@ same :class:`SolveService`.
 from __future__ import annotations
 
 import json
+import math
 import threading
+import traceback
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 
 import numpy as np
 
+from .errors import ServeError
 from .service import SolveService
 
 __all__ = ["ServeHTTPServer"]
@@ -44,13 +55,46 @@ class _Handler(BaseHTTPRequestHandler):
         return self.server.service  # type: ignore[attr-defined]
 
     # -- helpers --------------------------------------------------------- #
-    def _send_json(self, payload: dict, status: int = 200) -> None:
+    def _send_json(self, payload: dict, status: int = 200,
+                   retry_after_s: Optional[float] = None) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if retry_after_s is not None:
+            self.send_header("Retry-After", str(max(0, math.ceil(retry_after_s))))
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_error_json(self, code: str, message: str, status: int,
+                         retry_after_s: Optional[float] = None) -> None:
+        """The one error shape: ``{"error": {"code", "message", "status"}}``."""
+        self._send_json(
+            {"error": {"code": code, "message": message, "status": status}},
+            status=status,
+            retry_after_s=retry_after_s,
+        )
+
+    def _send_exception(self, error: BaseException) -> None:
+        """Map an exception onto the structured error contract."""
+        if isinstance(error, ServeError):
+            self._send_error_json(error.code, str(error), error.http_status,
+                                  retry_after_s=error.retry_after_s)
+            return
+        if isinstance(error, (ValueError, KeyError, json.JSONDecodeError)):
+            self._send_error_json("invalid_request", str(error), 400)
+            return
+        if isinstance(error, TimeoutError):
+            self._send_error_json("deadline_exceeded", "request timed out", 504)
+            return
+        # internal error: never leak exception details unless debugging
+        if getattr(self.server, "debug", False):
+            message = f"{type(error).__name__}: {error}\n" + "".join(
+                traceback.format_exception(type(error), error, error.__traceback__)
+            )
+        else:
+            message = "internal server error"
+        self._send_error_json("internal", message, 500)
 
     def _read_json(self) -> dict:
         length = int(self.headers.get("Content-Length", 0))
@@ -69,36 +113,37 @@ class _Handler(BaseHTTPRequestHandler):
     # -- endpoints ------------------------------------------------------- #
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         if self.path == "/healthz":
+            health = self.service.health()
             stats = self.service.metrics.snapshot()
-            self._send_json({
-                "status": "ok",
-                "uptime_s": stats["uptime_s"],
-                "requests": stats["requests"],
-            })
+            health["uptime_s"] = stats["uptime_s"]
+            health["requests"] = stats["requests"]
+            status = 200 if health["status"] in ("ok", "degraded") else 503
+            self._send_json(health, status=status)
         elif self.path == "/stats":
             self._send_json(self.service.stats())
         else:
-            self._send_json({"error": f"unknown path {self.path!r}"}, status=404)
+            self._send_error_json("not_found", f"unknown path {self.path!r}", 404)
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         if self.path != "/solve":
-            self._send_json({"error": f"unknown path {self.path!r}"}, status=404)
+            self._send_error_json("not_found", f"unknown path {self.path!r}", 404)
             return
         try:
             payload = self._read_json()
             b = payload.get("b")
             x0 = payload.get("x0")
+            deadline_ms = payload.get("deadline_ms")
+            if deadline_ms is not None:
+                deadline_ms = float(deadline_ms)
             result = self.service.solve(
                 payload.get("problem"),
                 b=np.asarray(b, dtype=np.float64) if b is not None else None,
                 x0=np.asarray(x0, dtype=np.float64) if x0 is not None else None,
                 solver_config=payload.get("config"),
+                deadline_ms=deadline_ms,
             )
-        except (ValueError, KeyError, json.JSONDecodeError) as error:
-            self._send_json({"error": str(error)}, status=400)
-            return
-        except Exception as error:  # noqa: BLE001 - surfaced to the client
-            self._send_json({"error": f"{type(error).__name__}: {error}"}, status=500)
+        except BaseException as error:  # noqa: BLE001 - mapped to JSON errors
+            self._send_exception(error)
             return
         self._send_json({
             "solution": result.solution.tolist(),
@@ -113,6 +158,11 @@ class _Handler(BaseHTTPRequestHandler):
                 "setup_s": result.info.get("setup_s"),
                 "preconditioner": result.info.get("preconditioner_kind"),
                 "krylov": result.info.get("krylov"),
+                "degraded": bool(result.info.get("degraded", False)),
+                "rung": result.info.get("rung"),
+                "failure_reason": result.info.get("failure_reason"),
+                "primary_failure": result.info.get("primary_failure"),
+                "breaker_rerouted": bool(result.info.get("breaker_rerouted", False)),
             },
         })
 
@@ -121,14 +171,18 @@ class ServeHTTPServer:
     """A :class:`SolveService` behind a threading HTTP server.
 
     ``port=0`` binds an ephemeral port (the bound address is available as
-    :attr:`address` after construction) — used by the tests.
+    :attr:`address` after construction) — used by the tests.  ``debug=True``
+    includes tracebacks in internal-error responses; leave it off anywhere
+    untrusted clients can reach the port.
     """
 
-    def __init__(self, service: SolveService, host: str = "127.0.0.1", port: int = 8780) -> None:
+    def __init__(self, service: SolveService, host: str = "127.0.0.1",
+                 port: int = 8780, debug: bool = False) -> None:
         self.service = service
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = True
         self._httpd.service = service  # type: ignore[attr-defined]
+        self._httpd.debug = bool(debug)  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
 
     @property

@@ -110,6 +110,9 @@ class ServeMetrics:
         self._batches = 0
         self._batched_requests = 0
         self._max_batch_seen = 0
+        self._degraded = 0
+        self._shed = 0
+        self._deadline_timeouts = 0
         self._started = time.perf_counter()
         self._started_wall = time.time()
 
@@ -132,6 +135,21 @@ class ServeMetrics:
         with self._lock:
             self._errors += 1
 
+    def observe_degraded(self) -> None:
+        """A request was answered via a fallback rung (degradation ladder)."""
+        with self._lock:
+            self._degraded += 1
+
+    def observe_shed(self) -> None:
+        """A request was rejected because the target worker queue was full."""
+        with self._lock:
+            self._shed += 1
+
+    def observe_deadline_timeout(self) -> None:
+        """A request's deadline elapsed before its result was ready."""
+        with self._lock:
+            self._deadline_timeouts += 1
+
     # ------------------------------------------------------------------ #
     @property
     def requests(self) -> int:
@@ -145,12 +163,18 @@ class ServeMetrics:
             batches = self._batches
             batched = self._batched_requests
             max_batch = self._max_batch_seen
+            degraded = self._degraded
+            shed = self._shed
+            deadline_timeouts = self._deadline_timeouts
         elapsed = max(time.perf_counter() - self._started, 1e-9)
         return {
             "uptime_s": elapsed,
             "started_unix": self._started_wall,
             "requests": requests,
             "errors": errors,
+            "degraded": degraded,
+            "shed": shed,
+            "deadline_timeouts": deadline_timeouts,
             "throughput_rps": requests / elapsed,
             "batches": batches,
             "mean_batch_size": (batched / batches) if batches else None,

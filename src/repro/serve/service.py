@@ -28,23 +28,47 @@ north star asks for, built directly on the setup/solve split of
 4. **Metrics** — per-request queue/solve/total latency histograms
    (p50/p95/p99), throughput and cache hit-rate via :meth:`SolveService.stats`.
 
+Failure domain (the robustness layer):
+
+* **Validation at the boundary** — ``submit`` checks ``b``/``x0`` shape,
+  dtype and finiteness and raises :class:`~repro.serve.errors.InvalidRequest`
+  before anything is enqueued; malformed input never reaches a worker.
+* **Bounded queues + load shedding** — each worker queue holds at most
+  ``max_queue`` requests; beyond that ``submit`` raises
+  :class:`~repro.serve.errors.ServiceOverloaded` (HTTP 503 with
+  ``Retry-After``) instead of buffering unboundedly.
+* **Per-request deadlines** — ``submit(deadline_ms=...)`` registers the
+  future with a reaper thread that fails it with
+  :class:`~repro.serve.errors.DeadlineExceeded` the moment the deadline
+  passes, even if the owning worker is stalled mid-solve.  No injected fault
+  leaves a future unresolved past its deadline.
+* **Circuit breakers** — one :class:`~repro.serve.breaker.CircuitBreaker`
+  per *primary* session key.  ``breaker_failures`` consecutive primary
+  failures open it; while open, requests whose config names a fallback
+  ladder are routed straight onto the first rung (a distinct cached
+  session), and half-open probes re-admit the primary once it recovers.
+* **Health** — :meth:`health` reports worker liveness, queue depths and
+  breaker states (the ``/healthz`` payload).
+
 Typical use::
 
     service = SolveService(model=model)
     result = service.solve(problem, b)                  # blocking
-    future = service.submit(problem, b)                 # concurrent callers
+    future = service.submit(problem, b, deadline_ms=500)
     print(service.stats()["latency_ms"]["total"]["p99_ms"])
     service.close()
 """
 
 from __future__ import annotations
 
+import dataclasses
+import heapq
 import threading
 import time
 from collections import deque
-from concurrent.futures import Future
+from concurrent.futures import Future, InvalidStateError
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Union
+from typing import Deque, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -53,7 +77,9 @@ from ..krylov.result import SolveResult
 from ..solvers.config import SolverConfig
 from ..solvers.fingerprint import session_key
 from ..solvers.session import SolverSession
+from .breaker import CircuitBreaker
 from .cache import SessionCache
+from .errors import DeadlineExceeded, InvalidRequest, ServiceOverloaded
 from .metrics import ServeMetrics
 from .problems import ProblemCache
 
@@ -84,6 +110,20 @@ class ServeConfig:
         Forwarded to ``solve_many`` for batched execution: "auto" (default;
         lockstep-fused when the Krylov method supports it), "fused" or
         "sequential".
+    max_queue:
+        Bound on each worker's queue.  A submit that would exceed it is shed
+        with :class:`~repro.serve.errors.ServiceOverloaded` instead of
+        buffering unboundedly.
+    default_deadline_ms:
+        Deadline applied to requests that do not pass their own
+        ``deadline_ms`` (None = no deadline).
+    breaker_failures:
+        Consecutive primary failures on one session key before its circuit
+        breaker opens.
+    breaker_reset_s:
+        Seconds an open breaker waits before admitting a half-open probe.
+    shed_retry_after_s:
+        ``Retry-After`` hint attached to shed requests.
     """
 
     workers: int = 2
@@ -93,6 +133,11 @@ class ServeConfig:
     problem_cache_capacity: int = 16
     latency_window: int = 8192
     solve_mode: str = "auto"
+    max_queue: int = 64
+    default_deadline_ms: Optional[float] = None
+    breaker_failures: int = 5
+    breaker_reset_s: float = 30.0
+    shed_retry_after_s: float = 0.1
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -103,10 +148,21 @@ class ServeConfig:
             raise ValueError("max_wait_ms must be >= 0")
         if self.solve_mode not in ("auto", "fused", "sequential"):
             raise ValueError("solve_mode must be 'auto', 'fused' or 'sequential'")
+        if self.max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if self.default_deadline_ms is not None and self.default_deadline_ms <= 0:
+            raise ValueError("default_deadline_ms must be positive or None")
+        if self.breaker_failures < 1:
+            raise ValueError("breaker_failures must be >= 1")
+        if self.breaker_reset_s < 0:
+            raise ValueError("breaker_reset_s must be >= 0")
+        if self.shed_retry_after_s < 0:
+            raise ValueError("shed_retry_after_s must be >= 0")
 
 
 class _Request:
-    __slots__ = ("key", "session", "b", "x0", "future", "enqueued_at", "dequeued_at")
+    __slots__ = ("key", "session", "b", "x0", "future", "enqueued_at",
+                 "dequeued_at", "breaker_key", "rerouted", "deadline_at")
 
     def __init__(self, key: str, session: SolverSession, b: Optional[np.ndarray],
                  x0: Optional[np.ndarray]) -> None:
@@ -117,6 +173,70 @@ class _Request:
         self.future: "Future[SolveResult]" = Future()
         self.enqueued_at = time.perf_counter()
         self.dequeued_at = 0.0
+        #: the *primary* session key — the breaker identity even when the
+        #: request was rerouted onto a fallback rung's session
+        self.breaker_key = key
+        self.rerouted = False
+        self.deadline_at: Optional[float] = None  # time.monotonic() deadline
+
+
+class _Reaper(threading.Thread):
+    """Deadline enforcement: fails futures the moment their deadline passes.
+
+    Workers may stall mid-solve (a hung BLAS call, an injected fault); the
+    reaper guarantees the *caller* still gets a
+    :class:`~repro.serve.errors.DeadlineExceeded` on time — the future fails
+    fast even though the worker thread is still busy.
+    """
+
+    def __init__(self, service: "SolveService") -> None:
+        super().__init__(name="repro-serve-reaper", daemon=True)
+        self.service = service
+        self.condition = threading.Condition()
+        self._heap: List[Tuple[float, int, _Request]] = []
+        self._seq = 0
+        self.stopping = False
+
+    def watch(self, request: _Request) -> None:
+        if request.deadline_at is None:
+            return
+        with self.condition:
+            heapq.heappush(self._heap, (request.deadline_at, self._seq, request))
+            self._seq += 1
+            self.condition.notify()
+
+    def stop(self) -> None:
+        with self.condition:
+            self.stopping = True
+            self.condition.notify_all()
+
+    def run(self) -> None:
+        while True:
+            with self.condition:
+                # drop entries whose futures resolved on their own
+                while self._heap and self._heap[0][2].future.done():
+                    heapq.heappop(self._heap)
+                if self.stopping:
+                    return
+                if not self._heap:
+                    self.condition.wait()
+                    continue
+                deadline, _, request = self._heap[0]
+                now = time.monotonic()
+                if deadline > now:
+                    self.condition.wait(deadline - now)
+                    continue
+                heapq.heappop(self._heap)
+            # fail the future outside the lock; the worker's own set_result
+            # (if it ever finishes) is guarded against InvalidStateError
+            try:
+                request.future.set_exception(
+                    DeadlineExceeded("request deadline exceeded")
+                )
+            except InvalidStateError:
+                continue  # resolved in the meantime
+            self.service.metrics.observe_deadline_timeout()
+            self.service.metrics.observe_error()
 
 
 class _Worker(threading.Thread):
@@ -129,12 +249,20 @@ class _Worker(threading.Thread):
         self.queue: Deque[_Request] = deque()
         self.condition = threading.Condition()
         self.stopping = False
+        #: monotonic timestamp of the last main-loop heartbeat (healthz)
+        self.last_beat = time.monotonic()
 
     # -- producer side -------------------------------------------------- #
-    def submit(self, request: _Request) -> None:
+    def submit(self, request: _Request, max_queue: int) -> None:
         with self.condition:
             if self.stopping:
                 raise RuntimeError("service is closed")
+            if len(self.queue) >= max_queue:
+                raise ServiceOverloaded(
+                    f"worker {self.index} queue is full "
+                    f"({len(self.queue)}/{max_queue} requests)",
+                    retry_after_s=self.service.config.shed_retry_after_s,
+                )
             self.queue.append(request)
             self.condition.notify()
 
@@ -165,8 +293,10 @@ class _Worker(threading.Thread):
         config = self.service.config
         while True:
             with self.condition:
+                self.last_beat = time.monotonic()
                 while not self.queue and not self.stopping:
                     self.condition.wait()
+                    self.last_beat = time.monotonic()
                 if not self.queue:
                     return  # stopping and drained
                 first = self.queue.popleft()
@@ -189,6 +319,11 @@ class _Worker(threading.Thread):
 
     def _execute(self, batch: List[_Request]) -> None:
         service = self.service
+        # requests already failed by the deadline reaper (or cancelled) are
+        # dropped before the expensive solve
+        batch = [request for request in batch if not request.future.done()]
+        if not batch:
+            return
         now = time.perf_counter()
         for request in batch:
             request.dequeued_at = now
@@ -209,7 +344,11 @@ class _Worker(threading.Thread):
         except BaseException as error:  # noqa: BLE001 - delivered to the callers
             service.metrics.observe_error()
             for request in batch:
-                request.future.set_exception(error)
+                service._record_outcome(request, ok=False)
+                try:
+                    request.future.set_exception(error)
+                except InvalidStateError:
+                    pass  # deadline reaper got there first
             return
         solve_ms = (time.perf_counter() - solve_start) * 1e3
         service.metrics.observe_batch(len(batch))
@@ -218,8 +357,19 @@ class _Worker(threading.Thread):
             result.info["queue_s"] = queue_ms / 1e3
             result.info["batch_size"] = len(batch)
             result.info["worker"] = self.index
+            if request.rerouted:
+                result.info["breaker_rerouted"] = True
+            degraded = bool(result.info.get("degraded"))
+            if degraded or request.rerouted:
+                service.metrics.observe_degraded()
+            service._record_outcome(
+                request, ok=result.converged and not degraded
+            )
             service.metrics.observe_request(queue_ms, solve_ms)
-            request.future.set_result(result)
+            try:
+                request.future.set_result(result)
+            except InvalidStateError:
+                pass  # deadline reaper got there first
 
 
 class SolveService:
@@ -242,9 +392,13 @@ class SolveService:
         self.problems = ProblemCache(self.config.problem_cache_capacity)
         self.metrics = ServeMetrics(self.config.latency_window)
         self._closed = False
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._breakers_lock = threading.Lock()
         self._workers = [_Worker(self, i) for i in range(self.config.workers)]
         for worker in self._workers:
             worker.start()
+        self._reaper = _Reaper(self)
+        self._reaper.start()
 
     # ------------------------------------------------------------------ #
     def _resolve_problem(self, problem: Union[Problem, Dict, None]) -> Problem:
@@ -272,6 +426,57 @@ class SolveService:
             key, lambda: SolverSession(problem, config, model=self.model)
         )
 
+    # -- validation ------------------------------------------------------ #
+    def _validate_vector(
+        self, name: str, vector: Optional[np.ndarray], num_dofs: int
+    ) -> Optional[np.ndarray]:
+        """Boundary validation: shape, dtype and finiteness, as InvalidRequest."""
+        if vector is None:
+            return None
+        try:
+            vector = np.asarray(vector, dtype=np.float64)
+        except (TypeError, ValueError) as error:
+            raise InvalidRequest(
+                f"{name} must be a numeric vector: {error}"
+            ) from error
+        if vector.shape != (num_dofs,):
+            raise InvalidRequest(
+                f"{name} must have shape ({num_dofs},), got {vector.shape}"
+            )
+        if not np.isfinite(vector).all():
+            raise InvalidRequest(f"{name} contains non-finite entries")
+        return vector
+
+    # -- circuit breakers ------------------------------------------------ #
+    def _breaker_for(self, key: str) -> CircuitBreaker:
+        with self._breakers_lock:
+            breaker = self._breakers.get(key)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    failure_threshold=self.config.breaker_failures,
+                    reset_after_s=self.config.breaker_reset_s,
+                )
+                self._breakers[key] = breaker
+            return breaker
+
+    def _record_outcome(self, request: _Request, ok: bool) -> None:
+        """Feed a request's outcome to its breaker.
+
+        Only requests that actually attempted the *primary* configuration
+        count: rerouted (breaker-open) requests ran a fallback rung and say
+        nothing about the primary's health.
+        """
+        if request.rerouted:
+            return
+        with self._breakers_lock:
+            breaker = self._breakers.get(request.breaker_key)
+        if breaker is None:
+            return
+        if ok:
+            breaker.record_success()
+        else:
+            breaker.record_failure()
+
     # ------------------------------------------------------------------ #
     def submit(
         self,
@@ -279,6 +484,7 @@ class SolveService:
         b: Optional[np.ndarray] = None,
         x0: Optional[np.ndarray] = None,
         solver_config: Union[SolverConfig, Dict, None] = None,
+        deadline_ms: Optional[float] = None,
     ) -> "Future[SolveResult]":
         """Enqueue one solve; returns a future resolving to its SolveResult.
 
@@ -288,26 +494,70 @@ class SolveService:
         first request for a new session key (subsequent requests are pure
         cache hits); the solve itself runs on the session's pinned worker,
         micro-batched with any concurrent same-session requests.
+
+        ``deadline_ms`` (or ``config.default_deadline_ms``) bounds how long
+        the returned future may stay unresolved: past the deadline it fails
+        with :class:`~repro.serve.errors.DeadlineExceeded` even if the worker
+        is still busy.  A full worker queue sheds the request immediately
+        with :class:`~repro.serve.errors.ServiceOverloaded`.
         """
         if self._closed:
             raise RuntimeError("service is closed")
-        resolved = self._resolve_problem(problem)
-        config = self._resolve_config(solver_config)
+        try:
+            resolved = self._resolve_problem(problem)
+            config = self._resolve_config(solver_config)
+        except InvalidRequest:
+            raise
+        except (TypeError, ValueError, KeyError) as error:
+            raise InvalidRequest(str(error)) from error
+        if deadline_ms is None:
+            deadline_ms = self.config.default_deadline_ms
+        elif deadline_ms <= 0:
+            raise InvalidRequest(f"deadline_ms must be positive, got {deadline_ms!r}")
+        b = self._validate_vector("right-hand side", b, resolved.num_dofs)
+        x0 = self._validate_vector("initial guess", x0, resolved.num_dofs)
+
         key = session_key(resolved, config, self.model)
-        session = self.sessions.get_or_create(
-            key, lambda: SolverSession(resolved, config, model=self.model)
-        )
-        if b is not None:
-            b = np.asarray(b, dtype=np.float64)
-            if b.shape != (resolved.num_dofs,):
-                raise ValueError(
-                    f"right-hand side must have shape ({resolved.num_dofs},), got {b.shape}"
+        use_config, use_key, rerouted = config, key, False
+        if config.fallback:
+            breaker = self._breaker_for(key)
+            if not breaker.allow_primary():
+                # breaker open: skip the failing primary entirely and serve
+                # from the first fallback rung's (cached) session
+                use_config = dataclasses.replace(
+                    config,
+                    preconditioner=config.fallback[0],
+                    fallback=list(config.fallback[1:]),
                 )
-        if x0 is not None:
-            x0 = np.asarray(x0, dtype=np.float64)
-        request = _Request(key, session, b, x0)
-        worker = self._workers[int(key[:8], 16) % len(self._workers)]
-        worker.submit(request)
+                use_key = session_key(resolved, use_config, self.model)
+                rerouted = True
+
+        try:
+            session = self.sessions.get_or_create(
+                use_key, lambda: SolverSession(resolved, use_config, model=self.model)
+            )
+        except Exception:
+            # a failed session build is a primary failure too (e.g. a
+            # poisoned checkpoint): the breaker must see it so repeated
+            # build failures eventually reroute to the fallback rung
+            self.metrics.observe_error()
+            if not rerouted and config.fallback:
+                self._breaker_for(key).record_failure()
+            raise
+
+        request = _Request(use_key, session, b, x0)
+        request.breaker_key = key
+        request.rerouted = rerouted
+        if deadline_ms is not None:
+            request.deadline_at = time.monotonic() + deadline_ms / 1e3
+        worker = self._workers[int(use_key[:8], 16) % len(self._workers)]
+        try:
+            worker.submit(request, self.config.max_queue)
+        except ServiceOverloaded:
+            self.metrics.observe_shed()
+            raise
+        # register with the reaper only after the queue accepted the request
+        self._reaper.watch(request)
         return request.future
 
     def solve(
@@ -317,11 +567,58 @@ class SolveService:
         x0: Optional[np.ndarray] = None,
         solver_config: Union[SolverConfig, Dict, None] = None,
         timeout: Optional[float] = None,
+        deadline_ms: Optional[float] = None,
     ) -> SolveResult:
         """Blocking convenience wrapper around :meth:`submit`."""
-        return self.submit(problem, b=b, x0=x0, solver_config=solver_config).result(timeout)
+        future = self.submit(
+            problem, b=b, x0=x0, solver_config=solver_config, deadline_ms=deadline_ms
+        )
+        return future.result(timeout)
 
     # ------------------------------------------------------------------ #
+    def health(self) -> Dict[str, object]:
+        """Liveness view: worker health, queue depths, breaker states.
+
+        ``status`` is ``"ok"`` when every worker thread is alive and no
+        breaker is open, ``"degraded"`` when the service still serves but a
+        breaker is open (primary path down, fallback serving), and
+        ``"unhealthy"`` when a worker thread has died.
+        """
+        now = time.monotonic()
+        workers = [
+            {
+                "name": worker.name,
+                "alive": worker.is_alive(),
+                "queue_depth": len(worker.queue),
+                "last_beat_age_s": max(0.0, now - worker.last_beat),
+            }
+            for worker in self._workers
+        ]
+        with self._breakers_lock:
+            breakers = {key: b.snapshot() for key, b in self._breakers.items()}
+        open_breakers = sum(1 for b in breakers.values() if b["state"] == "open")
+        all_alive = all(w["alive"] for w in workers)
+        if not all_alive or not self._reaper.is_alive():
+            status = "unhealthy"
+        elif open_breakers:
+            status = "degraded"
+        else:
+            status = "ok"
+        return {
+            "status": status,
+            "workers": workers,
+            "reaper_alive": self._reaper.is_alive(),
+            "breakers": {
+                "total": len(breakers),
+                "open": open_breakers,
+                "half_open": sum(
+                    1 for b in breakers.values() if b["state"] == "half_open"
+                ),
+                "by_key": breakers,
+            },
+            "closed": self._closed,
+        }
+
     def stats(self) -> Dict[str, object]:
         """One consistent view of throughput, latency SLOs and cache health."""
         snapshot = self.metrics.snapshot()
@@ -329,10 +626,19 @@ class SolveService:
         snapshot["cache_hit_rate"] = snapshot["cache"]["hit_rate"]
         snapshot["problem_cache_size"] = len(self.problems)
         snapshot["workers"] = len(self._workers)
+        with self._breakers_lock:
+            states = [b.snapshot()["state"] for b in self._breakers.values()]
+        snapshot["breakers"] = {
+            "total": len(states),
+            "open": states.count("open"),
+            "half_open": states.count("half_open"),
+        }
         snapshot["config"] = {
             "max_batch": self.config.max_batch,
             "max_wait_ms": self.config.max_wait_ms,
             "solve_mode": self.config.solve_mode,
+            "max_queue": self.config.max_queue,
+            "default_deadline_ms": self.config.default_deadline_ms,
         }
         return snapshot
 
@@ -345,6 +651,8 @@ class SolveService:
             worker.stop()
         for worker in self._workers:
             worker.join(timeout)
+        self._reaper.stop()
+        self._reaper.join(timeout)
 
     def __enter__(self) -> "SolveService":
         return self

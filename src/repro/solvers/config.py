@@ -21,7 +21,7 @@ import dataclasses
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Union
 
 __all__ = ["SolverConfig"]
 
@@ -71,6 +71,22 @@ class SolverConfig:
         so cached f32 and f64 sessions never mix.
     seed:
         Seed for the partitioner.
+    fallback:
+        Degradation ladder: an ordered list of preconditioner kinds to try
+        when a solve with the primary preconditioner fails (raises, breaks
+        down, stagnates or runs out of iterations).  The session lazily
+        prepares rung ``i`` on first use with the *same* partition seed and
+        tolerances, re-solves, and stamps ``info["degraded"]``/``info["rung"]``
+        on the result.  A typical production policy is
+        ``fallback=["ddm-lu"]`` — the exact Schwarz path that cannot break
+        down.  Enters :meth:`config_hash` (a config with a ladder is a
+        different serving contract than one without).
+    stagnation_window:
+        Consecutive iterations without a new best relative residual before
+        the Krylov method stops with ``failure_reason="stagnation"``.
+        ``None`` disables the guard.  The default (250) is far beyond any
+        healthy preconditioned solve in this repository, so it only fires on
+        genuinely stalled iterations (e.g. a broken checkpoint).
     checkpoint:
         Optional path to a versioned checkpoint
         (:mod:`repro.gnn.checkpoint`); when the preconditioner needs a model
@@ -91,6 +107,8 @@ class SolverConfig:
     jacobi_sweeps: int = 10
     precision: str = "f64"
     seed: int = 0
+    fallback: List[str] = field(default_factory=list)
+    stagnation_window: Optional[int] = 250
     checkpoint: Optional[str] = None
 
     # ------------------------------------------------------------------ #
@@ -103,6 +121,28 @@ class SolverConfig:
         if self.precision not in ("f64", "f32"):
             raise ValueError(
                 f"precision must be 'f64' or 'f32', got {self.precision!r}"
+            )
+        if isinstance(self.fallback, str):
+            raise ValueError(
+                "fallback must be a list of preconditioner kinds, not a string "
+                f"(got {self.fallback!r})"
+            )
+        self.fallback = list(self.fallback)
+        if any(not isinstance(kind, str) for kind in self.fallback):
+            raise ValueError(f"fallback entries must be strings, got {self.fallback!r}")
+        if self.preconditioner in self.fallback:
+            raise ValueError(
+                f"fallback may not repeat the primary preconditioner "
+                f"{self.preconditioner!r}"
+            )
+        if len(set(self.fallback)) != len(self.fallback):
+            # duplicates would make a rung's own config invalid when the
+            # ladder promotes it (its remaining fallback would repeat it)
+            raise ValueError(f"fallback entries must be unique, got {self.fallback!r}")
+        if self.stagnation_window is not None and self.stagnation_window < 1:
+            raise ValueError(
+                f"stagnation_window must be a positive int or None, "
+                f"got {self.stagnation_window!r}"
             )
 
     def config_hash(self) -> str:

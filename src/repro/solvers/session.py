@@ -27,6 +27,7 @@ benchmarks construct sessions through one code path.
 
 from __future__ import annotations
 
+import dataclasses
 import inspect
 import threading
 import time
@@ -51,7 +52,8 @@ __all__ = ["SolverSession", "MultiSolveResult", "prepare"]
 #: entries with these names would collide at call time, so they are rejected
 #: at prepare time (tolerance/max_iterations belong on SolverConfig directly)
 _RESERVED_KRYLOV_ARGS = frozenset(
-    {"matrix", "rhs", "preconditioner", "initial_guess", "tolerance", "max_iterations"}
+    {"matrix", "rhs", "preconditioner", "initial_guess", "tolerance",
+     "max_iterations", "stagnation_window"}
 )
 
 
@@ -184,6 +186,24 @@ class SolverSession:
                     f"Krylov method '{config.krylov}' does not accept "
                     f"keyword argument(s) {unknown}"
                 )
+        # the stagnation guard is passed only to methods that declare it, so
+        # duck-typed registered solvers keep working unchanged
+        self._stagnation_kwargs: Dict[str, object] = (
+            {"stagnation_window": config.stagnation_window}
+            if "stagnation_window" in parameters else {}
+        )
+        self._lockstep_stagnation_kwargs: Dict[str, object] = {}
+        if self.krylov.lockstep is not None:
+            lockstep_params = inspect.signature(self.krylov.lockstep).parameters
+            if "stagnation_window" in lockstep_params:
+                self._lockstep_stagnation_kwargs = {
+                    "stagnation_window": config.stagnation_window
+                }
+
+        # validate the degradation ladder up front: unknown rung names should
+        # fail at prepare time, not on the first primary failure
+        for kind in config.fallback:
+            preconditioner_spec(kind)
 
         if self.preconditioner_kind.needs_model and model is None:
             if config.checkpoint:
@@ -217,6 +237,10 @@ class SolverSession:
         self.num_setups = 1
         self.num_solves = 0
         self.total_solve_time = 0.0
+
+        # -- degradation ladder (lazily prepared fallback rungs) ------------ #
+        self._rungs: Dict[int, "SolverSession"] = {}
+        self.num_degraded = 0
 
         # -- concurrency ----------------------------------------------------- #
         #: serialises solves: the preconditioners reuse per-session scratch
@@ -257,21 +281,111 @@ class SolverSession:
         Thread safety: solves are serialised on a per-session lock (the
         preconditioner scratch buffers are session state); concurrent callers
         are correct but not parallel — see :meth:`clone_for_worker`.
+
+        Degradation ladder: when ``config.fallback`` names fallback rungs and
+        the primary solve fails — raises, or returns a non-converged result
+        (breakdown, stagnation, iteration cap) — the session lazily prepares
+        the next rung (same problem, same partition seed, same tolerances)
+        and re-solves.  The returned result then carries
+        ``info["degraded"] = True``, ``info["rung"]`` and the full
+        ``info["ladder_attempts"]`` trail.
         """
-        config = self.config
         b = self.problem.rhs if b is None else np.asarray(b, dtype=np.float64)
-        with self._lock:
-            result: SolveResult = self.krylov.solve(
-                self.problem.matrix,
-                b,
-                preconditioner=self.preconditioner,
-                initial_guess=x0,
-                tolerance=config.tolerance,
-                max_iterations=config.max_iterations,
-                **self._krylov_kwargs,
-            )
-            self._stamp_info(result)
+        try:
+            with self._lock:
+                result = self._solve_locked(b, x0)
+        except Exception as error:
+            if not self.config.fallback:
+                raise
+            return self._degrade(b, x0, primary_result=None, primary_error=error)
+        if result.converged or not self.config.fallback:
+            return result
+        return self._degrade(b, x0, primary_result=result, primary_error=None)
+
+    def _solve_locked(self, b: np.ndarray, x0: Optional[np.ndarray]) -> SolveResult:
+        """One primary solve; caller holds the session lock."""
+        config = self.config
+        result: SolveResult = self.krylov.solve(
+            self.problem.matrix,
+            b,
+            preconditioner=self.preconditioner,
+            initial_guess=x0,
+            tolerance=config.tolerance,
+            max_iterations=config.max_iterations,
+            **self._stagnation_kwargs,
+            **self._krylov_kwargs,
+        )
+        self._stamp_info(result)
         return result
+
+    # -- degradation ladder -------------------------------------------- #
+    def _rung_session(self, index: int) -> "SolverSession":
+        """The prepared session for fallback rung ``index`` (lazy, cached).
+
+        The rung config is the primary config with only the preconditioner
+        kind swapped (and no further fallback): same partition seed, same
+        tolerance/iteration budget, so rung results are deterministic and
+        reproducible against an independently prepared reference session.
+        """
+        with self._lock:
+            rung = self._rungs.get(index)
+            if rung is None:
+                kind = self.config.fallback[index]
+                rung_config = dataclasses.replace(
+                    self.config, preconditioner=kind, fallback=[]
+                )
+                spec = preconditioner_spec(kind)
+                model = self.model if spec.needs_model else None
+                rung = SolverSession(self.problem, rung_config, model=model)
+                self._rungs[index] = rung
+        return rung
+
+    def _degrade(
+        self,
+        b: np.ndarray,
+        x0: Optional[np.ndarray],
+        primary_result: Optional[SolveResult],
+        primary_error: Optional[Exception],
+    ) -> SolveResult:
+        """Walk the fallback ladder after a primary failure."""
+        self.num_degraded += 1
+        primary_failure = (
+            f"{type(primary_error).__name__}: {primary_error}"
+            if primary_error is not None
+            else primary_result.failure_reason
+        )
+        attempts: List[Dict[str, object]] = [
+            {"rung": self.config.preconditioner, "rung_index": 0,
+             "failure": primary_failure}
+        ]
+        last_result: Optional[SolveResult] = None
+        last_error = primary_error
+        for index, kind in enumerate(self.config.fallback):
+            try:
+                rung = self._rung_session(index)
+                result = rung.solve(b, x0=x0)
+            except Exception as error:  # a rung may fail too; try the next one
+                attempts.append({"rung": kind, "rung_index": index + 1,
+                                 "failure": f"{type(error).__name__}: {error}"})
+                last_error = error
+                continue
+            attempts.append({"rung": kind, "rung_index": index + 1,
+                             "failure": result.failure_reason})
+            result.info["degraded"] = True
+            result.info["rung"] = kind
+            result.info["rung_index"] = index + 1
+            result.info["primary_failure"] = primary_failure
+            result.info["ladder_attempts"] = list(attempts)
+            if result.converged:
+                return result
+            last_result = result
+        if last_result is not None:
+            last_result.info["ladder_attempts"] = list(attempts)
+            return last_result
+        if primary_result is not None:
+            primary_result.info["ladder_attempts"] = list(attempts)
+            return primary_result
+        raise last_error
 
     def _stamp_info(self, result: SolveResult) -> None:
         """Attach session accounting to a fresh result (first solve pays setup)."""
@@ -284,6 +398,9 @@ class SolverSession:
         result.info["preconditioner_kind"] = config.preconditioner
         result.info["krylov"] = config.krylov
         result.info["precision"] = config.precision
+        result.info.setdefault("degraded", False)
+        if result.failure_reason is not None:
+            result.info["failure_reason"] = result.failure_reason
         result.info["setup_s"] = setup_s
         result.info["setup_time"] = setup_s  # legacy key of HybridSolver.solve
         result.info["stage_timings"] = {
@@ -349,17 +466,41 @@ class SolverSession:
 
         start = time.perf_counter()
         if use_fused and len(vectors) > 1:
-            with self._lock:
-                results = self.krylov.lockstep(
-                    self.problem.matrix,
-                    vectors,
-                    preconditioner=self.preconditioner,
-                    initial_guess=x0,
-                    tolerance=self.config.tolerance,
-                    max_iterations=self.config.max_iterations,
+            try:
+                with self._lock:
+                    results = self.krylov.lockstep(
+                        self.problem.matrix,
+                        vectors,
+                        preconditioner=self.preconditioner,
+                        initial_guess=x0,
+                        tolerance=self.config.tolerance,
+                        max_iterations=self.config.max_iterations,
+                        **self._lockstep_stagnation_kwargs,
+                    )
+                    for result in results:
+                        self._stamp_info(result)
+            except Exception as error:
+                if not self.config.fallback:
+                    raise
+                # the whole lockstep sweep failed (e.g. the preconditioner
+                # raised): route every right-hand side through the ladder
+                results = [
+                    self._degrade(row, x0, primary_result=None, primary_error=error)
+                    for row in vectors
+                ]
+                return MultiSolveResult(
+                    results=results,
+                    elapsed_time=time.perf_counter() - start,
+                    mode="sequential",
                 )
-                for result in results:
-                    self._stamp_info(result)
+            if self.config.fallback:
+                # columns that individually failed (compacted out of the
+                # lockstep batch with a failure_reason) re-solve on the ladder
+                for i, result in enumerate(results):
+                    if not result.converged:
+                        results[i] = self._degrade(
+                            vectors[i], x0, primary_result=result, primary_error=None
+                        )
             return MultiSolveResult(
                 results=results, elapsed_time=time.perf_counter() - start, mode="fused"
             )
@@ -404,6 +545,11 @@ class SolverSession:
             "setup_timings": dict(self.setup_timings),
             "total_solve_time": self.total_solve_time,
             "amortised_setup_s": self.setup_time / max(self.num_solves, 1),
+            "num_degraded": self.num_degraded,
+            "fallback": list(self.config.fallback),
+            "rungs_prepared": [
+                self.config.fallback[i] for i in sorted(self._rungs)
+            ],
         }
         if self.decomposition is not None:
             info["num_subdomains"] = self.decomposition.num_subdomains

@@ -14,10 +14,12 @@ from repro.krylov import (
     SolveResult,
     bicgstab,
     conjugate_gradient,
+    failures,
     gmres,
     incomplete_cholesky,
     preconditioned_conjugate_gradient,
 )
+from repro.krylov.block import lockstep_pcg
 
 
 def _spd_matrix(n: int, seed: int = 0, density: float = 0.2) -> sp.csr_matrix:
@@ -207,3 +209,211 @@ class TestOtherKrylov:
     def test_gmres_zero_rhs(self):
         a = _spd_matrix(10, 9)
         assert gmres(a, np.zeros(10)).converged
+
+
+# --------------------------------------------------------------------------- #
+# failure taxonomy: breakdown detection stamps machine-readable reasons
+# --------------------------------------------------------------------------- #
+class _DiagPrecond:
+    """Deterministic diagonal preconditioner whose column path is the exact
+    per-column arithmetic of its single path (bit-identity test harness)."""
+
+    def __init__(self, diagonal: np.ndarray) -> None:
+        self.diagonal = np.asarray(diagonal, dtype=np.float64)
+
+    def apply(self, residual: np.ndarray) -> np.ndarray:
+        return residual / self.diagonal
+
+    def apply_columns(self, residuals: np.ndarray) -> np.ndarray:
+        return residuals / self.diagonal[:, None]
+
+
+class _NaNPrecond:
+    """A preconditioner that always emits NaN."""
+
+    def apply(self, residual: np.ndarray) -> np.ndarray:
+        return np.full_like(np.asarray(residual, dtype=np.float64), np.nan)
+
+
+class _ProjectionPrecond:
+    """A singular (rank-k projection) preconditioner: PCG converges inside the
+    projected subspace and then stalls — honest stagnation, no breakdown."""
+
+    def __init__(self, n: int, k: int) -> None:
+        self.mask = (np.arange(n) < k).astype(np.float64)
+
+    def apply(self, residual: np.ndarray) -> np.ndarray:
+        return residual * self.mask
+
+
+class TestFailureTaxonomy:
+    def test_non_finite_rhs_refused_up_front(self):
+        a = _spd_matrix(10, 11)
+        b = np.ones(10)
+        b[3] = np.nan
+        result = conjugate_gradient(a, b, max_iterations=50)
+        assert not result.converged
+        assert result.failed
+        assert result.failure_reason == failures.NON_FINITE_RHS
+        assert result.iterations == 0
+
+    def test_nan_preconditioner_stamped(self):
+        a = _spd_matrix(12, 12)
+        result = preconditioned_conjugate_gradient(
+            a, np.ones(12), preconditioner=_NaNPrecond(), max_iterations=50)
+        assert not result.converged
+        assert result.failure_reason == failures.NON_FINITE_PRECONDITIONER
+        assert np.isfinite(result.solution).all()
+
+    def test_indefinite_operator_detected(self):
+        a = sp.diags([-1.0] * 8).tocsr()
+        result = conjugate_gradient(a, np.ones(8), tolerance=1e-12, max_iterations=50)
+        assert not result.converged
+        assert result.failure_reason == failures.INDEFINITE_OPERATOR
+        assert result.iterations < 50  # terminated early, not looped to the cap
+
+    def test_nan_operator_detected(self):
+        a = _spd_matrix(10, 13).toarray()
+        a[4, 4] = np.nan
+        result = conjugate_gradient(a, np.ones(10), max_iterations=50)
+        assert not result.converged
+        assert result.failure_reason in (
+            failures.NON_FINITE_OPERATOR, failures.NON_FINITE_RESIDUAL)
+        assert result.iterations <= 1  # no NaN looping to max_iterations
+
+    def test_stagnation_detected(self):
+        a = _spd_matrix(25, 14)
+        b = np.random.default_rng(23).normal(size=25)
+        result = preconditioned_conjugate_gradient(
+            a, b, preconditioner=_ProjectionPrecond(25, 6), tolerance=1e-30,
+            max_iterations=5000, stagnation_window=10)
+        assert not result.converged
+        assert result.failure_reason == failures.STAGNATION
+        assert result.iterations < 5000
+        # the solution is still the best-effort iterate, not garbage
+        assert np.isfinite(result.solution).all()
+
+    def test_summary_mentions_reason(self):
+        a = sp.diags([-1.0] * 5).tocsr()
+        result = conjugate_gradient(a, np.ones(5), max_iterations=10)
+        assert result.failure_reason in result.summary()
+
+    def test_describe_and_is_breakdown(self):
+        assert failures.describe(None) == "converged"
+        assert failures.is_breakdown(failures.RHO_BREAKDOWN)
+        assert not failures.is_breakdown(failures.MAX_ITERATIONS)
+        for reason in failures.FAILURE_REASONS:
+            assert failures.describe(reason) != "unknown failure"
+
+    # -- gmres / bicgstab ------------------------------------------------ #
+    def test_gmres_nan_operator(self):
+        a = np.eye(10)
+        a[2, 2] = np.nan
+        result = gmres(a, np.ones(10), max_iterations=30)
+        assert not result.converged
+        assert result.failure_reason in (
+            failures.NON_FINITE_OPERATOR, failures.NON_FINITE_RESIDUAL)
+
+    def test_gmres_singular_operator_stops_with_reason(self):
+        # rank-deficient: one zero row/column; b has a component outside range(A)
+        a = sp.diags([1.0] * 9 + [0.0]).tocsr()
+        result = gmres(a, np.ones(10), tolerance=1e-12, max_iterations=40, restart=10)
+        assert not result.converged
+        assert result.failure_reason in failures.FAILURE_REASONS
+        assert np.isfinite(result.solution).all()
+
+    def test_gmres_stagnation(self):
+        a = _spd_matrix(20, 15)
+        b = np.random.default_rng(24).normal(size=20)
+        result = gmres(a, b, tolerance=1e-30, max_iterations=5000,
+                       restart=20, stagnation_window=10)
+        assert not result.converged
+        assert result.failure_reason == failures.STAGNATION
+
+    def test_bicgstab_nan_operator(self):
+        a = np.eye(10)
+        a[0, 0] = np.nan
+        result = bicgstab(a, np.ones(10), max_iterations=30)
+        assert not result.converged
+        assert result.failure_reason in (
+            failures.NON_FINITE_OPERATOR, failures.NON_FINITE_RESIDUAL,
+            failures.RHO_BREAKDOWN)
+
+    def test_bicgstab_singular_operator_stops_with_reason(self):
+        a = sp.diags([1.0] * 9 + [0.0]).tocsr()
+        result = bicgstab(a, np.ones(10), tolerance=1e-12, max_iterations=40)
+        assert not result.converged
+        assert result.failure_reason in failures.FAILURE_REASONS
+        assert np.isfinite(result.solution).all()
+
+    def test_bicgstab_non_finite_rhs(self):
+        a = _spd_matrix(10, 16)
+        b = np.ones(10)
+        b[0] = np.inf
+        result = bicgstab(a, b)
+        assert result.failure_reason == failures.NON_FINITE_RHS
+        result = gmres(a, b)
+        assert result.failure_reason == failures.NON_FINITE_RHS
+
+
+class TestLockstepFailureParity:
+    """One poisoned column must fail with a stamped reason while the other
+    columns stay bit-identical to their single-RHS solves."""
+
+    def test_nan_rhs_column_excluded_others_bit_identical(self):
+        a = _spd_matrix(30, 17)
+        rng = np.random.default_rng(18)
+        batch = rng.normal(size=(3, 30))
+        batch[1, 7] = np.nan
+        precond = _DiagPrecond(a.diagonal())
+        results = lockstep_pcg(a, batch, preconditioner=precond, tolerance=1e-10)
+        assert results[1].failure_reason == failures.NON_FINITE_RHS
+        for j in (0, 2):
+            single = preconditioned_conjugate_gradient(
+                a, batch[j], preconditioner=_DiagPrecond(a.diagonal()),
+                tolerance=1e-10)
+            assert single.converged and results[j].converged
+            assert np.array_equal(results[j].solution, single.solution)
+            assert results[j].iterations == single.iterations
+
+    def test_poisoned_preconditioner_column_compacted_out(self):
+        from repro.faults import PoisonedPreconditioner
+
+        a = _spd_matrix(30, 19)
+        rng = np.random.default_rng(20)
+        batch = rng.normal(size=(3, 30))
+        inner = _DiagPrecond(a.diagonal())
+        poisoned = PoisonedPreconditioner(inner, columns=(1,), on_call=0)
+        results = lockstep_pcg(a, batch, preconditioner=poisoned, tolerance=1e-10)
+        assert results[1].failure_reason == failures.NON_FINITE_PRECONDITIONER
+        assert not results[1].converged
+        # the single-RHS solve with the same poison stamps the same reason
+        single_poisoned = preconditioned_conjugate_gradient(
+            a, batch[1],
+            preconditioner=PoisonedPreconditioner(
+                _DiagPrecond(a.diagonal()), columns=(0,), on_call=0),
+            tolerance=1e-10)
+        assert single_poisoned.failure_reason == failures.NON_FINITE_PRECONDITIONER
+        # clean columns: bit-identical to clean single-RHS solves
+        for j in (0, 2):
+            single = preconditioned_conjugate_gradient(
+                a, batch[j], preconditioner=_DiagPrecond(a.diagonal()),
+                tolerance=1e-10)
+            assert single.converged and results[j].converged
+            assert np.array_equal(results[j].solution, single.solution)
+            assert results[j].iterations == single.iterations
+
+    def test_lockstep_stagnation_matches_single(self):
+        a = _spd_matrix(25, 21)
+        rng = np.random.default_rng(22)
+        batch = rng.normal(size=(2, 25))
+        results = lockstep_pcg(a, batch, preconditioner=_ProjectionPrecond(25, 6),
+                               tolerance=1e-30, max_iterations=5000,
+                               stagnation_window=10)
+        for j in range(2):
+            single = preconditioned_conjugate_gradient(
+                a, batch[j], preconditioner=_ProjectionPrecond(25, 6),
+                tolerance=1e-30, max_iterations=5000, stagnation_window=10)
+            assert results[j].failure_reason == failures.STAGNATION == single.failure_reason
+            assert results[j].iterations == single.iterations
+            assert np.array_equal(results[j].solution, single.solution)
