@@ -1,32 +1,45 @@
 """Closed-loop load generator for the serve layer — the serving trajectory bench.
 
 For each (client count × batching setting) cell this harness stands up a
-fresh :class:`repro.serve.SolveService`, drives it with C closed-loop client
-threads (each thread fires its next request the moment the previous one
-returns — the classical closed-loop model), and records:
+fresh service, drives it with C closed-loop client threads (each thread
+fires its next request the moment the previous one returns — the classical
+closed-loop model), and records:
 
 * ``throughput_rps``   — completed requests over the measured wall time,
 * ``lat_ms_p50/p95/p99`` — end-to-end request latency percentiles
   (queue wait + solve, as observed by the clients),
 * ``cache_hit_rate``   — session-cache hit rate over the cell.
 
+``--workers 1`` (the default) benches the in-process
+:class:`repro.serve.SolveService` — these are the historical cells and stay
+the ``workers=1`` / ``proto="json"`` baseline.  ``--workers N`` benches the
+pre-fork :class:`repro.serve.ShardedSolveService`: N worker processes,
+sessions sharded by fingerprint, requests and results crossing the process
+boundary as zero-copy binary frames (``proto="binary"``).  ``--problems S``
+spreads the load over S problem operators (distinct seeds) so the sessions
+actually shard across processes instead of pinning to one.
+
 Batching "on" uses the service's micro-batching queue (requests coalesce
 into lockstep multi-RHS solves); "off" (``max_batch=1``) is the
 one-solve-per-request baseline.  **Correctness is asserted, not assumed**:
 every response is compared bit-for-bit against reference solutions computed
-sequentially through ``session.solve`` — micro-batching is a pure throughput
-optimisation.
+sequentially through ``session.solve`` — micro-batching, process sharding
+and the binary protocol are pure throughput optimisations.
 
 Results are written to ``BENCH_serve.json`` (schema per record: ``solver,
-n, clients, batching, max_batch, max_wait_ms, requests, throughput_rps,
-lat_ms_p50, lat_ms_p95, lat_ms_p99, cache_hit_rate, mean_batch_size``) so
-the serving trajectory accumulates across PRs, and the headline
-``batched/unbatched`` throughput speedups are printed per solver.
+n, clients, batching, max_batch, max_wait_ms, workers, proto, problems,
+cpus, requests, throughput_rps, lat_ms_p50, lat_ms_p95, lat_ms_p99,
+cache_hit_rate, mean_batch_size``) so the serving trajectory accumulates
+across PRs, and the headline ``batched/unbatched`` throughput speedups are
+printed per solver.  The recorded ``cpus`` lets the scaling gate
+(``check_perf.py --scaling-gate``) distinguish "the code doesn't scale"
+from "the machine had one core".
 
 Usage::
 
     python benchmarks/bench_serve.py            # full sweep
     python benchmarks/bench_serve.py --smoke    # CI smoke cell set
+    python benchmarks/bench_serve.py --smoke --workers 4 --problems 4
     python benchmarks/bench_serve.py --checkpoint artifacts/<hash>/checkpoint.npz
 """
 
@@ -35,6 +48,7 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import os
 import sys
 import threading
 import time
@@ -50,11 +64,18 @@ import numpy as np
 
 from repro.fem import random_poisson_problem
 from repro.mesh import mesh_for_target_size
-from repro.serve import ServeConfig, SolveService
+from repro.serve import ServeConfig, ShardConfig, ShardedSolveService, SolveService
 from repro.solvers import SolverConfig, prepare
 from repro.utils import format_table
 
 from common import SUBDOMAIN_SIZE, get_pretrained_model
+
+
+def available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
 TOLERANCE = 1e-3  # the tolerance of the paper's timing experiments (Table III)
@@ -76,21 +97,39 @@ def make_solver_config(kind: str) -> SolverConfig:
     )
 
 
-def run_cell(problem, solver_config, model, pool, references, clients: int,
-             max_batch: int, max_wait_ms: float, requests_per_client: int):
-    """One closed-loop cell; returns its record plus the parity verdict."""
-    service = SolveService(
-        ServeConfig(
-            workers=2,
-            max_batch=max_batch,
-            max_wait_ms=max_wait_ms,
-            cache_capacity=4,
-        ),
-        model=model,
+def make_service(model, max_batch: int, max_wait_ms: float, workers: int):
+    """The cell's service: in-process threads (workers=1) or a sharded pool."""
+    config = ServeConfig(
+        workers=2 if workers == 1 else 1,
+        max_batch=max_batch,
+        max_wait_ms=max_wait_ms,
+        cache_capacity=8,
     )
+    if workers == 1:
+        return SolveService(config, model=model)
+    return ShardedSolveService(
+        config, model=model,
+        shard_config=ShardConfig(workers=workers, threads_per_worker=1),
+    )
+
+
+def run_cell(workload, solver_config, model, clients: int, max_batch: int,
+             max_wait_ms: float, requests_per_client: int, workers: int):
+    """One closed-loop cell; returns its record plus the parity verdict.
+
+    ``workload`` is a flat list of ``(problem, b, reference_solution)``
+    triples, possibly spanning several problem operators — with ``workers``
+    processes, distinct operators shard onto distinct workers.
+    """
+    service = make_service(model, max_batch, max_wait_ms, workers)
     try:
-        # warm the session cache so the measured window holds no setup cost
-        service.solve(problem, pool[0], solver_config=solver_config)
+        # warm every operator's session so the measured window holds no
+        # setup cost (and, sharded, so operators are installed over shm)
+        warmed = set()
+        for problem, b, _ in workload:
+            if id(problem) not in warmed:
+                warmed.add(id(problem))
+                service.solve(problem, b=b, solver_config=solver_config)
 
         mismatches = []
         latencies_ms = []
@@ -102,11 +141,11 @@ def run_cell(problem, solver_config, model, pool, references, clients: int,
             try:
                 barrier.wait()
                 for i in range(requests_per_client):
-                    index = (tid * 7 + i) % len(pool)
+                    problem, b, reference = workload[(tid * 7 + i) % len(workload)]
                     t0 = time.perf_counter()
-                    result = service.solve(problem, pool[index], solver_config=solver_config)
+                    result = service.solve(problem, b=b, solver_config=solver_config)
                     local_latencies.append((time.perf_counter() - t0) * 1e3)
-                    if not np.array_equal(result.solution, references[index]):
+                    if not np.array_equal(result.solution, reference):
                         mismatches.append((tid, i))
             except Exception as error:  # noqa: BLE001 - recorded, fails the bench
                 mismatches.append((tid, repr(error)))
@@ -132,17 +171,21 @@ def run_cell(problem, solver_config, model, pool, references, clients: int,
 
         record = {
             "solver": solver_config.preconditioner,
-            "n": int(problem.num_dofs),
+            "n": int(workload[0][0].num_dofs),
             "clients": clients,
             "batching": max_batch > 1,
             "max_batch": max_batch,
             "max_wait_ms": max_wait_ms,
+            "workers": workers,
+            "proto": "json" if workers == 1 else "binary",
+            "problems": len(warmed),
+            "cpus": available_cpus(),
             "requests": total_requests,
             "throughput_rps": round(total_requests / elapsed, 2),
             "lat_ms_p50": round(percentile(50.0), 3),
             "lat_ms_p95": round(percentile(95.0), 3),
             "lat_ms_p99": round(percentile(99.0), 3),
-            "cache_hit_rate": round(stats["cache"]["hit_rate"], 4),
+            "cache_hit_rate": round(stats["cache"]["hit_rate"] or 0.0, 4),
             "mean_batch_size": round(stats["mean_batch_size"] or 1.0, 2),
         }
         return record, mismatches
@@ -162,6 +205,13 @@ def main(argv=None) -> int:
                         help="micro-batch bound of the batched cells (default 8)")
     parser.add_argument("--max-wait-ms", type=float, default=2.0,
                         help="micro-batch coalescing window (default 2ms)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes: 1 = in-process SolveService "
+                             "(the JSON-path baseline), N > 1 = sharded pool "
+                             "over the binary protocol (default 1)")
+    parser.add_argument("--problems", type=int, default=None,
+                        help="distinct problem operators to spread load over "
+                             "(default: 1 in-process, max(4, workers) sharded)")
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
                         help=f"where to write the JSON records (default: {DEFAULT_OUTPUT})")
     parser.add_argument("--checkpoint", type=Path, default=None,
@@ -172,14 +222,28 @@ def main(argv=None) -> int:
                         help="never include the ddm-gnn serving cell")
     args = parser.parse_args(argv)
 
+    if args.workers < 1:
+        parser.error("--workers must be >= 1")
     target_n = args.target_n or (SMOKE_TARGET_N if args.smoke else 2000)
     requests_per_client = args.requests_per_client or (25 if args.smoke else 40)
     client_counts = (1, 8, 16) if args.smoke else (1, 4, 8, 16)
+    num_problems = args.problems or (1 if args.workers == 1 else max(4, args.workers))
 
+    # problem 0 reproduces the historical single-problem bench exactly (same
+    # rng stream), so workers=1/problems=1 records stay comparable across PRs
     rng = np.random.default_rng(1)
     mesh = mesh_for_target_size(target_n, element_size=0.07, rng=rng)
-    problem = random_poisson_problem(mesh, rng=rng)
-    pool = [rng.normal(size=problem.num_dofs) for _ in range(RHS_POOL)]
+    problems = [random_poisson_problem(mesh, rng=rng)]
+    pool_size = max(4, RHS_POOL // num_problems)
+    pools = [[rng.normal(size=problems[0].num_dofs) for _ in range(
+        RHS_POOL if num_problems == 1 else pool_size)]]
+    for seed in range(1, num_problems):
+        extra_rng = np.random.default_rng(1000 + seed)
+        extra_mesh = mesh_for_target_size(target_n, element_size=0.07, rng=extra_rng)
+        extra = random_poisson_problem(extra_mesh, rng=extra_rng)
+        problems.append(extra)
+        pools.append([extra_rng.normal(size=extra.num_dofs)
+                      for _ in range(pool_size)])
 
     solvers = list(SWEEP_SOLVERS)
     model = None
@@ -192,9 +256,12 @@ def main(argv=None) -> int:
         except Exception as error:  # noqa: BLE001 - GNN cell is optional
             print(f"note: skipping ddm-gnn serving cell ({type(error).__name__}: {error})")
 
-    print(f"serve bench: n={problem.num_dofs}, tolerance={TOLERANCE:g}, "
-          f"{RHS_POOL} pooled RHS, {requests_per_client} requests/client, "
-          f"clients {client_counts}")
+    print(f"serve bench: n={problems[0].num_dofs}, tolerance={TOLERANCE:g}, "
+          f"{num_problems} problem(s) x {len(pools[0])} pooled RHS, "
+          f"{requests_per_client} requests/client, clients {client_counts}, "
+          f"workers={args.workers} "
+          f"({'in-process/json' if args.workers == 1 else 'sharded/binary'}, "
+          f"{available_cpus()} cpu(s))")
 
     all_records = []
     speedups = {}
@@ -207,20 +274,23 @@ def main(argv=None) -> int:
         # share one forward pass, so reduced-load special-casing is gone
         cell_clients = client_counts
         cell_requests = requests_per_client
-        cell_pool = pool
-        # bit-parity references: sequential solves on a standalone session
-        reference_session = prepare(problem, solver_config, model=cell_model)
-        references = [reference_session.solve(b).solution for b in cell_pool]
+        # bit-parity references: sequential solves on standalone sessions
+        workload = []
+        for problem, pool in zip(problems, pools):
+            reference_session = prepare(problem, solver_config, model=cell_model)
+            workload.extend(
+                (problem, b, reference_session.solve(b).solution) for b in pool)
 
         by_cell = {}
         for clients in cell_clients:
             for batched in (False, True):
                 max_batch = args.max_batch if batched else 1
                 record, mismatches = run_cell(
-                    problem, solver_config, cell_model, cell_pool, references,
+                    workload, solver_config, cell_model,
                     clients=clients, max_batch=max_batch,
                     max_wait_ms=args.max_wait_ms if batched else 0.0,
                     requests_per_client=cell_requests,
+                    workers=args.workers,
                 )
                 if mismatches:
                     parity_failures += len(mismatches)
@@ -253,9 +323,14 @@ def main(argv=None) -> int:
         "bench": "bench_serve",
         "smoke": bool(args.smoke),
         "tolerance": TOLERANCE,
-        "n": int(problem.num_dofs),
+        "n": int(problems[0].num_dofs),
+        "workers": args.workers,
+        "proto": "json" if args.workers == 1 else "binary",
+        "problems": num_problems,
+        "cpus": available_cpus(),
         "checkpoint": str(args.checkpoint) if args.checkpoint else None,
         "schema": ["solver", "n", "clients", "batching", "max_batch", "max_wait_ms",
+                   "workers", "proto", "problems", "cpus",
                    "requests", "throughput_rps", "lat_ms_p50", "lat_ms_p95",
                    "lat_ms_p99", "cache_hit_rate", "mean_batch_size",
                    "bitwise_identical"],

@@ -62,7 +62,7 @@ from . import (
     utils,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "nn",

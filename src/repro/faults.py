@@ -64,6 +64,7 @@ __all__ = [
     "available_faults",
     "fault_spec",
     "inject",
+    "install_from_specs",
     "PoisonedPreconditioner",
 ]
 
@@ -186,6 +187,31 @@ def inject(name: str, **kwargs) -> Iterator[Fault]:
         yield fault
     finally:
         fault.deactivate()
+
+
+def install_from_specs(
+    specs: Sequence[Tuple[str, Dict[str, object]]]
+) -> List[Fault]:
+    """Activate a list of ``(name, kwargs)`` fault specs; returns the faults.
+
+    The cross-process entry point of the chaos harness: fault objects patch
+    class attributes and therefore cannot travel through a fork/pickle
+    boundary as live state, but their *specs* are plain data.  A sharded
+    worker (:mod:`repro.serve.shard`) receives the parent's specs in its
+    bootstrap payload and re-installs them locally before serving, so chaos
+    tests exercise the same deterministic faults inside every worker
+    process.  On any activation failure the already-installed faults are
+    rolled back before the error propagates (no partial chaos).
+    """
+    installed: List[Fault] = []
+    try:
+        for name, kwargs in specs:
+            installed.append(fault_spec(name).factory(**dict(kwargs)).activate())
+    except BaseException:
+        for fault in reversed(installed):
+            fault.deactivate()
+        raise
+    return installed
 
 
 # --------------------------------------------------------------------------- #

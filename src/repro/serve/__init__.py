@@ -11,20 +11,32 @@ Components:
 * :class:`~repro.serve.service.SolveService` /
   :class:`~repro.serve.service.ServeConfig` — the service itself: session
   cache, micro-batching queue, pinned worker pool, metrics.
+* :class:`~repro.serve.shard.ShardedSolveService` /
+  :class:`~repro.serve.shard.ShardConfig` — the same surface over a
+  pre-fork *process* pool: sessions shard by fingerprint via consistent
+  hashing, checkpoint weights and installed operators live once in shared
+  memory, a supervisor restarts dead workers
+  (:class:`~repro.serve.errors.WorkerCrashed` types their in-flight
+  failures).
+* :mod:`repro.serve.proto` — the length-prefixed binary frame format (JSON
+  header + raw aligned array blocks) used by the binary ``/solve`` path and
+  the parent↔worker pipes; zero-copy on decode, bitwise-exact.
 * :class:`~repro.serve.cache.SessionCache` — fingerprint-keyed LRU of
   prepared sessions.
 * :class:`~repro.serve.metrics.ServeMetrics` /
   :class:`~repro.serve.metrics.LatencyHistogram` — p50/p95/p99 latency,
   throughput, cache hit-rate.
-* :class:`~repro.serve.http.ServeHTTPServer` — stdlib JSON-over-HTTP front
-  end (``python -m repro.serve``); :class:`~repro.serve.client.ServeClient`
-  is the matching client.
+* :class:`~repro.serve.http.ServeHTTPServer` — stdlib HTTP front end
+  (``python -m repro.serve``), JSON debug path + binary frame path;
+  :class:`~repro.serve.client.ServeClient` is the matching client
+  (``solve`` / ``solve_binary``).
 * :mod:`repro.serve.problems` — deterministic problem-spec resolution for
   HTTP requests.
 * :mod:`repro.serve.errors` — typed failures with stable codes
   (:class:`~repro.serve.errors.InvalidRequest`,
   :class:`~repro.serve.errors.ServiceOverloaded`,
-  :class:`~repro.serve.errors.DeadlineExceeded`);
+  :class:`~repro.serve.errors.DeadlineExceeded`,
+  :class:`~repro.serve.errors.WorkerCrashed`);
   :class:`~repro.serve.breaker.CircuitBreaker` guards each primary session
   key and reroutes onto fallback rungs while the primary is down.
 
@@ -40,15 +52,26 @@ Quickstart::
 from .breaker import CircuitBreaker
 from .cache import SessionCache
 from .client import ServeClient, ServeClientError
-from .errors import DeadlineExceeded, InvalidRequest, ServeError, ServiceOverloaded
+from .errors import (
+    DeadlineExceeded,
+    InvalidRequest,
+    ServeError,
+    ServiceOverloaded,
+    WorkerCrashed,
+    error_from_code,
+)
 from .http import ServeHTTPServer
 from .metrics import LatencyHistogram, ServeMetrics
 from .problems import ProblemCache, build_problem_from_spec
+from .proto import CONTENT_TYPE, Frame, decode_frame, encode_frame
 from .service import ServeConfig, SolveService
+from .shard import ShardConfig, ShardedSolveService
 
 __all__ = [
     "SolveService",
     "ServeConfig",
+    "ShardedSolveService",
+    "ShardConfig",
     "SessionCache",
     "ProblemCache",
     "build_problem_from_spec",
@@ -61,5 +84,11 @@ __all__ = [
     "InvalidRequest",
     "ServiceOverloaded",
     "DeadlineExceeded",
+    "WorkerCrashed",
+    "error_from_code",
     "CircuitBreaker",
+    "Frame",
+    "encode_frame",
+    "decode_frame",
+    "CONTENT_TYPE",
 ]

@@ -1,10 +1,18 @@
 """Command-line entry point: ``python -m repro.serve``.
 
-Starts the JSON-over-HTTP solve server::
+Starts the solve server (JSON + zero-copy binary frames on ``POST /solve``)::
 
     python -m repro.serve --port 8780
+    python -m repro.serve --workers 4            # 4 sharded worker processes
+    python -m repro.serve --workers 2 --threads-per-worker 2
+    python -m repro.serve --in-process --workers 2   # PR-5 thread pool instead
     python -m repro.serve --checkpoint benchmarks/artifacts/<hash>/checkpoint.npz \\
         --preconditioner ddm-gnn --max-batch 8 --max-wait-ms 2
+
+``--workers N`` forks N worker *processes* sharing one shared-memory copy of
+the checkpoint weights; sessions shard across them by fingerprint.
+``--in-process`` keeps everything in one process with N worker *threads*
+(the PR-5 behaviour — handy under debuggers and on platforms without fork).
 
 Then, from any HTTP client::
 
@@ -12,6 +20,8 @@ Then, from any HTTP client::
     curl -s -X POST localhost:8780/solve -H 'Content-Type: application/json' \\
         -d '{"problem": {"family": "poisson", "target_n": 400}}'
     curl -s localhost:8780/stats
+
+Binary clients use :meth:`repro.serve.client.ServeClient.solve_binary`.
 """
 
 from __future__ import annotations
@@ -22,6 +32,7 @@ import sys
 from ..solvers.config import SolverConfig
 from .http import ServeHTTPServer
 from .service import ServeConfig, SolveService
+from .shard import ShardConfig, ShardedSolveService
 
 
 def main(argv=None) -> int:
@@ -39,7 +50,18 @@ def main(argv=None) -> int:
                         help="default relative-residual tolerance (default 1e-6)")
     parser.add_argument("--subdomain-size", type=int, default=110,
                         help="default target sub-domain size (default 110)")
-    parser.add_argument("--workers", type=int, default=2, help="worker threads (default 2)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker processes (threads with --in-process; default 2)")
+    parser.add_argument("--in-process", action="store_true",
+                        help="single process, --workers threads (the PR-5 pool) "
+                             "instead of sharded worker processes")
+    parser.add_argument("--threads-per-worker", type=int, default=1,
+                        help="serving threads inside each worker process (default 1)")
+    parser.add_argument("--start-method", default=None, choices=("fork", "spawn"),
+                        help="multiprocessing start method (default: fork when available)")
+    parser.add_argument("--max-restarts", type=int, default=3,
+                        help="restart budget per worker slot before the shard "
+                             "is marked dead (default 3)")
     parser.add_argument("--max-batch", type=int, default=8,
                         help="micro-batch size bound (1 disables batching; default 8)")
     parser.add_argument("--max-wait-ms", type=float, default=2.0,
@@ -65,30 +87,56 @@ def main(argv=None) -> int:
         model = load_model(args.checkpoint)
         print(f"loaded model from {args.checkpoint}")
 
-    service = SolveService(
-        ServeConfig(
-            workers=args.workers,
-            max_batch=args.max_batch,
-            max_wait_ms=args.max_wait_ms,
-            cache_capacity=args.cache_capacity,
-            max_queue=args.max_queue,
-            default_deadline_ms=args.deadline_ms,
-        ),
-        model=model,
-        default_solver_config=SolverConfig(
-            preconditioner=args.preconditioner,
-            tolerance=args.tolerance,
-            subdomain_size=args.subdomain_size,
-            checkpoint=args.checkpoint if args.preconditioner == "ddm-gnn" else None,
-            fallback=args.fallback or [],
-        ),
+    solver_config = SolverConfig(
+        preconditioner=args.preconditioner,
+        tolerance=args.tolerance,
+        subdomain_size=args.subdomain_size,
+        checkpoint=args.checkpoint if args.preconditioner == "ddm-gnn" else None,
+        fallback=args.fallback or [],
     )
+    if args.in_process:
+        service = SolveService(
+            ServeConfig(
+                workers=args.workers,
+                max_batch=args.max_batch,
+                max_wait_ms=args.max_wait_ms,
+                cache_capacity=args.cache_capacity,
+                max_queue=args.max_queue,
+                default_deadline_ms=args.deadline_ms,
+            ),
+            model=model,
+            default_solver_config=solver_config,
+        )
+        pool = f"threads={args.workers}"
+    else:
+        service = ShardedSolveService(
+            ServeConfig(
+                workers=args.threads_per_worker,
+                max_batch=args.max_batch,
+                max_wait_ms=args.max_wait_ms,
+                cache_capacity=args.cache_capacity,
+                max_queue=args.max_queue,
+                default_deadline_ms=args.deadline_ms,
+            ),
+            model=model,
+            default_solver_config=solver_config,
+            shard_config=ShardConfig(
+                workers=args.workers,
+                threads_per_worker=args.threads_per_worker,
+                start_method=args.start_method,
+                max_restarts=args.max_restarts,
+            ),
+        )
+        pool = (f"processes={args.workers}"
+                f"×{args.threads_per_worker} thread(s), "
+                f"pids={service.pids()}")
     server = ServeHTTPServer(service, host=args.host, port=args.port, debug=args.debug)
     host, port = server.address
     print(f"repro.serve listening on http://{host}:{port} "
-          f"(workers={args.workers}, max_batch={args.max_batch}, "
+          f"({pool}, max_batch={args.max_batch}, "
           f"max_wait_ms={args.max_wait_ms:g})")
-    print("endpoints: POST /solve, GET /healthz, GET /stats — Ctrl-C to stop")
+    print("endpoints: POST /solve (JSON or application/x-repro-frame), "
+          "GET /healthz, GET /stats — Ctrl-C to stop")
     try:
         server.serve_forever()
     except KeyboardInterrupt:

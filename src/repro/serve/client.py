@@ -10,6 +10,10 @@ Mirrors the three endpoints of :mod:`repro.serve.http`::
     solution = response["solution"]           # list of floats
     client.stats()["latency_ms"]["total"]     # SLO percentiles
 
+    # the zero-copy binary path: numpy in, numpy out, bitwise-exact
+    response = client.solve_binary(problem={"family": "poisson"}, b=rhs)
+    response["solution"]                      # np.ndarray (f64)
+
 Retry policy: solve requests are idempotent (same problem/config/b → same
 deterministic answer), so the client transparently retries *retryable*
 failures — 503 overload responses and connection-level errors — with
@@ -121,11 +125,39 @@ class ServeClient:
             raise ServeClientError(200, str(detail))
         return body
 
-    def _request(self, path: str, payload: Optional[Dict] = None) -> Dict:
+    def _request_frame_once(self, path: str, frame_bytes: bytes) -> bytes:
+        """POST one binary frame; returns the raw response frame bytes.
+
+        Error responses are JSON regardless of the request encoding (the
+        server's contract), so failures parse into the same
+        :class:`ServeClientError` as the JSON path.
+        """
+        from .proto import CONTENT_TYPE
+
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=frame_bytes,
+            headers={"Content-Type": CONTENT_TYPE, "Accept": CONTENT_TYPE},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.read()
+        except urllib.error.HTTPError as error:
+            message, code = _parse_error_payload(error.read())
+            retry_after = error.headers.get("Retry-After")
+            try:
+                retry_after_s = float(retry_after) if retry_after else None
+            except ValueError:
+                retry_after_s = None
+            raise ServeClientError(error.code, message or str(error.reason),
+                                   code=code, retry_after_s=retry_after_s) from None
+
+    def _with_retries(self, attempt_fn):
+        """The shared retry loop: 503 + connection errors, capped backoff."""
         attempt = 0
         while True:
             try:
-                return self._request_once(path, payload)
+                return attempt_fn()
             except ServeClientError as error:
                 if error.status not in _RETRYABLE_STATUSES or attempt >= self.retries:
                     raise
@@ -139,6 +171,9 @@ class ServeClient:
             backoff += self._jitter.uniform(0.0, self.backoff_s)
             time.sleep(max(delay or 0.0, backoff))
             attempt += 1
+
+    def _request(self, path: str, payload: Optional[Dict] = None) -> Dict:
+        return self._with_retries(lambda: self._request_once(path, payload))
 
     # ------------------------------------------------------------------ #
     def healthz(self) -> Dict:
@@ -168,3 +203,48 @@ class ServeClient:
         if deadline_ms is not None:
             payload["deadline_ms"] = float(deadline_ms)
         return self._request("/solve", payload)
+
+    def solve_binary(
+        self,
+        problem: Optional[Dict] = None,
+        b=None,
+        x0=None,
+        config: Optional[Dict] = None,
+        deadline_ms: Optional[float] = None,
+    ) -> Dict:
+        """POST one solve as a binary frame; floats never transit as text.
+
+        ``b`` may be a 1-D right-hand side or a 2-D ``(n, k)`` block whose
+        columns fan out into ``k`` concurrent solves server-side (they
+        coalesce in the service's micro-batching queue).  Returns the JSON
+        response shape with ``solution`` (and per-column lists for blocks)
+        as numpy arrays decoded zero-copy from the response frame —
+        bitwise identical to the server's solve output.  Retry semantics
+        match :meth:`solve`.
+        """
+        import numpy as np
+
+        from .proto import decode_frame, encode_frame
+
+        meta: Dict = {"problem": problem, "config": config,
+                      "deadline_ms": float(deadline_ms) if deadline_ms is not None else None}
+        arrays: Dict = {}
+        if b is not None:
+            b = np.asarray(b, dtype=np.float64)
+            if b.ndim == 2:
+                arrays["B"] = b
+            else:
+                arrays["b"] = b
+        if x0 is not None:
+            arrays["x0"] = np.asarray(x0, dtype=np.float64)
+        frame_bytes = encode_frame("solve", meta, arrays)
+        raw = self._with_retries(
+            lambda: self._request_frame_once("/solve", frame_bytes)
+        )
+        frame = decode_frame(raw)
+        response: Dict = dict(frame.meta)
+        response["solution"] = frame.arrays["solution"]
+        response["final_relative_residual"] = frame.arrays["final_relative_residual"]
+        if "residual_history" in frame.arrays:
+            response["residual_history"] = frame.arrays["residual_history"]
+        return response

@@ -14,6 +14,17 @@ True
 0.25
 >>> issubclass(DeadlineExceeded, TimeoutError)
 True
+
+Errors also cross the process boundary of the sharded service: a worker
+serialises ``(code, message, status, retry_after_s)`` into an error frame and
+the parent rehydrates the matching type with :func:`error_from_code`, so a
+caller sees the same exception class whether the solve ran in-process or in
+a worker process.
+
+>>> type(error_from_code("deadline_exceeded", "too slow")).__name__
+'DeadlineExceeded'
+>>> error_from_code("unknown-code", "boom").code
+'internal'
 """
 
 from __future__ import annotations
@@ -25,6 +36,8 @@ __all__ = [
     "InvalidRequest",
     "ServiceOverloaded",
     "DeadlineExceeded",
+    "WorkerCrashed",
+    "error_from_code",
 ]
 
 
@@ -73,3 +86,39 @@ class DeadlineExceeded(ServeError, TimeoutError):
 
     code = "deadline_exceeded"
     http_status = 504
+
+
+class WorkerCrashed(ServeError, RuntimeError):
+    """A worker process died with the request in flight (HTTP 503).
+
+    Raised through the future by the sharded-service supervisor when a
+    worker's pipe breaks or its process exits: in-flight work on a dead
+    shard fails fast and typed while the supervisor restarts the worker.
+    The request is safe to retry (solves are idempotent), so the HTTP layer
+    maps it to a retryable 503.
+    """
+
+    code = "worker_crashed"
+    http_status = 503
+
+
+#: serialisable error codes → exception types (the cross-process registry)
+_ERRORS_BY_CODE = {
+    cls.code: cls
+    for cls in (InvalidRequest, ServiceOverloaded, DeadlineExceeded, WorkerCrashed)
+}
+
+
+def error_from_code(code: str, message: str,
+                    retry_after_s: Optional[float] = None) -> ServeError:
+    """Rehydrate the typed error a serialised ``code`` names.
+
+    Unknown codes (a newer worker talking to an older parent) degrade to the
+    base :class:`ServeError` — still typed, still mapped to HTTP 500 —
+    rather than raising a second error during error handling.
+    """
+    cls = _ERRORS_BY_CODE.get(code, ServeError)
+    error = cls(message, retry_after_s=retry_after_s)
+    if cls is ServeError and code:
+        error.code = "internal"
+    return error

@@ -1,18 +1,32 @@
-"""Stdlib JSON-over-HTTP front end for :class:`~repro.serve.service.SolveService`.
+"""Stdlib HTTP front end for :class:`~repro.serve.service.SolveService`.
 
 Endpoints:
 
-``POST /solve``
+``POST /solve`` (JSON — the debug path)
     Body: ``{"problem": {spec}|null, "config": {SolverConfig fields}|null,
     "b": [floats]|null, "x0": [floats]|null, "deadline_ms": float|null}``.
     The problem spec is resolved server-side (see
     :mod:`repro.serve.problems`); ``b`` defaults to the problem's assembled
     right-hand side.  Response carries the solution, the convergence summary
     and the serving metadata (queue time, batch size, worker, degradation).
+``POST /solve`` (binary — ``Content-Type: application/x-repro-frame``)
+    Body: one :mod:`repro.serve.proto` frame of kind ``"solve"`` —
+    ``meta`` holds ``problem``/``config``/``deadline_ms`` and the arrays
+    block holds ``b`` (one right-hand side) *or* ``B`` (an ``(n, k)``
+    multi-column block that fans out into ``k`` concurrent submissions and
+    coalesces in the service's micro-batching queue), plus optional ``x0``.
+    The response is a ``"result"`` frame: raw f64 ``solution`` (``(n,)`` or
+    ``(n, k)``), ``final_relative_residual`` and ``residual_history`` (for
+    ``k == 1``) blocks, convergence lists in the header.  No float ever
+    transits as text, and solutions are **bitwise** identical to the JSON
+    path's parsed values.  Errors still answer as JSON with the structured
+    contract below — a client that can't parse a frame can always parse the
+    failure.
 ``GET /healthz``
-    Liveness + failure-domain view: worker threads, queue depths, circuit
-    breaker states.  ``status`` is ``"ok"``, ``"degraded"`` (a breaker is
-    open, fallback rungs serving) or ``"unhealthy"`` (a worker died).
+    Liveness + failure-domain view: worker threads/processes, queue depths,
+    circuit breaker states.  ``status`` is ``"ok"``, ``"degraded"`` (a
+    breaker is open, fallback rungs serving, a worker was restarted) or
+    ``"unhealthy"`` (a worker died for good).
 ``GET /stats``
     The service's full :meth:`~repro.serve.service.SolveService.stats` payload.
 
@@ -40,7 +54,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from .errors import ServeError
+from . import proto
+from .errors import InvalidRequest, ServeError
 from .service import SolveService
 
 __all__ = ["ServeHTTPServer"]
@@ -128,6 +143,31 @@ class _Handler(BaseHTTPRequestHandler):
         if self.path != "/solve":
             self._send_error_json("not_found", f"unknown path {self.path!r}", 404)
             return
+        content_type = (self.headers.get("Content-Type") or "").split(";")[0].strip()
+        if content_type == proto.CONTENT_TYPE:
+            self._solve_binary()
+        else:
+            self._solve_json()
+
+    @staticmethod
+    def _serve_info(result) -> dict:
+        return {
+            "queue_s": result.info.get("queue_s"),
+            "batch_size": result.info.get("batch_size"),
+            "worker": result.info.get("worker"),
+            "shard": result.info.get("shard"),
+            "setup_s": result.info.get("setup_s"),
+            "preconditioner": result.info.get("preconditioner_kind"),
+            "krylov": result.info.get("krylov"),
+            "degraded": bool(result.info.get("degraded", False)),
+            "rung": result.info.get("rung"),
+            "failure_reason": result.info.get("failure_reason"),
+            "primary_failure": result.info.get("primary_failure"),
+            "breaker_rerouted": bool(result.info.get("breaker_rerouted", False)),
+        }
+
+    def _solve_json(self) -> None:
+        """The JSON debug path: floats as text, one right-hand side."""
         try:
             payload = self._read_json()
             b = payload.get("b")
@@ -135,6 +175,7 @@ class _Handler(BaseHTTPRequestHandler):
             deadline_ms = payload.get("deadline_ms")
             if deadline_ms is not None:
                 deadline_ms = float(deadline_ms)
+            self.service.metrics.observe_proto("json")
             result = self.service.solve(
                 payload.get("problem"),
                 b=np.asarray(b, dtype=np.float64) if b is not None else None,
@@ -151,24 +192,100 @@ class _Handler(BaseHTTPRequestHandler):
             "iterations": int(result.iterations),
             "final_relative_residual": float(result.final_relative_residual),
             "elapsed_s": float(result.elapsed_time),
-            "serve": {
-                "queue_s": result.info.get("queue_s"),
-                "batch_size": result.info.get("batch_size"),
-                "worker": result.info.get("worker"),
-                "setup_s": result.info.get("setup_s"),
-                "preconditioner": result.info.get("preconditioner_kind"),
-                "krylov": result.info.get("krylov"),
-                "degraded": bool(result.info.get("degraded", False)),
-                "rung": result.info.get("rung"),
-                "failure_reason": result.info.get("failure_reason"),
-                "primary_failure": result.info.get("primary_failure"),
-                "breaker_rerouted": bool(result.info.get("breaker_rerouted", False)),
-            },
+            "serve": self._serve_info(result),
         })
+
+    def _read_frame(self) -> "proto.Frame":
+        length = int(self.headers.get("Content-Length", 0))
+        if length <= 0:
+            raise InvalidRequest("binary request needs a non-empty body")
+        return proto.decode_frame(self.rfile.read(length))
+
+    def _send_frame(self, frame_bytes: bytes) -> None:
+        self.send_response(200)
+        self.send_header("Content-Type", proto.CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(frame_bytes)))
+        self.end_headers()
+        self.wfile.write(frame_bytes)
+
+    def _solve_binary(self) -> None:
+        """The zero-copy path: raw f64 blocks both ways, errors stay JSON."""
+        try:
+            frame = self._read_frame()
+            if frame.kind != "solve":
+                raise InvalidRequest(
+                    f"expected a 'solve' frame, got {frame.kind!r}"
+                )
+            meta = frame.meta
+            deadline_ms = meta.get("deadline_ms")
+            if deadline_ms is not None:
+                deadline_ms = float(deadline_ms)
+            b = frame.arrays.get("b")
+            block = frame.arrays.get("B")
+            x0 = frame.arrays.get("x0")
+            if block is not None:
+                if b is not None:
+                    raise InvalidRequest("send either 'b' or 'B', not both")
+                if block.ndim != 2 or block.shape[1] < 1:
+                    raise InvalidRequest(
+                        f"'B' must be a 2-D (n, k) block, got shape {block.shape}"
+                    )
+                if x0 is not None:
+                    raise InvalidRequest(
+                        "'x0' applies to single-column requests only"
+                    )
+                columns = [np.ascontiguousarray(block[:, j], dtype=np.float64)
+                           for j in range(block.shape[1])]
+            else:
+                columns = [b]
+            for _ in columns:
+                self.service.metrics.observe_proto("binary")
+            # fan the columns out concurrently: same-session columns coalesce
+            # in the micro-batching queue exactly like concurrent clients do
+            futures = [
+                self.service.submit(
+                    meta.get("problem"),
+                    b=column,
+                    x0=x0,
+                    solver_config=meta.get("config"),
+                    deadline_ms=deadline_ms,
+                )
+                for column in columns
+            ]
+            results = [future.result() for future in futures]
+        except BaseException as error:  # noqa: BLE001 - mapped to JSON errors
+            self._send_exception(error)
+            return
+        arrays = {
+            "final_relative_residual": np.asarray(
+                [r.final_relative_residual for r in results], dtype=np.float64
+            ),
+        }
+        if block is not None:
+            arrays["solution"] = np.stack(
+                [r.solution for r in results], axis=1
+            )
+        else:
+            arrays["solution"] = results[0].solution
+            arrays["residual_history"] = np.asarray(
+                results[0].residual_history, dtype=np.float64
+            )
+        self._send_frame(proto.encode_frame("result", {
+            "k": len(results),
+            "converged": [bool(r.converged) for r in results],
+            "iterations": [int(r.iterations) for r in results],
+            "elapsed_s": [float(r.elapsed_time) for r in results],
+            "serve": [self._serve_info(r) for r in results],
+        }, arrays))
 
 
 class ServeHTTPServer:
     """A :class:`SolveService` behind a threading HTTP server.
+
+    ``service`` is duck-typed: the single-process
+    :class:`~repro.serve.service.SolveService` and the multi-process
+    :class:`~repro.serve.shard.ShardedSolveService` both fit (``solve``,
+    ``submit``, ``health``, ``stats``, ``metrics``).
 
     ``port=0`` binds an ephemeral port (the bound address is available as
     :attr:`address` after construction) — used by the tests.  ``debug=True``

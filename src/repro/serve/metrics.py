@@ -113,6 +113,9 @@ class ServeMetrics:
         self._degraded = 0
         self._shed = 0
         self._deadline_timeouts = 0
+        self._proto: Dict[str, int] = {"json": 0, "binary": 0}
+        self._worker_restarts = 0
+        self._worker_crashes = 0
         self._started = time.perf_counter()
         self._started_wall = time.time()
 
@@ -150,6 +153,21 @@ class ServeMetrics:
         with self._lock:
             self._deadline_timeouts += 1
 
+    def observe_proto(self, proto: str) -> None:
+        """Count one request by wire encoding (``"json"`` or ``"binary"``)."""
+        with self._lock:
+            self._proto[proto] = self._proto.get(proto, 0) + 1
+
+    def observe_worker_crash(self) -> None:
+        """A worker process died with requests potentially in flight."""
+        with self._lock:
+            self._worker_crashes += 1
+
+    def observe_worker_restart(self) -> None:
+        """The supervisor respawned a dead worker process."""
+        with self._lock:
+            self._worker_restarts += 1
+
     # ------------------------------------------------------------------ #
     @property
     def requests(self) -> int:
@@ -166,6 +184,9 @@ class ServeMetrics:
             degraded = self._degraded
             shed = self._shed
             deadline_timeouts = self._deadline_timeouts
+            proto = dict(self._proto)
+            worker_restarts = self._worker_restarts
+            worker_crashes = self._worker_crashes
         elapsed = max(time.perf_counter() - self._started, 1e-9)
         return {
             "uptime_s": elapsed,
@@ -175,6 +196,9 @@ class ServeMetrics:
             "degraded": degraded,
             "shed": shed,
             "deadline_timeouts": deadline_timeouts,
+            "proto": proto,
+            "worker_restarts": worker_restarts,
+            "worker_crashes": worker_crashes,
             "throughput_rps": requests / elapsed,
             "batches": batches,
             "mean_batch_size": (batched / batches) if batches else None,

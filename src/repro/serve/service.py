@@ -83,7 +83,31 @@ from .errors import DeadlineExceeded, InvalidRequest, ServiceOverloaded
 from .metrics import ServeMetrics
 from .problems import ProblemCache
 
-__all__ = ["ServeConfig", "SolveService"]
+__all__ = ["ServeConfig", "SolveService", "validate_vector"]
+
+
+def validate_vector(
+    name: str, vector: Optional[np.ndarray], num_dofs: int
+) -> Optional[np.ndarray]:
+    """Boundary validation shared by the in-process and sharded services.
+
+    Checks shape, dtype coercibility and finiteness, raising
+    :class:`~repro.serve.errors.InvalidRequest` so malformed input never
+    reaches a worker (thread or process).
+    """
+    if vector is None:
+        return None
+    try:
+        vector = np.asarray(vector, dtype=np.float64)
+    except (TypeError, ValueError) as error:
+        raise InvalidRequest(f"{name} must be a numeric vector: {error}") from error
+    if vector.shape != (num_dofs,):
+        raise InvalidRequest(
+            f"{name} must have shape ({num_dofs},), got {vector.shape}"
+        )
+    if not np.isfinite(vector).all():
+        raise InvalidRequest(f"{name} contains non-finite entries")
+    return vector
 
 
 @dataclass
@@ -158,6 +182,34 @@ class ServeConfig:
             raise ValueError("breaker_reset_s must be >= 0")
         if self.shed_retry_after_s < 0:
             raise ValueError("shed_retry_after_s must be >= 0")
+
+    def to_dict(self) -> Dict:
+        """Plain-dict form (JSON-serialisable) — ships to worker processes.
+
+        >>> ServeConfig(max_batch=4).to_dict()["max_batch"]
+        4
+        """
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ServeConfig":
+        """Rebuild from :meth:`to_dict` output, rejecting unknown fields.
+
+        >>> ServeConfig.from_dict({"workers": 3}).workers
+        3
+        >>> try:
+        ...     ServeConfig.from_dict({"worker": 3})
+        ... except ValueError as error:
+        ...     print(str(error).split(" (")[0])
+        unknown serve-config fields: ['worker']
+        """
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown serve-config fields: {unknown} (known: {sorted(known)})"
+            )
+        return cls(**data)
 
 
 class _Request:
@@ -431,21 +483,7 @@ class SolveService:
         self, name: str, vector: Optional[np.ndarray], num_dofs: int
     ) -> Optional[np.ndarray]:
         """Boundary validation: shape, dtype and finiteness, as InvalidRequest."""
-        if vector is None:
-            return None
-        try:
-            vector = np.asarray(vector, dtype=np.float64)
-        except (TypeError, ValueError) as error:
-            raise InvalidRequest(
-                f"{name} must be a numeric vector: {error}"
-            ) from error
-        if vector.shape != (num_dofs,):
-            raise InvalidRequest(
-                f"{name} must have shape ({num_dofs},), got {vector.shape}"
-            )
-        if not np.isfinite(vector).all():
-            raise InvalidRequest(f"{name} contains non-finite entries")
-        return vector
+        return validate_vector(name, vector, num_dofs)
 
     # -- circuit breakers ------------------------------------------------ #
     def _breaker_for(self, key: str) -> CircuitBreaker:

@@ -1,0 +1,1035 @@
+"""Pre-fork sharded solve service: one session cache per worker *process*.
+
+PR 5 pinned sessions to worker *threads*; the GIL still serialised every
+CPU-bound SpMV/SpMM, so single-process throughput plateaus at one core.
+:class:`ShardedSolveService` lifts the same pinning idea over processes:
+
+* **Consistent-hash sharding** — requests route by their
+  :func:`~repro.solvers.fingerprint.session_key` over a virtual-node hash
+  ring (:func:`build_ring`), so one session key always lands on one worker
+  (sessions are never rebuilt in two processes) and adding a shard moves
+  only ~1/N of the key space instead of reshuffling everything, keeping
+  warm caches warm.
+* **Shared memory, not N copies** — checkpoint weight arrays and installed
+  problem operator arrays live in
+  :mod:`multiprocessing.shared_memory` segments (:mod:`repro.solvers.shm`);
+  workers attach zero-copy read-only views, so N replicas pay one copy of
+  the big arrays.  The parent owns every segment and unlinks on close.
+* **Binary frames on the pipes** — parent↔worker traffic is the same
+  length-prefixed frame format as the binary HTTP path
+  (:mod:`repro.serve.proto`): raw f64 blocks both ways, so the process
+  boundary adds no float-text cost and results stay **bitwise** identical
+  to in-process solves.
+* **PR-7 semantics survive the boundary** — each worker runs a full
+  :class:`~repro.serve.service.SolveService` inside (micro-batching,
+  bounded queues + shedding, per-request deadlines, worker-local breakers,
+  degradation ladder); the parent adds its own layer: per-primary-key
+  breakers that count crashes, a deadline reaper over the futures it hands
+  out, per-shard pending caps, and a supervisor that **restarts a dead
+  worker** and fails its in-flight futures with the typed
+  :class:`~repro.serve.errors.WorkerCrashed`.
+
+The public surface duck-types :class:`~repro.serve.service.SolveService`
+(``submit``/``solve``/``stats``/``health``/``metrics``/``close``), so the
+HTTP front end and the benchmarks drive either service unchanged.
+
+Supervision model: the per-shard receiver thread blocks on the worker's
+pipe; a worker that exits (or is ``kill -9``-ed) closes its end, the
+receiver sees EOF and runs the death protocol — fail in-flight futures
+typed, feed the breakers, respawn the process (up to
+``ShardConfig.max_restarts``) with a cleared install table.  A worker that
+*wedges* without dying is covered by deadlines: the parent reaper fails its
+futures on time and the per-shard pending cap sheds further traffic.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+import hashlib
+import itertools
+import multiprocessing as mp
+import os
+import pickle
+import threading
+import time
+from concurrent.futures import Future, InvalidStateError
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..fem.problem import Problem
+from ..krylov.result import SolveResult
+from ..solvers.config import SolverConfig
+from ..solvers.fingerprint import session_key
+from ..solvers.registry import preconditioner_spec
+from ..solvers.shm import SharedArrayBundle, model_to_shm, problem_to_shm
+from .breaker import CircuitBreaker
+from .errors import (
+    InvalidRequest,
+    ServeError,
+    ServiceOverloaded,
+    WorkerCrashed,
+    error_from_code,
+)
+from .metrics import ServeMetrics
+from .problems import ProblemCache
+from .proto import decode_frame, encode_frame
+from .service import ServeConfig, SolveService, _Reaper, validate_vector
+
+__all__ = ["ShardConfig", "ShardedSolveService", "build_ring", "route"]
+
+_START_METHOD_PREFERENCE = ("fork", "spawn")
+
+
+def _shard_context(start_method: Optional[str]) -> mp.context.BaseContext:
+    if start_method is not None:
+        return mp.get_context(start_method)
+    supported = mp.get_all_start_methods()
+    for method in _START_METHOD_PREFERENCE:
+        if method in supported:
+            return mp.get_context(method)
+    return mp.get_context()  # pragma: no cover - every platform has one
+
+
+# --------------------------------------------------------------------------- #
+# consistent hashing
+# --------------------------------------------------------------------------- #
+def build_ring(num_shards: int, virtual_nodes: int = 64) -> List[Tuple[int, int]]:
+    """The sorted virtual-node ring: ``virtual_nodes`` points per shard.
+
+    Each point is ``(hash, slot)`` with the hash drawn from SHA-256 of the
+    point's name, so the ring is deterministic across processes and runs.
+
+    >>> ring = build_ring(4, virtual_nodes=16)
+    >>> len(ring), ring == sorted(ring)
+    (64, True)
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    if virtual_nodes < 1:
+        raise ValueError("virtual_nodes must be >= 1")
+    points = []
+    for slot in range(num_shards):
+        for vnode in range(virtual_nodes):
+            digest = hashlib.sha256(f"shard:{slot}:vnode:{vnode}".encode()).digest()
+            points.append((int.from_bytes(digest[:8], "big"), slot))
+    points.sort()
+    return points
+
+
+def route(ring: Sequence[Tuple[int, int]], key: str) -> int:
+    """Map a hex session key onto the first ring point at or after its hash.
+
+    >>> ring = build_ring(3, virtual_nodes=32)
+    >>> slots = {route(ring, f"{i:016x}") for i in range(0, 2**64, 2**58)}
+    >>> slots == {0, 1, 2}
+    True
+    """
+    value = int(key[:16], 16)
+    index = bisect.bisect_left(ring, (value, -1))
+    if index == len(ring):
+        index = 0
+    return ring[index][1]
+
+
+# --------------------------------------------------------------------------- #
+# configuration
+# --------------------------------------------------------------------------- #
+@dataclass
+class ShardConfig:
+    """Process-pool knobs of the sharded service.
+
+    Attributes
+    ----------
+    workers:
+        Worker *processes*.  Sessions shard across them by consistent
+        hashing of the session key.
+    threads_per_worker:
+        Serving threads of each worker's inner
+        :class:`~repro.serve.service.SolveService` (1 keeps a worker
+        strictly single-threaded; micro-batching still applies).
+    virtual_nodes:
+        Ring points per shard; more points → smoother key balance.
+    start_method:
+        Multiprocessing start method (None = first supported of
+        ``fork``/``spawn``).
+    restart_workers:
+        Whether the supervisor respawns a dead worker.
+    max_restarts:
+        Restart budget per shard slot; beyond it the slot is marked dead and
+        its requests fail fast with
+        :class:`~repro.serve.errors.WorkerCrashed`.
+    max_pending_per_shard:
+        Parent-side cap on in-flight requests per shard (None = derived from
+        the serve config's ``max_queue`` × ``threads_per_worker`` × 2).  The
+        cap bounds pipe backlog onto a wedged worker; beyond it ``submit``
+        sheds with :class:`~repro.serve.errors.ServiceOverloaded`.
+    admin_timeout_s:
+        How long ``stats``/``health`` wait for a worker's reply before
+        reporting it unresponsive.
+    faults:
+        Cross-process chaos: ``(name, kwargs)`` specs from
+        :mod:`repro.faults`, installed inside every worker at bootstrap
+        (:func:`repro.faults.install_from_specs`).
+    """
+
+    workers: int = 2
+    threads_per_worker: int = 1
+    virtual_nodes: int = 64
+    start_method: Optional[str] = None
+    restart_workers: bool = True
+    max_restarts: int = 3
+    max_pending_per_shard: Optional[int] = None
+    admin_timeout_s: float = 10.0
+    faults: Sequence[Tuple[str, Dict[str, object]]] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.threads_per_worker < 1:
+            raise ValueError("threads_per_worker must be >= 1")
+        if self.virtual_nodes < 1:
+            raise ValueError("virtual_nodes must be >= 1")
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+        if self.max_pending_per_shard is not None and self.max_pending_per_shard < 1:
+            raise ValueError("max_pending_per_shard must be >= 1 or None")
+        if self.admin_timeout_s <= 0:
+            raise ValueError("admin_timeout_s must be positive")
+        self.faults = tuple((str(name), dict(kwargs)) for name, kwargs in self.faults)
+
+
+# --------------------------------------------------------------------------- #
+# worker process
+# --------------------------------------------------------------------------- #
+def _result_frame(req_id: int, result: SolveResult) -> bytes:
+    meta = {
+        "req_id": req_id,
+        "converged": bool(result.converged),
+        "iterations": int(result.iterations),
+        "elapsed_s": float(result.elapsed_time),
+        "preconditioner_s": float(result.preconditioner_time),
+        "failure_reason": result.failure_reason,
+        "info": result.info,
+    }
+    arrays = {
+        "solution": np.asarray(result.solution, dtype=np.float64),
+        "residual_history": np.asarray(result.residual_history, dtype=np.float64),
+    }
+    return encode_frame("result", meta, arrays)
+
+
+def _error_frame(req_id: Optional[int], error: BaseException) -> bytes:
+    if isinstance(error, ServeError):
+        code, status, retry = error.code, error.http_status, error.retry_after_s
+    else:
+        code, status, retry = "internal", 500, None
+    return encode_frame("error", {
+        "req_id": req_id,
+        "code": code,
+        "status": status,
+        "retry_after_s": retry,
+        "message": f"{type(error).__name__}: {error}"
+        if not isinstance(error, ServeError) else str(error),
+    })
+
+
+def _shard_worker_main(conn, bootstrap: Dict[str, object]) -> None:
+    """Worker entry point: serve binary frames from the parent pipe.
+
+    Bootstraps faults, the (shared-memory) model and an inner
+    :class:`SolveService`, then loops on the pipe.  Solve frames are
+    submitted *asynchronously* to the inner service — concurrent requests
+    for one session still coalesce in its micro-batching queue — and each
+    future's completion sends one result/error frame back.  The loop exits
+    on a ``shutdown`` frame or pipe EOF (parent gone); exit is via
+    ``os._exit`` so shared-memory finalisers never race interpreter
+    teardown.
+    """
+    installed_faults = []
+    try:
+        fault_specs = bootstrap.get("fault_specs") or ()
+        if fault_specs:
+            from .. import faults as faults_module
+
+            installed_faults = faults_module.install_from_specs(fault_specs)
+        model = None
+        if bootstrap.get("model_manifest") is not None:
+            from ..solvers.shm import model_from_shm
+
+            model = model_from_shm(bootstrap["model_manifest"])
+        elif bootstrap.get("model_pickle") is not None:
+            model = pickle.loads(bootstrap["model_pickle"])
+        service = SolveService(
+            ServeConfig.from_dict(bootstrap["serve_config"]),
+            model=model,
+            default_solver_config=bootstrap.get("default_solver_config"),
+        )
+    except BaseException as error:  # noqa: BLE001 - reported to the parent
+        try:
+            conn.send_bytes(encode_frame("fatal", {
+                "message": f"worker bootstrap failed: {type(error).__name__}: {error}",
+            }))
+            conn.close()
+        except Exception:
+            pass
+        os._exit(1)
+
+    problems: Dict[str, Problem] = {}  # installed shm problems by fingerprint
+    send_lock = threading.Lock()
+
+    def send(frame_bytes: bytes) -> None:
+        with send_lock:
+            try:
+                conn.send_bytes(frame_bytes)
+            except (BrokenPipeError, OSError):
+                os._exit(0)  # parent is gone; nothing left to serve
+
+    def finish(req_id: int, future: "Future[SolveResult]") -> None:
+        try:
+            result = future.result()
+        except BaseException as error:  # noqa: BLE001 - serialised to the parent
+            send(_error_frame(req_id, error))
+            return
+        try:
+            send(_result_frame(req_id, result))
+        except Exception as error:  # unserialisable info — still answer typed
+            send(_error_frame(req_id, error))
+
+    running = True
+    while running:
+        try:
+            data = conn.recv_bytes()
+        except (EOFError, OSError):
+            break
+        try:
+            frame = decode_frame(data)
+        except InvalidRequest as error:
+            send(_error_frame(None, error))
+            continue
+        meta = frame.meta
+        req_id = meta.get("req_id")
+        if frame.kind == "solve":
+            try:
+                ref = meta.get("problem_ref")
+                if ref is not None:
+                    try:
+                        problem: Union[Problem, Dict, None] = problems[ref]
+                    except KeyError:
+                        raise InvalidRequest(
+                            f"problem {ref[:12]}… is not installed on this worker"
+                        ) from None
+                else:
+                    problem = meta.get("problem_spec")
+                future = service.submit(
+                    problem,
+                    b=frame.arrays.get("b"),
+                    x0=frame.arrays.get("x0"),
+                    solver_config=meta.get("config"),
+                    deadline_ms=meta.get("deadline_ms"),
+                )
+            except BaseException as error:  # noqa: BLE001 - serialised to the parent
+                send(_error_frame(req_id, error))
+            else:
+                future.add_done_callback(
+                    lambda done, rid=req_id: finish(rid, done)
+                )
+        elif frame.kind == "install_problem":
+            try:
+                from ..solvers.shm import problem_from_shm
+
+                problem = problem_from_shm(meta["manifest"])
+                problems[problem.fingerprint()] = problem
+            except BaseException as error:  # noqa: BLE001
+                send(_error_frame(req_id, error))
+        elif frame.kind == "uninstall_problem":
+            fingerprint = meta.get("fingerprint")
+            dropped = problems.pop(fingerprint, None)
+            service.sessions.prune(
+                lambda s: s.problem.fingerprint() == fingerprint
+            )
+            if dropped is not None:
+                bundle = getattr(dropped, "_shm_bundle", None)
+                if bundle is not None:
+                    bundle.close()
+        elif frame.kind == "stats":
+            send(encode_frame("stats_result",
+                              {"req_id": req_id, "payload": service.stats()}))
+        elif frame.kind == "health":
+            send(encode_frame("health_result",
+                              {"req_id": req_id, "payload": service.health()}))
+        elif frame.kind == "shutdown":
+            running = False
+        # unknown kinds are ignored: an older worker keeps serving what it knows
+
+    service.close()
+    for fault in reversed(installed_faults):
+        fault.deactivate()
+    try:
+        conn.close()
+    except Exception:
+        pass
+    os._exit(0)
+
+
+# --------------------------------------------------------------------------- #
+# parent side
+# --------------------------------------------------------------------------- #
+class _Pending:
+    """One in-flight request on a shard (duck-types the reaper's interface)."""
+
+    __slots__ = ("future", "breaker_key", "rerouted", "deadline_at",
+                 "enqueued_at", "admin")
+
+    def __init__(self, breaker_key: str = "", rerouted: bool = False,
+                 admin: bool = False) -> None:
+        self.future: Future = Future()
+        self.breaker_key = breaker_key
+        self.rerouted = rerouted
+        self.deadline_at: Optional[float] = None
+        self.enqueued_at = time.perf_counter()
+        self.admin = admin
+
+
+class _Shard:
+    """Parent-side state of one worker slot: process, pipe, in-flight table."""
+
+    def __init__(self, slot: int) -> None:
+        self.slot = slot
+        self.process: Optional[mp.process.BaseProcess] = None
+        self.conn = None
+        self.lock = threading.Lock()  # guards pending/installed/generation
+        self.send_lock = threading.Lock()
+        self.pending: Dict[int, _Pending] = {}
+        self.installed: set = set()
+        self.generation = 0
+        self.restarts = 0
+        self.dead = False
+        self.dead_reason: Optional[str] = None
+        self.stopping = False
+
+    @property
+    def pid(self) -> Optional[int]:
+        process = self.process
+        return process.pid if process is not None else None
+
+    def alive(self) -> bool:
+        process = self.process
+        return process is not None and process.is_alive()
+
+
+class ShardedSolveService:
+    """A pre-fork pool of :class:`SolveService` workers behind one facade.
+
+    Duck-types the single-process service: ``submit`` returns a future,
+    ``solve`` blocks, ``stats``/``health`` aggregate the shards,
+    ``metrics`` is the parent-side :class:`~repro.serve.metrics.ServeMetrics`.
+    Construction forks the workers immediately (pre-fork: all shared-memory
+    segments and the model are prepared *before* the first fork, so every
+    worker inherits or attaches the same bytes).
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServeConfig] = None,
+        model=None,
+        default_solver_config: Union[SolverConfig, Dict, None] = None,
+        shard_config: Optional[ShardConfig] = None,
+    ) -> None:
+        self.config = config or ServeConfig()
+        self.shard_config = shard_config or ShardConfig()
+        if isinstance(default_solver_config, dict):
+            default_solver_config = SolverConfig.from_dict(default_solver_config)
+        self.default_solver_config = default_solver_config or SolverConfig(
+            preconditioner="ddm-lu"
+        )
+        self.metrics = ServeMetrics(self.config.latency_window)
+        self.problems = ProblemCache(self.config.problem_cache_capacity)
+        self._ctx = _shard_context(self.shard_config.start_method)
+        self._ring = build_ring(self.shard_config.workers,
+                                self.shard_config.virtual_nodes)
+        self._req_ids = itertools.count(1)
+        self._closed = False
+        self._close_lock = threading.Lock()
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._breakers_lock = threading.Lock()
+        self._problem_bundles: Dict[str, SharedArrayBundle] = {}
+        self._bundles_lock = threading.Lock()
+        cap = self.shard_config.max_pending_per_shard
+        if cap is None:
+            cap = max(2 * self.config.max_queue * self.shard_config.threads_per_worker, 8)
+        self._max_pending = int(cap)
+
+        # the model is prepared ONCE, before any fork: shared memory when it
+        # is a DSS (weights attach zero-copy in every worker), pickle bytes
+        # as the fallback for duck-typed models
+        if model is None and self.default_solver_config.checkpoint and \
+                preconditioner_spec(self.default_solver_config.preconditioner).needs_model:
+            from ..gnn.checkpoint import load_model
+
+            model = load_model(self.default_solver_config.checkpoint)
+        self.model = model
+        self._model_bundle: Optional[SharedArrayBundle] = None
+        model_manifest = None
+        model_pickle = None
+        if model is not None:
+            try:
+                self._model_bundle = model_to_shm(model)
+                model_manifest = self._model_bundle.manifest
+            except ValueError:
+                model_pickle = pickle.dumps(model)
+        inner_config = dataclasses.replace(
+            self.config, workers=self.shard_config.threads_per_worker
+        )
+        self._bootstrap = {
+            "serve_config": inner_config.to_dict(),
+            "default_solver_config": self.default_solver_config.to_dict(),
+            "model_manifest": model_manifest,
+            "model_pickle": model_pickle,
+            "fault_specs": tuple(self.shard_config.faults),
+        }
+
+        self._shards = [_Shard(slot) for slot in range(self.shard_config.workers)]
+        # pre-fork: spawn every process before any receiver thread runs, so
+        # fork never snapshots a parent thread mid-critical-section
+        for shard in self._shards:
+            self._spawn_locked(shard)
+        for shard in self._shards:
+            self._start_receiver(shard)
+        self._reaper = _Reaper(self)
+        self._reaper.start()
+
+    # -- process lifecycle ---------------------------------------------- #
+    def _spawn_locked(self, shard: _Shard) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_shard_worker_main,
+            args=(child_conn, self._bootstrap),
+            name=f"repro-serve-shard-{shard.slot}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()  # the parent's copy; EOF detection needs it closed
+        shard.conn = parent_conn
+        shard.process = process
+        shard.generation += 1
+        shard.installed = set()
+
+    def _start_receiver(self, shard: _Shard) -> None:
+        thread = threading.Thread(
+            target=self._receive_loop,
+            args=(shard, shard.generation, shard.conn),
+            name=f"repro-serve-shard-rx-{shard.slot}-g{shard.generation}",
+            daemon=True,
+        )
+        thread.start()
+
+    def _receive_loop(self, shard: _Shard, generation: int, conn) -> None:
+        """Per-shard receiver; doubles as the supervisor's death detector."""
+        while True:
+            try:
+                data = conn.recv_bytes()
+            except (EOFError, OSError):
+                break
+            try:
+                frame = decode_frame(data)
+            except InvalidRequest:
+                continue  # a torn frame from a dying worker; EOF follows
+            self._handle_frame(shard, frame)
+        self._on_shard_exit(shard, generation)
+
+    def _handle_frame(self, shard: _Shard, frame) -> None:
+        meta = frame.meta
+        req_id = meta.get("req_id")
+        if frame.kind == "fatal":
+            shard.dead_reason = str(meta.get("message", "worker bootstrap failed"))
+            return  # EOF follows; _on_shard_exit handles the fallout
+        with shard.lock:
+            pending = shard.pending.pop(req_id, None) if req_id is not None else None
+        if pending is None:
+            return  # reaped, duplicate, or a protocol-level error frame
+        if frame.kind == "result":
+            result = SolveResult(
+                solution=frame.arrays["solution"],
+                converged=bool(meta["converged"]),
+                iterations=int(meta["iterations"]),
+                residual_history=[float(v) for v in frame.arrays["residual_history"]],
+                elapsed_time=float(meta["elapsed_s"]),
+                preconditioner_time=float(meta["preconditioner_s"]),
+                info=dict(meta.get("info") or {}),
+                failure_reason=meta.get("failure_reason"),
+            )
+            result.info["shard"] = shard.slot
+            if pending.rerouted:
+                result.info["breaker_rerouted"] = True
+            degraded = bool(result.info.get("degraded"))
+            if degraded or pending.rerouted:
+                self.metrics.observe_degraded()
+            self._record_outcome(pending, ok=result.converged and not degraded)
+            total_ms = (time.perf_counter() - pending.enqueued_at) * 1e3
+            solve_ms = min(float(meta["elapsed_s"]) * 1e3, total_ms)
+            self.metrics.observe_request(total_ms - solve_ms, solve_ms)
+            try:
+                pending.future.set_result(result)
+            except InvalidStateError:
+                pass  # the parent reaper got there first
+        elif frame.kind == "error":
+            error = error_from_code(
+                str(meta.get("code") or "internal"),
+                str(meta.get("message") or "worker error"),
+                retry_after_s=meta.get("retry_after_s"),
+            )
+            self.metrics.observe_error()
+            if error.code == "overloaded":
+                self.metrics.observe_shed()
+            if error.code not in ("overloaded", "deadline_exceeded") and not pending.admin:
+                self._record_outcome(pending, ok=False)
+            try:
+                pending.future.set_exception(error)
+            except InvalidStateError:
+                pass
+        elif frame.kind in ("stats_result", "health_result"):
+            try:
+                pending.future.set_result(meta.get("payload"))
+            except InvalidStateError:
+                pass
+
+    def _on_shard_exit(self, shard: _Shard, generation: int) -> None:
+        """Death protocol: fail in-flight work typed, feed breakers, respawn."""
+        with shard.lock:
+            if shard.generation != generation:
+                return  # a stale receiver of an already-replaced process
+            drained = list(shard.pending.values())
+            shard.pending.clear()
+            shard.installed = set()
+            stopping = shard.stopping or self._closed
+            restart = (not stopping
+                       and self.shard_config.restart_workers
+                       and shard.dead_reason is None
+                       and shard.restarts < self.shard_config.max_restarts)
+            if restart:
+                shard.restarts += 1
+                self._spawn_locked(shard)
+            elif not stopping:
+                shard.dead = True
+                if shard.dead_reason is None:
+                    shard.dead_reason = (
+                        f"worker {shard.slot} died and exhausted its "
+                        f"{self.shard_config.max_restarts} restart(s)"
+                    )
+        reason = shard.dead_reason or f"worker {shard.slot} died mid-request"
+        if not stopping:
+            self.metrics.observe_worker_crash()
+        for pending in drained:
+            error = WorkerCrashed(
+                "service closed before the request completed" if stopping
+                else f"{reason}; the request was in flight and may be retried"
+            )
+            if not stopping:
+                self.metrics.observe_error()
+                if not pending.admin:
+                    self._record_outcome(pending, ok=False)
+            try:
+                pending.future.set_exception(error)
+            except InvalidStateError:
+                pass
+        if restart:
+            self.metrics.observe_worker_restart()
+            self._start_receiver(shard)
+
+    # -- breakers (parent layer: crash + end-to-end outcome accounting) -- #
+    def _breaker_for(self, key: str) -> CircuitBreaker:
+        with self._breakers_lock:
+            breaker = self._breakers.get(key)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    failure_threshold=self.config.breaker_failures,
+                    reset_after_s=self.config.breaker_reset_s,
+                )
+                self._breakers[key] = breaker
+            return breaker
+
+    def _record_outcome(self, pending: _Pending, ok: bool) -> None:
+        if pending.rerouted or not pending.breaker_key:
+            return
+        with self._breakers_lock:
+            breaker = self._breakers.get(pending.breaker_key)
+        if breaker is None:
+            return
+        if ok:
+            breaker.record_success()
+        else:
+            breaker.record_failure()
+
+    # -- request path ---------------------------------------------------- #
+    def _resolve_problem(
+        self, problem: Union[Problem, Dict, None]
+    ) -> Tuple[Problem, Optional[Dict]]:
+        """Resolve to (assembled problem, spec-or-None).
+
+        Spec-described problems re-resolve deterministically inside the
+        worker (same seed → same fingerprint), so only the tiny spec dict
+        crosses the pipe; direct ``Problem`` objects are installed once via
+        shared memory instead.
+        """
+        if isinstance(problem, Problem):
+            return problem, None
+        from .problems import _normalise_spec
+
+        spec = _normalise_spec(problem)
+        return self.problems.resolve(spec), spec
+
+    def _resolve_config(
+        self, solver_config: Union[SolverConfig, Dict, None]
+    ) -> SolverConfig:
+        if solver_config is None:
+            return self.default_solver_config
+        if isinstance(solver_config, dict):
+            return SolverConfig.from_dict(solver_config)
+        return solver_config
+
+    def _shard_send(self, shard: _Shard, frame_bytes: bytes) -> None:
+        try:
+            with shard.send_lock:
+                shard.conn.send_bytes(frame_bytes)
+        except (BrokenPipeError, OSError) as error:
+            raise WorkerCrashed(
+                f"worker {shard.slot} is unreachable ({type(error).__name__}); "
+                f"the supervisor is restarting it — retry the request"
+            ) from error
+
+    def _ensure_installed(self, shard: _Shard, problem: Problem) -> str:
+        """Install a directly-passed problem's operator on a shard (once).
+
+        The parent packs the arrays into shared memory on first sight of the
+        fingerprint (one copy total) and sends each shard a manifest-only
+        install frame before the first solve that references it; pipe FIFO
+        ordering makes install-then-solve race-free without acks.
+        """
+        fingerprint = problem.fingerprint()
+        with self._bundles_lock:
+            if fingerprint not in self._problem_bundles:
+                self._problem_bundles[fingerprint] = problem_to_shm(problem)
+            manifest = self._problem_bundles[fingerprint].manifest
+        with shard.lock:
+            needs_install = fingerprint not in shard.installed
+            if needs_install:
+                shard.installed.add(fingerprint)
+        if needs_install:
+            try:
+                self._shard_send(shard, encode_frame(
+                    "install_problem", {"manifest": manifest}
+                ))
+            except WorkerCrashed:
+                with shard.lock:
+                    shard.installed.discard(fingerprint)
+                raise
+        return fingerprint
+
+    def submit(
+        self,
+        problem: Union[Problem, Dict, None],
+        b: Optional[np.ndarray] = None,
+        x0: Optional[np.ndarray] = None,
+        solver_config: Union[SolverConfig, Dict, None] = None,
+        deadline_ms: Optional[float] = None,
+    ) -> "Future[SolveResult]":
+        """Enqueue one solve on the owning shard; returns a future.
+
+        Mirrors :meth:`SolveService.submit
+        <repro.serve.service.SolveService.submit>` exactly, with two
+        process-boundary differences: worker-side failures (including load
+        shed inside a worker) surface *through the future* rather than
+        synchronously, and a worker crash fails the future with the typed
+        :class:`~repro.serve.errors.WorkerCrashed` while the supervisor
+        restarts the process.
+        """
+        if self._closed:
+            raise RuntimeError("service is closed")
+        try:
+            resolved, spec = self._resolve_problem(problem)
+            config = self._resolve_config(solver_config)
+        except InvalidRequest:
+            raise
+        except (TypeError, ValueError, KeyError) as error:
+            raise InvalidRequest(str(error)) from error
+        if deadline_ms is None:
+            deadline_ms = self.config.default_deadline_ms
+        elif deadline_ms <= 0:
+            raise InvalidRequest(f"deadline_ms must be positive, got {deadline_ms!r}")
+        b = validate_vector("right-hand side", b, resolved.num_dofs)
+        x0 = validate_vector("initial guess", x0, resolved.num_dofs)
+
+        key = session_key(resolved, config, self.model)
+        use_config, use_key, rerouted = config, key, False
+        if config.fallback:
+            breaker = self._breaker_for(key)
+            if not breaker.allow_primary():
+                use_config = dataclasses.replace(
+                    config,
+                    preconditioner=config.fallback[0],
+                    fallback=list(config.fallback[1:]),
+                )
+                use_key = session_key(resolved, use_config, self.model)
+                rerouted = True
+
+        shard = self._shards[route(self._ring, use_key)]
+        if shard.dead:
+            self.metrics.observe_error()
+            raise WorkerCrashed(shard.dead_reason or
+                                f"worker {shard.slot} is down")
+        with shard.lock:
+            if len(shard.pending) >= self._max_pending:
+                depth = len(shard.pending)
+                overloaded = True
+            else:
+                overloaded = False
+        if overloaded:
+            self.metrics.observe_shed()
+            raise ServiceOverloaded(
+                f"shard {shard.slot} has {depth} requests in flight "
+                f"(cap {self._max_pending})",
+                retry_after_s=self.config.shed_retry_after_s,
+            )
+
+        problem_ref = None
+        if spec is None:
+            problem_ref = self._ensure_installed(shard, resolved)
+
+        req_id = next(self._req_ids)
+        pending = _Pending(breaker_key=key, rerouted=rerouted)
+        if deadline_ms is not None:
+            pending.deadline_at = time.monotonic() + deadline_ms / 1e3
+        meta = {
+            "req_id": req_id,
+            "problem_spec": spec,
+            "problem_ref": problem_ref,
+            "config": use_config.to_dict(),
+            "deadline_ms": deadline_ms,
+        }
+        arrays: Dict[str, np.ndarray] = {}
+        if b is not None:
+            arrays["b"] = b
+        if x0 is not None:
+            arrays["x0"] = x0
+        frame_bytes = encode_frame("solve", meta, arrays)
+        with shard.lock:
+            shard.pending[req_id] = pending
+        try:
+            self._shard_send(shard, frame_bytes)
+        except WorkerCrashed:
+            with shard.lock:
+                shard.pending.pop(req_id, None)
+            self.metrics.observe_error()
+            raise
+        self._reaper.watch(pending)
+        return pending.future
+
+    def solve(
+        self,
+        problem: Union[Problem, Dict, None],
+        b: Optional[np.ndarray] = None,
+        x0: Optional[np.ndarray] = None,
+        solver_config: Union[SolverConfig, Dict, None] = None,
+        timeout: Optional[float] = None,
+        deadline_ms: Optional[float] = None,
+    ) -> SolveResult:
+        """Blocking convenience wrapper around :meth:`submit`."""
+        future = self.submit(
+            problem, b=b, x0=x0, solver_config=solver_config, deadline_ms=deadline_ms
+        )
+        return future.result(timeout)
+
+    # -- admin: aggregated stats & health -------------------------------- #
+    def _admin_request(self, shard: _Shard, kind: str):
+        if shard.dead or shard.stopping:
+            return None
+        req_id = next(self._req_ids)
+        pending = _Pending(admin=True)
+        with shard.lock:
+            shard.pending[req_id] = pending
+        try:
+            self._shard_send(shard, encode_frame(kind, {"req_id": req_id}))
+            return pending.future.result(self.shard_config.admin_timeout_s)
+        except Exception:
+            return None
+        finally:
+            with shard.lock:
+                shard.pending.pop(req_id, None)
+
+    def stats(self) -> Dict[str, object]:
+        """Parent metrics + per-shard worker stats, aggregated.
+
+        ``cache_hit_rate`` and ``mean_batch_size`` aggregate across the
+        shards' inner services (the quantities the benchmarks track);
+        ``shards`` carries each worker's full stats payload (or an
+        ``unresponsive`` marker) for debugging.
+        """
+        snapshot = self.metrics.snapshot()
+        shard_payloads: List[Dict[str, object]] = []
+        hits = misses = batches = batched = 0
+        for shard in self._shards:
+            payload = self._admin_request(shard, "stats")
+            entry: Dict[str, object] = {
+                "slot": shard.slot,
+                "pid": shard.pid,
+                "alive": shard.alive(),
+                "restarts": shard.restarts,
+                "pending": len(shard.pending),
+            }
+            if isinstance(payload, dict):
+                entry["stats"] = payload
+                cache = payload.get("cache") or {}
+                hits += int(cache.get("hits") or 0)
+                misses += int(cache.get("misses") or 0)
+                nbatches = int(payload.get("batches") or 0)
+                mean = payload.get("mean_batch_size")
+                batches += nbatches
+                if mean is not None:
+                    batched += int(round(float(mean) * nbatches))
+            else:
+                entry["stats"] = {"error": "unresponsive"}
+            shard_payloads.append(entry)
+        lookups = hits + misses
+        snapshot["workers"] = len(self._shards)
+        snapshot["threads_per_worker"] = self.shard_config.threads_per_worker
+        snapshot["shards"] = shard_payloads
+        snapshot["cache"] = {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": (hits / lookups) if lookups else None,
+        }
+        snapshot["cache_hit_rate"] = snapshot["cache"]["hit_rate"]
+        snapshot["mean_batch_size"] = (batched / batches) if batches else None
+        snapshot["problem_cache_size"] = len(self.problems)
+        with self._breakers_lock:
+            states = [b.snapshot()["state"] for b in self._breakers.values()]
+        snapshot["breakers"] = {
+            "total": len(states),
+            "open": states.count("open"),
+            "half_open": states.count("half_open"),
+        }
+        snapshot["config"] = {
+            "max_batch": self.config.max_batch,
+            "max_wait_ms": self.config.max_wait_ms,
+            "solve_mode": self.config.solve_mode,
+            "max_queue": self.config.max_queue,
+            "default_deadline_ms": self.config.default_deadline_ms,
+            "shard_workers": self.shard_config.workers,
+            "threads_per_worker": self.shard_config.threads_per_worker,
+            "max_pending_per_shard": self._max_pending,
+        }
+        return snapshot
+
+    def health(self) -> Dict[str, object]:
+        """Aggregated liveness: shard processes, restart counts, breakers.
+
+        ``status`` is ``"unhealthy"`` when any shard slot is permanently
+        dead (restart budget exhausted) or unresponsive to a health probe,
+        ``"degraded"`` when a parent breaker is open or a shard has been
+        restarted, else ``"ok"``.
+        """
+        workers = []
+        any_dead = False
+        any_restarted = False
+        for shard in self._shards:
+            payload = self._admin_request(shard, "health")
+            alive = shard.alive()
+            entry: Dict[str, object] = {
+                "slot": shard.slot,
+                "pid": shard.pid,
+                "alive": alive,
+                "dead": shard.dead,
+                "restarts": shard.restarts,
+                "pending": len(shard.pending),
+                "installed_problems": len(shard.installed),
+                "worker_health": payload if isinstance(payload, dict)
+                else {"status": "unresponsive"},
+            }
+            workers.append(entry)
+            any_dead = any_dead or shard.dead or not alive or payload is None
+            any_restarted = any_restarted or shard.restarts > 0
+        with self._breakers_lock:
+            breakers = {key: b.snapshot() for key, b in self._breakers.items()}
+        open_breakers = sum(1 for b in breakers.values() if b["state"] == "open")
+        if any_dead or not self._reaper.is_alive():
+            status = "unhealthy"
+        elif open_breakers or any_restarted:
+            status = "degraded"
+        else:
+            status = "ok"
+        return {
+            "status": status,
+            "sharded": True,
+            "workers": workers,
+            "reaper_alive": self._reaper.is_alive(),
+            "breakers": {
+                "total": len(breakers),
+                "open": open_breakers,
+                "half_open": sum(
+                    1 for b in breakers.values() if b["state"] == "half_open"
+                ),
+                "by_key": breakers,
+            },
+            "closed": self._closed,
+        }
+
+    def pids(self) -> List[Optional[int]]:
+        """The live worker process IDs by slot (None for a dead slot)."""
+        return [shard.pid for shard in self._shards]
+
+    # -- shutdown -------------------------------------------------------- #
+    def close(self, timeout: float = 10.0) -> None:
+        """Stop the pool: drain workers, join processes, release shared memory.
+
+        Workers drain their queues (their inner ``SolveService.close``
+        semantics), so already-accepted requests resolve before exit; a
+        worker that ignores the deadline is terminated.  The parent owns
+        every shared-memory segment and unlinks them last — after no worker
+        can still be dereferencing the views.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        for shard in self._shards:
+            shard.stopping = True
+            try:
+                with shard.send_lock:
+                    shard.conn.send_bytes(encode_frame("shutdown", {}))
+            except (BrokenPipeError, OSError):
+                pass
+        deadline = time.monotonic() + timeout
+        for shard in self._shards:
+            process = shard.process
+            if process is None:
+                continue
+            process.join(max(0.1, deadline - time.monotonic()))
+            if process.is_alive():
+                process.terminate()
+                process.join(2.0)
+            if process.is_alive():  # pragma: no cover - last resort
+                process.kill()
+                process.join(1.0)
+        for shard in self._shards:
+            try:
+                shard.conn.close()
+            except Exception:
+                pass
+        self._reaper.stop()
+        self._reaper.join(timeout)
+        with self._bundles_lock:
+            for bundle in self._problem_bundles.values():
+                bundle.close()
+            self._problem_bundles.clear()
+        if self._model_bundle is not None:
+            self._model_bundle.close()
+            self._model_bundle = None
+
+    def __enter__(self) -> "ShardedSolveService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -511,6 +511,19 @@ class SolverSession:
         )
 
     # ------------------------------------------------------------------ #
+    def __reduce__(self):
+        """Pickle as a deterministic rebuild recipe, not as live state.
+
+        A prepared session holds unpicklable objects (SuperLU
+        factorisations, compiled inference plans), so pickling transports
+        only the three ingredients that fully determine it — problem, config,
+        model — and unpickling re-runs :func:`prepare`.  The partition seed
+        lives on the config, so the rebuilt session is **bitwise-equivalent**:
+        same fingerprint, same solve results.  This is what lets a sharded
+        serving parent ship sessions to freshly restarted workers.
+        """
+        return (_rebuild_session, (self.problem, self.config.to_dict(), self.model))
+
     def fingerprint(self) -> str:
         """Content hash identifying this prepared session.
 
@@ -565,6 +578,12 @@ class SolverSession:
             f"n={self.problem.num_dofs}, setup {self.setup_time:.3f}s, "
             f"{self.num_solves} solve(s))"
         )
+
+
+def _rebuild_session(problem: Problem, config_dict: Dict, model) -> "SolverSession":
+    """Unpickling target of :meth:`SolverSession.__reduce__` (module-level
+    so pickles resolve it by qualified name)."""
+    return SolverSession(problem, SolverConfig.from_dict(config_dict), model=model)
 
 
 def prepare(
