@@ -1,0 +1,231 @@
+"""Amortised time-marching cost — what one prepared session buys per step.
+
+For every mesh size this harness assembles the ``heat`` θ-scheme problem
+(constant step operator ``M/dt + θ·K``), prepares one ``ddm-lu`` session and
+marches ``steps`` implicit steps through it
+(:meth:`~repro.solvers.session.SolverSession.march`).  The amortised
+per-step cost (``step_ms_p50``) is compared against two baselines on the
+**same right-hand-side sequence**:
+
+* ``fresh_ms_p50`` — re-paying ``prepare()`` (partitioning + local LU
+  factorisations) before every step's solve, i.e. marching without the
+  setup/solve split.  The ratio ``amortized_speedup = fresh/step`` is the
+  headline this subsystem exists for, and ``check_perf.py --march-fresh``
+  gates it (default: ≥ 5×).
+* ``scipy_ms_p50`` — a one-shot ``scipy.sparse.linalg.spsolve`` per step
+  (re-factorising the step operator every time), the common "just call
+  spsolve in a loop" pattern this replaces.
+
+The fresh-session trajectory must be **bit-identical** to the marched one
+(same solver, same warm starts — the march is a pure solve loop), which the
+harness asserts and records (``bit_identical``); the gate fails closed on a
+mismatch.  A ``march-ddm-gnn`` record rides along so the trajectory of the
+GNN-preconditioned march accumulates too (its fallback is ``ddm-lu``, so an
+undertrained checkpoint still finishes).
+
+Records merge into ``BENCH_perf.json`` (march records are replaced, the
+bench_perf records are left untouched) or go to ``--output`` standalone.
+
+Usage::
+
+    python benchmarks/bench_march.py            # sizes from REPRO_BENCH_SCALE
+    python benchmarks/bench_march.py --smoke    # one tiny mesh (CI smoke job)
+    python benchmarks/bench_march.py --output /tmp/march.json --steps 30
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without `pip install -e .`
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+import scipy.sparse.linalg as spla
+
+from repro.mesh import mesh_for_target_size
+from repro.problems import make_problem
+from repro.solvers import SolverConfig, prepare
+from repro.utils import format_table
+
+from common import ELEMENT_SIZE, SUBDOMAIN_SIZE, bench_scale, get_pretrained_model
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+TOLERANCE = 1e-6
+SMOKE_TARGET_N = 640
+DT = 0.01
+THETA = 1.0
+#: fresh prepare()+solve is slow by design — sampling a few steps is enough
+#: for a median (the cost is dominated by setup, which does not drift per step)
+FRESH_SAMPLE_STEPS = 5
+
+
+def make_config(kind: str, fallback=()) -> SolverConfig:
+    return SolverConfig(
+        preconditioner=kind,
+        subdomain_size=SUBDOMAIN_SIZE,
+        overlap=2,
+        tolerance=TOLERANCE,
+        max_iterations=4000,
+        fallback=list(fallback),
+    )
+
+
+def bench_march_solver(problem, kind: str, steps: int, model=None) -> tuple:
+    """March ``steps`` through one prepared session; amortised per-step cost."""
+    config = make_config(kind, fallback=["ddm-lu"] if kind == "ddm-gnn" else ())
+    session = prepare(problem, config, model=model)
+    result = session.march(steps=steps, record_states=True)
+    assert result.converged, f"march-{kind} did not converge"
+    step_ms = [1e3 * r.elapsed_time for r in result.results]
+    record = {
+        "solver": f"march-{kind}",
+        "precision": "f64",
+        "n": int(problem.num_dofs),
+        "K": int(getattr(session.preconditioner, "num_subdomains", 0)),
+        "steps": int(steps),
+        "dt": problem.dt,
+        "theta": problem.theta,
+        "setup_s": round(session.setup_time, 6),
+        "step_ms_p50": round(float(np.median(step_ms)), 4),
+        "amortized_step_ms": round(result.per_step_ms, 4),
+        "iters_median": int(np.median(result.iterations)),
+        "total_s": round(result.elapsed_time, 6),
+    }
+    return record, result
+
+
+def bench_fresh_per_step(problem, states: np.ndarray, sample_steps: int) -> tuple:
+    """Per-step cost of re-paying prepare() before every solve, and whether
+    the fresh trajectory stays bit-identical to the marched one."""
+    times = []
+    bit_identical = True
+    for k in range(sample_steps):
+        u = states[k]
+        b = problem.step_rhs(u)
+        t0 = time.perf_counter()
+        fresh = prepare(problem, make_config("ddm-lu"))
+        solved = fresh.solve(b, x0=u.copy())
+        times.append(time.perf_counter() - t0)
+        if not np.array_equal(solved.solution, states[k + 1]):
+            bit_identical = False
+    return float(np.median(times) * 1e3), bit_identical
+
+
+def bench_scipy_per_step(problem, states: np.ndarray, sample_steps: int) -> float:
+    """Per-step cost of the naive pattern: one spsolve (fresh factorisation)
+    per step against the same right-hand-side sequence."""
+    matrix = problem.matrix.tocsc()
+    times = []
+    for k in range(sample_steps):
+        b = problem.step_rhs(states[k])
+        t0 = time.perf_counter()
+        spla.spsolve(matrix, b)
+        times.append(time.perf_counter() - t0)
+    return float(np.median(times) * 1e3)
+
+
+def merge_output(path: Path, records: list, meta: dict) -> int:
+    """Replace the march records inside an existing bench payload, or write a
+    standalone one.  bench_perf's records and summary keys are untouched."""
+    if path.exists():
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    else:
+        payload = {"bench": "bench_march", "records": []}
+    kept = [r for r in payload.get("records", [])
+            if not str(r.get("solver", "")).startswith("march")]
+    payload["records"] = kept + records
+    payload["march"] = meta
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return len(records)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help=f"single ~{SMOKE_TARGET_N}-node mesh, fewer steps (CI smoke job)")
+    parser.add_argument("--steps", type=int, default=None,
+                        help="time steps per march (default: 25 with --smoke, 50 otherwise)")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help=f"bench JSON to merge march records into (default: {DEFAULT_OUTPUT})")
+    parser.add_argument("--checkpoint", type=Path, default=None,
+                        help="trained checkpoint for the march-ddm-gnn record "
+                             "(repro.gnn.checkpoint format)")
+    args = parser.parse_args(argv)
+
+    scale = bench_scale()
+    if args.smoke:
+        sizes = (SMOKE_TARGET_N,)
+        steps = args.steps if args.steps is not None else 25
+    else:
+        sizes = scale.table3_sizes
+        steps = args.steps if args.steps is not None else 50
+
+    model = get_pretrained_model(checkpoint=str(args.checkpoint) if args.checkpoint else None)
+    rng = np.random.default_rng(11)
+
+    all_records = []
+    for target_n in sizes:
+        mesh = mesh_for_target_size(target_n, element_size=ELEMENT_SIZE, rng=rng)
+        problem = make_problem("heat", mesh=mesh, rng=rng, dt=DT, theta=THETA)
+        record, result = bench_march_solver(problem, "ddm-lu", steps)
+        sample = min(steps, FRESH_SAMPLE_STEPS)
+        fresh_ms, bit_identical = bench_fresh_per_step(problem, result.states, sample)
+        scipy_ms = bench_scipy_per_step(problem, result.states, sample)
+        record.update({
+            "fresh_ms_p50": round(fresh_ms, 4),
+            "scipy_ms_p50": round(scipy_ms, 4),
+            "amortized_speedup": round(fresh_ms / record["step_ms_p50"], 3),
+            "scipy_speedup": round(scipy_ms / record["step_ms_p50"], 3),
+            "bit_identical": bool(bit_identical),
+        })
+        all_records.append(record)
+
+        gnn_record, gnn_result = bench_march_solver(problem, "ddm-gnn", steps, model=model)
+        all_records.append(gnn_record)
+
+        print(f"\nn={problem.num_dofs}  (K={record['K']}, steps={steps}, "
+              f"dt={DT:g}, theta={THETA:g}, tolerance={TOLERANCE:g})")
+        print(format_table(
+            ["solver", "setup_s", "step_ms_p50", "fresh_ms_p50", "scipy_ms_p50",
+             "speedup", "iters_p50", "total_s"],
+            [
+                [r["solver"], f"{r['setup_s']:.3f}", f"{r['step_ms_p50']:.2f}",
+                 f"{r['fresh_ms_p50']:.2f}" if "fresh_ms_p50" in r else "-",
+                 f"{r['scipy_ms_p50']:.2f}" if "scipy_ms_p50" in r else "-",
+                 f"{r['amortized_speedup']:.1f}x" if "amortized_speedup" in r else "-",
+                 r["iters_median"], f"{r['total_s']:.3f}"]
+                for r in (record, gnn_record)
+            ],
+        ))
+        print(result.summary())
+        print("march-ddm-gnn: " + gnn_result.summary())
+        if not bit_identical:
+            print("WARNING: fresh-session trajectory diverged from the march "
+                  "(bit_identical=False) — check_perf will fail the march gate")
+
+    meta = {
+        "steps": steps,
+        "dt": DT,
+        "theta": THETA,
+        "tolerance": TOLERANCE,
+        "smoke": bool(args.smoke),
+        "amortized_speedup": {
+            str(r["n"]): r["amortized_speedup"]
+            for r in all_records if "amortized_speedup" in r
+        },
+    }
+    written = merge_output(args.output, all_records, meta)
+    print(f"\nmerged {written} march records into {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -38,6 +38,14 @@ missing-metric tolerant: an absent serve baseline, an unmatched cell or a
 missing metric is reported and skipped, never failed, so older baselines keep
 gating what they can.
 
+``--march-fresh`` gates the time-marching subsystem against a fresh
+``bench_march.py`` run: every ``march-ddm-lu`` record must reach
+``--march-min`` (default 5×) between re-paying ``prepare()`` per step and the
+amortised marched step — a within-run ratio, so no machine normalisation is
+needed — and its trajectory must be bit-identical to the fresh-session one.
+March latency (``step_ms_p50``/``total_s``) additionally gates against the
+committed baseline's march records through the usual normalised pool.
+
 Finally, ``--scaling-gate W1_JSON WN_JSON`` gates multi-process sharded
 serving: it compares an N-worker ``bench_serve.py --workers N`` run against a
 1-worker run from the *same machine and commit* and requires the best
@@ -57,6 +65,7 @@ Usage::
     python benchmarks/check_perf.py --serve-fresh /tmp/serve_smoke.json
     python benchmarks/check_perf.py --fresh new.json --serve-fresh serve.json
     python benchmarks/check_perf.py --scaling-gate serve_w1.json serve_w4.json
+    python benchmarks/check_perf.py --march-fresh /tmp/march_smoke.json
 """
 
 from __future__ import annotations
@@ -73,9 +82,10 @@ DEFAULT_SERVE_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_serve.j
 #: serve metrics gated per (solver, clients, batching) cell
 SERVE_GATED_METRICS = ("lat_ms_p50",)
 #: gated metrics; resolve_ms_p50 (the amortised repeated-RHS serving cost of a
-#: prepared SolverSession) is skipped for records that don't carry it (e.g.
-#: ddm-gnn-ref, or baselines predating the setup/solve split)
-GATED_METRICS = ("apply_ms_p50", "total_s", "resolve_ms_p50")
+#: prepared SolverSession) and step_ms_p50 (the amortised per-step cost of a
+#: time march) are skipped for records that don't carry them (e.g.
+#: ddm-gnn-ref, steady-solver records, or baselines predating either split)
+GATED_METRICS = ("apply_ms_p50", "total_s", "resolve_ms_p50", "step_ms_p50")
 
 
 def load_records(path: Path) -> List[Dict]:
@@ -285,6 +295,62 @@ def gate_scaling(base_path: Path, scaled_path: Path, min_ratio: float,
     return []
 
 
+def gate_march(march_path: Path, baseline_path: Path, min_speedup: float,
+               threshold: float) -> List[Tuple]:
+    """The time-marching gate: amortisation must pay, bit-for-bit.
+
+    Self-contained within the fresh run (machine-independent — both sides of
+    the ratio ran on the same machine in the same process):
+
+    * every ``march-ddm-lu`` record must reach ``min_speedup``× between its
+      ``fresh_ms_p50`` (re-paying ``prepare()`` every step) and its amortised
+      ``step_ms_p50`` — the acceptance criterion of the setup/solve split
+      applied to time marching;
+    * its ``bit_identical`` flag must be true: the marched trajectory and the
+      fresh-session trajectory are the same solve sequence, so any divergence
+      is a determinism bug, not noise.
+
+    On top of that, march latency metrics (``step_ms_p50``/``total_s``) gate
+    against the committed baseline's march records through the usual
+    machine-normalised pool when the baseline carries any.
+    """
+    records = load_records(march_path)
+    march_records = [r for r in records
+                     if str(r.get("solver", "")).startswith("march")]
+    if not march_records:
+        print(f"error: no march records in {march_path}")
+        return [("march", 0, "records", 0.0)]
+    failures = []
+    print(f"\n[march] amortised step vs fresh prepare()+solve, gated at {min_speedup:g}x")
+    print(f"{'record':<16} {'n':>7} {'step_ms':>9} {'fresh_ms':>10} {'speedup':>8}  verdict")
+    for record in march_records:
+        label = str(record["solver"])
+        n = int(record.get("n", 0))
+        speedup = record.get("amortized_speedup")
+        if speedup is None:
+            continue  # the ddm-gnn rider record has no fresh baseline
+        verdict = "ok"
+        if record.get("bit_identical") is not True:
+            verdict = "NOT BIT-IDENTICAL"
+            failures.append((label, n, "bit_identical", 0.0))
+        elif float(speedup) < min_speedup:
+            verdict = f"TOO SLOW (< {min_speedup:g}x)"
+            failures.append((label, n, "amortized_speedup", float(speedup)))
+        print(f"{label:<16} {n:>7} {record.get('step_ms_p50', 0):>9.2f} "
+              f"{record.get('fresh_ms_p50', 0):>10.2f} {float(speedup):>7.1f}x  {verdict}")
+
+    if baseline_path.exists():
+        baseline_march = [r for r in load_records(baseline_path)
+                          if str(r.get("solver", "")).startswith("march")]
+        if baseline_march:
+            ratios = collect_ratios(march_records, baseline_march)
+            if ratios:
+                failures += gate(ratios, threshold, "march latency")
+        else:
+            print("note: baseline has no march records — march latency gate skipped")
+    return failures
+
+
 def gate(ratios: List[Tuple[str, int, str, float]], threshold: float, title: str) -> List[Tuple]:
     """Print the normalised table for one ratio pool; returns its failures."""
     machine_factor = median([ratio for _, _, _, ratio in ratios])
@@ -317,6 +383,12 @@ def main(argv=None) -> int:
     parser.add_argument("--iters-drift-limit", type=float, default=1.2,
                         help="maximum f32/f64 ddm-gnn iteration-count ratio at the same "
                              "problem size (default 1.2; applied to --fresh records)")
+    parser.add_argument("--march-fresh", type=Path, default=None,
+                        help="bench_march JSON output of the run under test "
+                             "(gates amortized_speedup, bit-identity and march latency)")
+    parser.add_argument("--march-min", type=float, default=5.0,
+                        help="minimum fresh/step amortised speedup each march-ddm-lu "
+                             "record must reach (default 5.0)")
     parser.add_argument("--scaling-gate", type=Path, nargs=2, default=None,
                         metavar=("W1_JSON", "WN_JSON"),
                         help="gate N-worker throughput against a 1-worker run "
@@ -329,8 +401,9 @@ def main(argv=None) -> int:
                              "--scaling-min when cpus < workers (default 0.5)")
     args = parser.parse_args(argv)
 
-    if args.fresh is None and args.serve_fresh is None and args.scaling_gate is None:
-        parser.error("provide --fresh, --serve-fresh and/or --scaling-gate")
+    if args.fresh is None and args.serve_fresh is None and args.scaling_gate is None \
+            and args.march_fresh is None:
+        parser.error("provide --fresh, --serve-fresh, --march-fresh and/or --scaling-gate")
 
     failures = []
 
@@ -355,6 +428,10 @@ def main(argv=None) -> int:
                 failures += gate(serve_ratios, args.threshold, "serve")
             else:
                 print("note: no comparable serve cells — serve gate skipped")
+
+    if args.march_fresh is not None:
+        failures += gate_march(args.march_fresh, args.baseline,
+                               args.march_min, args.threshold)
 
     if args.scaling_gate is not None:
         base_path, scaled_path = args.scaling_gate

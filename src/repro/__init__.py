@@ -18,6 +18,10 @@ The package is organised bottom-up (see DESIGN.md):
 * :mod:`repro.solvers` — the solver surface: registry-driven
   :class:`~repro.solvers.session.SolverSession` objects with amortised setup
   and multi-RHS serving (``prepare(problem, config).solve_many(B)``);
+* :mod:`repro.timestepping` — implicit θ-scheme time marching on amortised
+  sessions (``prepare(make_problem("heat")).march(steps=100)``), including
+  lockstep-batched independent trajectories and the first 3D (tetrahedral)
+  problem families;
 * :mod:`repro.experiments` — the reproducible experiment harness
   (``python -m repro.experiments run --spec spec.json``) driving
   seed→mesh→train→checkpoint→bench→report from a declarative JSON spec;
@@ -59,10 +63,11 @@ from . import (
     problems,
     serve,
     solvers,
+    timestepping,
     utils,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "nn",
@@ -75,6 +80,7 @@ __all__ = [
     "gnn",
     "core",
     "solvers",
+    "timestepping",
     "serve",
     "experiments",
     "faults",

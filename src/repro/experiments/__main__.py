@@ -34,6 +34,42 @@ def _add_spec_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--spec", type=Path, required=True, help="path to the experiment spec JSON")
 
 
+def _show_march_records(bench_path: Path) -> None:
+    """Print the amortised time-marching records from ``BENCH_perf.json``.
+
+    ``benchmarks/bench_march.py`` appends records whose ``solver`` starts with
+    ``march`` (e.g. ``march-ddm-lu``); this renders their steps-aware summary
+    the same way :meth:`MarchResult.summary` does, so ``repro.experiments
+    show`` surfaces the amortised per-step cost next to the other bench
+    artifacts.
+    """
+    if not bench_path.exists():
+        return
+    try:
+        payload = json.loads(bench_path.read_text(encoding="utf-8"))
+    except (json.JSONDecodeError, OSError):
+        return
+    records = [
+        r for r in payload.get("records", [])
+        if str(r.get("solver", "")).startswith("march")
+    ]
+    if not records:
+        return
+    print("\ntime marching (amortized per step):")
+    for record in records:
+        line = (
+            f"  {record.get('solver', '?'):<14} n={record.get('n', '?'):<6} "
+            f"steps={record.get('steps', '?'):<4} "
+            f"{float(record.get('step_ms_p50', float('nan'))):8.3f} ms/step"
+        )
+        speedup = record.get("amortized_speedup")
+        if speedup is not None:
+            line += f"  ({float(speedup):.1f}x vs fresh prepare+solve)"
+        if record.get("bit_identical") is True:
+            line += "  [bit-identical]"
+        print(line)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -112,6 +148,7 @@ def main(argv=None) -> int:
         ):
             status = "exists" if path.exists() else "missing"
             print(f"  {label}: {path}  ({status})")
+        _show_march_records(repo_root / "BENCH_perf.json")
         return 0
 
     harness = ExperimentHarness(spec, artifacts_root=args.artifacts_root)

@@ -9,6 +9,10 @@ Public surface:
   :func:`~repro.fem.assembly.assemble_boundary_mass`,
   :func:`~repro.fem.assembly.assemble_boundary_load`,
   :func:`~repro.fem.assembly.apply_dirichlet` — matrix/vector assembly.
+* :mod:`repro.fem.assembly3d` — the tetrahedral P1 counterparts
+  (:func:`~repro.fem.assembly3d.assemble_stiffness_3d`,
+  :func:`~repro.fem.assembly3d.assemble_mass_3d`,
+  :func:`~repro.fem.assembly3d.assemble_load_3d`).
 * :class:`~repro.fem.problem.Problem`,
   :class:`~repro.fem.poisson.PoissonProblem`,
   :class:`~repro.fem.problem.DiffusionProblem`,
@@ -25,6 +29,14 @@ Public surface:
 * :mod:`repro.fem.quadrature` — quadrature rules on triangles.
 """
 
+from .assembly3d import (
+    assemble_load_3d,
+    assemble_mass_3d,
+    assemble_stiffness_3d,
+    evaluate_on_tets,
+    tet_centroids,
+    tet_gradient_operators,
+)
 from .assembly import (
     apply_dirichlet,
     assemble_boundary_load,
@@ -76,6 +88,12 @@ __all__ = [
     "gradient_operators",
     "triangle_centroids",
     "evaluate_on_triangles",
+    "assemble_stiffness_3d",
+    "assemble_mass_3d",
+    "assemble_load_3d",
+    "tet_gradient_operators",
+    "tet_centroids",
+    "evaluate_on_tets",
     "Problem",
     "PoissonProblem",
     "DiffusionProblem",

@@ -139,21 +139,24 @@ def split_boundary_edges(
 
 
 def node_averaged_diffusion(mesh: TriangularMesh, triangle_values: np.ndarray) -> np.ndarray:
-    """Area-weighted average of per-triangle κ onto the nodes.
+    """Measure-weighted average of per-cell κ onto the nodes.
 
     This is the per-node κ feature the GNN consumes: each node receives the
-    area-weighted mean of the κ values of its incident triangles, so
-    piecewise-constant fields stay exact away from material interfaces and
-    get a single-layer transition across them.
+    measure-weighted mean of the κ values of its incident cells (triangle
+    areas in 2D, tetrahedron volumes in 3D), so piecewise-constant fields
+    stay exact away from material interfaces and get a single-layer
+    transition across them.
     """
-    triangle_values = np.broadcast_to(
-        np.asarray(triangle_values, dtype=np.float64), (mesh.num_triangles,)
+    cells = mesh.cells
+    cell_values = np.broadcast_to(
+        np.asarray(triangle_values, dtype=np.float64), (cells.shape[0],)
     )
-    areas = np.abs(mesh.triangle_areas)
+    measures = np.abs(mesh.cell_measures)
+    verts_per_cell = cells.shape[1]
     weighted = np.zeros(mesh.num_nodes)
     weight = np.zeros(mesh.num_nodes)
-    np.add.at(weighted, mesh.triangles.ravel(), np.repeat(triangle_values * areas, 3))
-    np.add.at(weight, mesh.triangles.ravel(), np.repeat(areas, 3))
+    np.add.at(weighted, cells.ravel(), np.repeat(cell_values * measures, verts_per_cell))
+    np.add.at(weight, cells.ravel(), np.repeat(measures, verts_per_cell))
     return weighted / np.maximum(weight, 1e-300)
 
 
@@ -238,7 +241,7 @@ class Problem:
             np.ascontiguousarray(matrix.data, dtype=np.float64),
             np.ascontiguousarray(self.rhs, dtype=np.float64),
             np.ascontiguousarray(self.mesh.nodes, dtype=np.float64),
-            np.asarray(self.mesh.triangles, dtype=np.int64),
+            np.asarray(self.mesh.cells, dtype=np.int64),
             self.dirichlet_mask,
         ):
             digest.update(part.tobytes())
@@ -246,9 +249,20 @@ class Problem:
         if self.node_diffusion is not None:
             digest.update(np.ascontiguousarray(self.node_diffusion, dtype=np.float64).tobytes())
         digest.update(b"|symmetric=1" if self.symmetric else b"|symmetric=0")
+        digest.update(self._fingerprint_extra())
         value = digest.hexdigest()
         object.__setattr__(self, "_fingerprint", value)
         return value
+
+    def _fingerprint_extra(self) -> bytes:
+        """Subclass hook: extra bytes folded into :meth:`fingerprint`.
+
+        The base problem contributes nothing (so existing steady-state hashes
+        are unchanged); time-dependent problems append their scheme
+        parameters and step operators here so serve session caches never mix
+        different θ/dt discretisations of the same spatial operator.
+        """
+        return b""
 
     def residual(self, u: np.ndarray) -> np.ndarray:
         """Return the algebraic residual ``b - A u``."""
@@ -270,7 +284,7 @@ class Problem:
 
     def l2_error(self, u: np.ndarray, exact: ScalarField) -> float:
         """Discrete relative L2 error against an exact solution evaluated at the nodes."""
-        u_exact = np.asarray(exact(self.mesh.nodes[:, 0], self.mesh.nodes[:, 1]), dtype=np.float64)
+        u_exact = np.asarray(exact(*self.mesh.nodes.T), dtype=np.float64)
         denom = np.linalg.norm(u_exact)
         if denom == 0.0:
             return float(np.linalg.norm(u - u_exact))

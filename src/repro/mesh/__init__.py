@@ -6,6 +6,9 @@ Public surface:
   FEM, partitioning and the GNN.
 * :func:`~repro.mesh.triangulation.triangulate`,
   :func:`~repro.mesh.triangulation.structured_rectangle_mesh` — mesh generation.
+* :class:`~repro.mesh.tet.TetrahedralMesh`,
+  :func:`~repro.mesh.tet.structured_box_mesh`,
+  :func:`~repro.mesh.tet.box_mesh_for_target_size` — structured 3D tet meshes.
 * :func:`~repro.mesh.shapes.random_domain_mesh`,
   :func:`~repro.mesh.shapes.formula1_mesh`,
   :func:`~repro.mesh.shapes.disk_mesh`,
@@ -17,6 +20,7 @@ Public surface:
 
 from .curves import ClosedCurve, circle_curve, polygon_contains, random_boundary_curve
 from .mesh import TriangularMesh
+from .tet import TetrahedralMesh, box_mesh_for_target_size, structured_box_mesh
 from .shapes import (
     DEFAULT_ELEMENT_SIZE,
     disk_mesh,
@@ -29,6 +33,9 @@ from .triangulation import resample_polygon, structured_rectangle_mesh, triangul
 
 __all__ = [
     "TriangularMesh",
+    "TetrahedralMesh",
+    "structured_box_mesh",
+    "box_mesh_for_target_size",
     "ClosedCurve",
     "random_boundary_curve",
     "circle_curve",

@@ -58,6 +58,21 @@ class TriangularMesh:
     def num_triangles(self) -> int:
         return int(self.triangles.shape[0])
 
+    @property
+    def dim(self) -> int:
+        return 2
+
+    @property
+    def cells(self) -> np.ndarray:
+        """Dimension-neutral connectivity alias (``triangles`` here, tets in 3D).
+
+        Code that must work on both :class:`TriangularMesh` and
+        :class:`~repro.mesh.tet.TetrahedralMesh` (fingerprints, shared-memory
+        packing, node averaging) consumes ``cells`` / ``cell_measures``
+        instead of the 2D-specific names.
+        """
+        return self.triangles
+
     # ------------------------------------------------------------------ #
     # topology
     # ------------------------------------------------------------------ #
@@ -140,6 +155,11 @@ class TriangularMesh:
         v1 = p[:, 1] - p[:, 0]
         v2 = p[:, 2] - p[:, 0]
         return 0.5 * (v1[:, 0] * v2[:, 1] - v1[:, 1] * v2[:, 0])
+
+    @property
+    def cell_measures(self) -> np.ndarray:
+        """Dimension-neutral measure alias (areas here, volumes in 3D)."""
+        return self.triangle_areas
 
     @cached_property
     def total_area(self) -> float:

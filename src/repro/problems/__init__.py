@@ -18,6 +18,8 @@ See :mod:`repro.problems.families` for the built-in family definitions.
 """
 
 from . import families  # noqa: F401  — importing populates the registry
+from . import families3d  # noqa: F401  — 3D tetrahedral families
+from . import transient  # noqa: F401  — time-dependent θ-scheme families
 from .registry import (
     ProblemFactory,
     ProblemSpec,

@@ -126,8 +126,10 @@ def make_problem(
 
     When ``mesh`` is None a random Bezier domain is generated (the paper's
     training distribution); ``element_size`` / ``radius`` kwargs are routed to
-    the mesh generator in that case.  Remaining kwargs override the family's
-    registered defaults and are passed to its factory.
+    the mesh generator in that case.  Families registered with ``dim=3``
+    (``poisson3d``, ``heat3d``, …) instead get a deterministic structured
+    tetrahedral box mesh sized by ``target_nodes``.  Remaining kwargs
+    override the family's registered defaults and are passed to its factory.
 
     >>> import numpy as np
     >>> from repro.mesh import structured_rectangle_mesh
@@ -135,18 +137,31 @@ def make_problem(
     ...                        rng=np.random.default_rng(0))
     >>> bool(problem.relative_residual_norm(problem.solve_direct()) < 1e-10)
     True
+    >>> problem3d = make_problem("poisson3d", rng=np.random.default_rng(0),
+    ...                          target_nodes=216)
+    >>> problem3d.mesh.dim, problem3d.num_dofs
+    (3, 216)
     """
     spec = problem_spec(name)
     rng = rng if rng is not None else np.random.default_rng()
     merged = dict(spec.default_kwargs)
     merged.update(kwargs)
+    dim = int(merged.pop("dim", 2))
     if mesh is None:
-        mesh = random_domain_mesh(
-            radius=float(merged.pop("radius", 1.0)),
-            element_size=float(merged.pop("element_size", 0.1)),
-            rng=rng,
-        )
+        if dim == 3:
+            from ..mesh.tet import box_mesh_for_target_size
+
+            mesh = box_mesh_for_target_size(int(merged.pop("target_nodes", 512)))
+            merged.pop("radius", None)
+            merged.pop("element_size", None)
+        else:
+            mesh = random_domain_mesh(
+                radius=float(merged.pop("radius", 1.0)),
+                element_size=float(merged.pop("element_size", 0.1)),
+                rng=rng,
+            )
     else:
         merged.pop("radius", None)
         merged.pop("element_size", None)
+        merged.pop("target_nodes", None)
     return spec.factory(mesh, rng=rng, **merged)

@@ -1,0 +1,190 @@
+"""Built-in time-dependent problem families (θ-scheme step operators).
+
+Each factory assembles the semi-discrete operators ``M du/dt + A u = f`` and
+bakes them into a :class:`~repro.timestepping.problem.TimeDependentProblem`
+via :meth:`~repro.timestepping.problem.TimeDependentProblem.from_theta_scheme`.
+The step operator ``M/dt + θ·A`` is what one
+:func:`repro.solvers.prepare` session factorises once and then re-solves for
+every step of :meth:`~repro.solvers.session.SolverSession.march`.
+
+Families
+--------
+``heat``
+    2D heat equation ``∂u/∂t − ∇·(κ∇u) = f`` with Dirichlet boundary data
+    and a configurable θ (backward Euler by default), on any 2D mesh.
+``heat3d``
+    The same on a tetrahedral box mesh — the first time-dependent 3D
+    workload (``dim=3`` routing builds the mesh when none is given).
+``convection-diffusion-transient``
+    **Nonsymmetric** ``∂u/∂t − κΔu + b·∇u = f`` with row-mode Dirichlet
+    elimination, marched with ``gmres``/``bicgstab`` sessions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+import numpy as np
+
+from ..fem.assembly import (
+    assemble_convection,
+    assemble_load,
+    assemble_mass,
+    assemble_stiffness,
+    evaluate_on_triangles,
+)
+from ..fem.assembly3d import assemble_load_3d, assemble_mass_3d, assemble_stiffness_3d
+from ..fem.functions import random_boundary, random_forcing
+from ..fem.problem import node_averaged_diffusion
+from ..mesh.mesh import TriangularMesh
+from ..mesh.tet import TetrahedralMesh
+from ..timestepping.problem import TimeDependentProblem
+from .families3d import random_boundary_3d, random_forcing_3d
+from .registry import register_problem
+
+__all__ = []  # families are consumed through the registry, not imported
+
+
+@register_problem(
+    "heat",
+    description="2D heat equation θ-scheme (constant step operator M/dt + θK)",
+    dt=0.01,
+    theta=1.0,
+)
+def _heat(
+    mesh: TriangularMesh,
+    rng: np.random.Generator,
+    dt: float = 0.01,
+    theta: float = 1.0,
+    diffusion: Union[None, float, Callable] = None,
+    forcing: Optional[Callable] = None,
+    boundary: Optional[Callable] = None,
+    initial: Union[None, np.ndarray, Callable] = None,
+    lumped: bool = False,
+) -> TimeDependentProblem:
+    if forcing is None:
+        forcing = random_forcing(rng)
+    if boundary is None:
+        boundary = random_boundary(rng)
+    node_diffusion = None
+    if diffusion is not None:
+        triangle_diffusion = evaluate_on_triangles(mesh, diffusion)
+        spatial = assemble_stiffness(mesh, diffusion=triangle_diffusion)
+        node_diffusion = node_averaged_diffusion(mesh, triangle_diffusion)
+    else:
+        spatial = assemble_stiffness(mesh)
+    mass = assemble_mass(mesh, lumped=lumped)
+    load = assemble_load(mesh, forcing)
+    dnodes = np.asarray(mesh.boundary_nodes, dtype=np.int64)
+    dvalues = np.broadcast_to(
+        np.asarray(boundary(*mesh.nodes[dnodes].T), dtype=np.float64), dnodes.shape
+    ).copy()
+    return TimeDependentProblem.from_theta_scheme(
+        mesh,
+        spatial=spatial,
+        mass=mass,
+        load=load,
+        dt=dt,
+        theta=theta,
+        dirichlet_nodes=dnodes,
+        dirichlet_values=dvalues,
+        initial_state=initial,
+        node_diffusion=node_diffusion,
+        lumped_mass=lumped,
+    )
+
+
+@register_problem(
+    "heat3d",
+    description="3D heat equation θ-scheme on a tetrahedral box mesh",
+    dim=3,
+    dt=0.01,
+    theta=1.0,
+)
+def _heat3d(
+    mesh: TetrahedralMesh,
+    rng: np.random.Generator,
+    dt: float = 0.01,
+    theta: float = 1.0,
+    forcing: Optional[Callable] = None,
+    boundary: Optional[Callable] = None,
+    initial: Union[None, np.ndarray, Callable] = None,
+    lumped: bool = False,
+) -> TimeDependentProblem:
+    if forcing is None:
+        forcing = random_forcing_3d(rng)
+    if boundary is None:
+        boundary = random_boundary_3d(rng)
+    spatial = assemble_stiffness_3d(mesh)
+    mass = assemble_mass_3d(mesh, lumped=lumped)
+    load = assemble_load_3d(mesh, forcing)
+    dnodes = np.asarray(mesh.boundary_nodes, dtype=np.int64)
+    dvalues = np.broadcast_to(
+        np.asarray(boundary(*mesh.nodes[dnodes].T), dtype=np.float64), dnodes.shape
+    ).copy()
+    return TimeDependentProblem.from_theta_scheme(
+        mesh,
+        spatial=spatial,
+        mass=mass,
+        load=load,
+        dt=dt,
+        theta=theta,
+        dirichlet_nodes=dnodes,
+        dirichlet_values=dvalues,
+        initial_state=initial,
+        lumped_mass=lumped,
+    )
+
+
+@register_problem(
+    "convection-diffusion-transient",
+    description="Nonsymmetric transient ∂u/∂t − κΔu + b·∇u = f (row-mode BCs)",
+    dt=0.01,
+    theta=1.0,
+    peclet=20.0,
+)
+def _convection_diffusion_transient(
+    mesh: TriangularMesh,
+    rng: np.random.Generator,
+    dt: float = 0.01,
+    theta: float = 1.0,
+    diffusion: float = 1.0,
+    peclet: float = 20.0,
+    angle: Optional[float] = None,
+    lumped: bool = False,
+) -> TimeDependentProblem:
+    """Transient convection-diffusion at a given domain Péclet number.
+
+    The advection speed is scaled exactly as in the steady
+    ``convection-diffusion`` family; the spatial operator (stiffness +
+    convection) is nonsymmetric, so the step operator is eliminated in
+    ``"row"`` mode and marched through ``gmres``/``bicgstab`` sessions.
+    """
+    lo = mesh.nodes.min(axis=0)
+    hi = mesh.nodes.max(axis=0)
+    length = float(max(hi - lo))
+    direction = float(rng.uniform(0.0, 2.0 * np.pi)) if angle is None else float(angle)
+    speed = float(peclet) * float(diffusion) / max(length, 1e-12)
+    velocity = (speed * np.cos(direction), speed * np.sin(direction))
+
+    spatial = assemble_stiffness(mesh, diffusion=float(diffusion)) \
+        + assemble_convection(mesh, velocity)
+    mass = assemble_mass(mesh, lumped=lumped)
+    load = assemble_load(mesh, random_forcing(rng))
+    boundary = random_boundary(rng)
+    dnodes = np.asarray(mesh.boundary_nodes, dtype=np.int64)
+    dvalues = np.broadcast_to(
+        np.asarray(boundary(*mesh.nodes[dnodes].T), dtype=np.float64), dnodes.shape
+    ).copy()
+    return TimeDependentProblem.from_theta_scheme(
+        mesh,
+        spatial=spatial,
+        mass=mass,
+        load=load,
+        dt=dt,
+        theta=theta,
+        dirichlet_nodes=dnodes,
+        dirichlet_values=dvalues,
+        dirichlet_mode="row",
+        lumped_mass=lumped,
+    )

@@ -25,7 +25,8 @@ import numpy as np
 from ..fem.problem import Problem
 from ..gnn.checkpoint import config_hash
 from ..mesh.shapes import mesh_for_target_size
-from ..problems import make_problem
+from ..mesh.tet import box_mesh_for_target_size
+from ..problems import make_problem, problem_spec
 
 __all__ = ["ProblemCache", "build_problem_from_spec", "DEFAULT_PROBLEM_SPEC"]
 
@@ -58,13 +59,23 @@ def _normalise_spec(spec: Optional[Dict]) -> Dict[str, object]:
 
 
 def build_problem_from_spec(spec: Optional[Dict]) -> Problem:
-    """Assemble the problem a spec describes (deterministic in the seed)."""
+    """Assemble the problem a spec describes (deterministic in the seed).
+
+    Families registered with ``dim=3`` (``poisson3d``, ``heat3d``, …) resolve
+    onto a deterministic structured tetrahedral box mesh sized by
+    ``target_n`` — no RNG touches 3D mesh generation, so every worker
+    reproduces the same mesh (and fingerprint) bit-for-bit.
+    """
     spec = _normalise_spec(spec)
     rng = np.random.default_rng(spec["seed"])
-    mesh = mesh_for_target_size(
-        spec["target_n"], element_size=spec["element_size"], rng=rng
-    )
-    return make_problem(str(spec["family"]), mesh=mesh, rng=rng, **spec["kwargs"])
+    family = str(spec["family"])
+    if int(problem_spec(family).default_kwargs.get("dim", 2)) == 3:
+        mesh = box_mesh_for_target_size(max(int(spec["target_n"]), 8))
+    else:
+        mesh = mesh_for_target_size(
+            spec["target_n"], element_size=spec["element_size"], rng=rng
+        )
+    return make_problem(family, mesh=mesh, rng=rng, **spec["kwargs"])
 
 
 class ProblemCache:

@@ -118,6 +118,19 @@ class MultiSolveResult:
         ]
         if batch_sizes:
             text += f", batch size {min(batch_sizes)}..{max(batch_sizes)}"
+        # time-marching metadata, when the results belong to a march
+        # (repro.timestepping stamps steps/amortized_step_ms)
+        steps_values = {int(r.info["steps"]) for r in self.results if "steps" in r.info}
+        step_costs = [
+            float(r.info["amortized_step_ms"])
+            for r in self.results
+            if "amortized_step_ms" in r.info
+        ]
+        if len(steps_values) == 1 and step_costs:
+            text += (
+                f", {float(np.median(step_costs)):.3f} ms/step amortized "
+                f"over {steps_values.pop()} steps"
+            )
         return text
 
 
@@ -508,6 +521,53 @@ class SolverSession:
             results = [self.solve(row, x0=x0) for row in vectors]
         return MultiSolveResult(
             results=results, elapsed_time=time.perf_counter() - start, mode="sequential"
+        )
+
+    # ------------------------------------------------------------------ #
+    def march(
+        self,
+        u0: Optional[np.ndarray] = None,
+        dt: Optional[float] = None,
+        steps: int = 1,
+        warm_start: bool = True,
+        record_states: bool = False,
+    ):
+        """March a time-dependent problem ``steps`` θ-steps through this session.
+
+        Requires the session to have been prepared over a
+        :class:`~repro.timestepping.problem.TimeDependentProblem` (e.g.
+        ``make_problem("heat")``); the constant step operator
+        ``M/dt + θ·A`` is exactly the prepared operator, so setup is paid
+        zero additional times and every step is a pure :meth:`solve`.
+        Returns a :class:`~repro.timestepping.march.MarchResult` with one
+        :class:`SolveResult` per step — bit-identical to issuing the same
+        ``solve`` calls by hand.  See :func:`repro.timestepping.march.march`.
+        """
+        from ..timestepping.march import march as _march
+
+        return _march(
+            self, u0=u0, dt=dt, steps=steps,
+            warm_start=warm_start, record_states=record_states,
+        )
+
+    def march_many(
+        self,
+        U0,
+        dt: Optional[float] = None,
+        steps: int = 1,
+        mode: str = "auto",
+        record_states: bool = False,
+    ):
+        """March independent trajectories in lockstep through :meth:`solve_many`.
+
+        ``U0`` stacks the initial states as rows; each trajectory's result is
+        bit-identical to ``march(u0=U0[j], warm_start=False)`` per the
+        lockstep contract.  See :func:`repro.timestepping.march.march_many`.
+        """
+        from ..timestepping.march import march_many as _march_many
+
+        return _march_many(
+            self, U0, dt=dt, steps=steps, mode=mode, record_states=record_states,
         )
 
     # ------------------------------------------------------------------ #

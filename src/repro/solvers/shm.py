@@ -202,41 +202,74 @@ class SharedArrayBundle:
 # --------------------------------------------------------------------------- #
 # Problem round trip
 # --------------------------------------------------------------------------- #
+def _pack_csr(arrays: Dict[str, np.ndarray], prefix: str, matrix: sp.csr_matrix) -> None:
+    arrays[f"{prefix}_data"] = matrix.data
+    arrays[f"{prefix}_indices"] = np.asarray(matrix.indices, dtype=np.int64)
+    arrays[f"{prefix}_indptr"] = np.asarray(matrix.indptr, dtype=np.int64)
+
+
+def _unpack_csr(arrays: Dict[str, np.ndarray], prefix: str, shape) -> sp.csr_matrix:
+    return sp.csr_matrix(
+        (arrays[f"{prefix}_data"], arrays[f"{prefix}_indices"], arrays[f"{prefix}_indptr"]),
+        shape=tuple(shape), copy=False,
+    )
+
+
 def problem_to_shm(problem: Problem) -> SharedArrayBundle:
     """Pack a problem's operator arrays into shared memory.
 
-    Only the base :class:`~repro.fem.problem.Problem` fields travel — exactly
-    what the solver stack and :meth:`~repro.fem.problem.Problem.fingerprint`
-    consume — so subclass extras (e.g. a ``DiffusionProblem``'s coefficient
-    callable, which cannot cross a process boundary) are dropped.  The
-    rebuilt problem's fingerprint is bit-equal to the original's.
+    Only the :class:`~repro.fem.problem.Problem` fields the solver stack and
+    :meth:`~repro.fem.problem.Problem.fingerprint` consume travel — subclass
+    extras that cannot cross a process boundary (e.g. a
+    ``DiffusionProblem``'s coefficient callable) are dropped.  Two problem
+    shapes are preserved exactly: the mesh kind (triangular or tetrahedral
+    cells) and :class:`~repro.timestepping.problem.TimeDependentProblem`'s
+    step operators (mass, explicit operator, step load, initial state and
+    the dt/θ scheme parameters), so a sharded worker can march the same
+    trajectory the parent would.  The rebuilt problem's fingerprint is
+    bit-equal to the original's.
     """
+    from ..timestepping.problem import TimeDependentProblem
+
     matrix = problem.matrix.tocsr()
     stiffness = problem.stiffness.tocsr()
+    cells = np.asarray(problem.mesh.cells, dtype=np.int64)
     arrays: Dict[str, np.ndarray] = {
-        "matrix_data": matrix.data,
-        "matrix_indices": np.asarray(matrix.indices, dtype=np.int64),
-        "matrix_indptr": np.asarray(matrix.indptr, dtype=np.int64),
-        "stiffness_data": stiffness.data,
-        "stiffness_indices": np.asarray(stiffness.indices, dtype=np.int64),
-        "stiffness_indptr": np.asarray(stiffness.indptr, dtype=np.int64),
         "rhs": problem.rhs,
         "nodes": problem.mesh.nodes,
-        "triangles": problem.mesh.triangles,
+        "cells": cells,
         "boundary_values": problem.boundary_values,
     }
+    _pack_csr(arrays, "matrix", matrix)
+    _pack_csr(arrays, "stiffness", stiffness)
     if problem.dirichlet_nodes is not None:
         arrays["dirichlet_nodes"] = np.asarray(problem.dirichlet_nodes, dtype=np.int64)
     if problem.node_diffusion is not None:
         arrays["node_diffusion"] = np.asarray(problem.node_diffusion, dtype=np.float64)
     meta = {
         "kind": "problem",
+        "mesh_kind": "tet" if cells.shape[1] == 4 else "tri",
         "matrix_shape": list(matrix.shape),
         "stiffness_shape": list(stiffness.shape),
         "dirichlet_mode": problem.dirichlet_mode,
         "symmetric": bool(problem.symmetric),
         "fingerprint": problem.fingerprint(),
     }
+    if isinstance(problem, TimeDependentProblem):
+        mass = problem.mass.tocsr()
+        explicit = problem.explicit_operator.tocsr()
+        _pack_csr(arrays, "mass", mass)
+        _pack_csr(arrays, "explicit", explicit)
+        arrays["step_load"] = problem.step_load
+        arrays["initial_state"] = problem.initial_state
+        meta.update({
+            "problem_kind": "time-dependent",
+            "mass_shape": list(mass.shape),
+            "explicit_shape": list(explicit.shape),
+            "dt": float(problem.dt),
+            "theta": float(problem.theta),
+            "lumped_mass": bool(problem.lumped_mass),
+        })
     return SharedArrayBundle.pack(arrays, meta=meta)
 
 
@@ -255,16 +288,16 @@ def problem_from_shm(manifest: Dict[str, object]) -> Problem:
         bundle.close()
         raise ValueError(f"manifest is not a problem bundle (kind={meta.get('kind')!r})")
     a = bundle.arrays
-    matrix = sp.csr_matrix(
-        (a["matrix_data"], a["matrix_indices"], a["matrix_indptr"]),
-        shape=tuple(meta["matrix_shape"]), copy=False,
-    )
-    stiffness = sp.csr_matrix(
-        (a["stiffness_data"], a["stiffness_indices"], a["stiffness_indptr"]),
-        shape=tuple(meta["stiffness_shape"]), copy=False,
-    )
-    mesh = TriangularMesh(nodes=a["nodes"], triangles=a["triangles"])
-    problem = Problem(
+    matrix = _unpack_csr(a, "matrix", meta["matrix_shape"])
+    stiffness = _unpack_csr(a, "stiffness", meta["stiffness_shape"])
+    cells = a.get("cells", a.get("triangles"))  # legacy manifests use "triangles"
+    if meta.get("mesh_kind", "tri") == "tet":
+        from ..mesh.tet import TetrahedralMesh
+
+        mesh = TetrahedralMesh(nodes=a["nodes"], cells=cells)
+    else:
+        mesh = TriangularMesh(nodes=a["nodes"], triangles=cells)
+    common = dict(
         mesh=mesh,
         matrix=matrix,
         rhs=a["rhs"],
@@ -275,6 +308,21 @@ def problem_from_shm(manifest: Dict[str, object]) -> Problem:
         node_diffusion=a.get("node_diffusion"),
         symmetric=bool(meta["symmetric"]),
     )
+    if meta.get("problem_kind") == "time-dependent":
+        from ..timestepping.problem import TimeDependentProblem
+
+        problem = TimeDependentProblem(
+            **common,
+            mass=_unpack_csr(a, "mass", meta["mass_shape"]),
+            explicit_operator=_unpack_csr(a, "explicit", meta["explicit_shape"]),
+            step_load=a["step_load"],
+            initial_state=a["initial_state"],
+            dt=float(meta["dt"]),
+            theta=float(meta["theta"]),
+            lumped_mass=bool(meta["lumped_mass"]),
+        )
+    else:
+        problem = Problem(**common)
     problem._shm_bundle = bundle  # keep the mapping alive with the problem
     expected = meta.get("fingerprint")
     if expected is not None and problem.fingerprint() != expected:

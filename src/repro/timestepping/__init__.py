@@ -1,0 +1,32 @@
+"""Implicit time-marching on amortised solver sessions.
+
+Public surface:
+
+* :class:`~repro.timestepping.problem.TimeDependentProblem` — a θ-scheme
+  discretisation ``(M/dt + θ·A) u^{n+1} = (M/dt − (1−θ)·A) u^n + f`` whose
+  constant step operator keys exactly one prepared
+  :class:`~repro.solvers.session.SolverSession`.
+* :func:`~repro.timestepping.march.march` /
+  :func:`~repro.timestepping.march.march_many` — the marching engines behind
+  :meth:`SolverSession.march` / :meth:`SolverSession.march_many`.
+* :class:`~repro.timestepping.march.MarchResult` — per-step solver results +
+  the amortised per-step summary.
+* :exc:`~repro.timestepping.problem.TimeSteppingError` — fail-closed
+  validation of dt / θ / step counts.
+
+Registry families built on this: ``heat``, ``heat3d`` and
+``convection-diffusion-transient`` in :mod:`repro.problems.transient`.
+"""
+
+from .march import MarchResult, march, march_many
+from .problem import TimeDependentProblem, TimeSteppingError, validate_scheme, validate_steps
+
+__all__ = [
+    "TimeDependentProblem",
+    "TimeSteppingError",
+    "MarchResult",
+    "march",
+    "march_many",
+    "validate_scheme",
+    "validate_steps",
+]

@@ -1,0 +1,280 @@
+"""Time-dependent problems: θ-scheme discretisations with a constant step operator.
+
+An implicit θ-scheme for the semi-discrete system ``M du/dt + A u = f`` with
+(constant-in-time) Dirichlet data ``u = g`` on the Dirichlet nodes reads::
+
+    (M/dt + θ·A) u^{n+1} = (M/dt − (1−θ)·A) u^n + f
+
+The left-hand operator is **constant across all steps** — one
+:func:`repro.solvers.prepare` pays the partition/factorisation/inference-plan
+setup once and every step is a pure ``solve`` against a new right-hand side.
+That is exactly the workload the setup/solve split and the lockstep multi-RHS
+path were built for, and it is what :func:`repro.timestepping.march.march`
+exploits.
+
+θ selects the scheme: ``θ = 1`` is backward Euler (O(dt), L-stable),
+``θ = 0.5`` is Crank–Nicolson (O(dt²), A-stable), ``θ = 0`` is explicit
+Euler (the "solve" is then against the mass matrix only).  ``dt`` and ``θ``
+are baked into the assembled operator, so they enter
+:meth:`~repro.fem.problem.Problem.fingerprint` via the
+``_fingerprint_extra`` hook — serve session caches can never mix schemes
+that share a spatial operator.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Callable, Literal, Optional, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..fem.assembly import apply_dirichlet
+from ..fem.problem import Problem
+
+__all__ = ["TimeSteppingError", "TimeDependentProblem", "validate_scheme"]
+
+
+class TimeSteppingError(ValueError):
+    """Invalid time-stepping parameters (non-positive dt, θ outside [0, 1],
+    non-integral step counts).  Raised fail-closed at problem-build or
+    march-entry time so a bad scheme never produces a NaN trajectory."""
+
+
+def validate_scheme(dt: float, theta: float) -> tuple:
+    """Validate (dt, θ) and return them as plain floats.
+
+    >>> validate_scheme(0.01, 0.5)
+    (0.01, 0.5)
+    >>> validate_scheme(0.0, 0.5)
+    Traceback (most recent call last):
+        ...
+    repro.timestepping.problem.TimeSteppingError: dt must be a positive finite number, got 0.0
+    >>> validate_scheme(0.01, 1.5)
+    Traceback (most recent call last):
+        ...
+    repro.timestepping.problem.TimeSteppingError: theta must lie in [0, 1], got 1.5
+    """
+    try:
+        dt = float(dt)
+        theta = float(theta)
+    except (TypeError, ValueError) as error:
+        raise TimeSteppingError(f"dt/theta must be numbers: {error}") from None
+    if not np.isfinite(dt) or dt <= 0.0:
+        raise TimeSteppingError(f"dt must be a positive finite number, got {dt}")
+    if not np.isfinite(theta) or not 0.0 <= theta <= 1.0:
+        raise TimeSteppingError(f"theta must lie in [0, 1], got {theta}")
+    return dt, theta
+
+
+def validate_steps(steps) -> int:
+    """Validate a step count: an integral number ≥ 1.
+
+    >>> validate_steps(10)
+    10
+    >>> validate_steps(0)
+    Traceback (most recent call last):
+        ...
+    repro.timestepping.problem.TimeSteppingError: steps must be >= 1, got 0
+    >>> validate_steps(2.5)
+    Traceback (most recent call last):
+        ...
+    repro.timestepping.problem.TimeSteppingError: steps must be an integer, got 2.5
+    """
+    if isinstance(steps, bool) or not isinstance(steps, (int, np.integer)):
+        raise TimeSteppingError(f"steps must be an integer, got {steps!r}")
+    steps = int(steps)
+    if steps < 1:
+        raise TimeSteppingError(f"steps must be >= 1, got {steps}")
+    return steps
+
+
+@dataclass
+class TimeDependentProblem(Problem):
+    """A θ-scheme time discretisation with its constant step operator.
+
+    On top of the base :class:`~repro.fem.problem.Problem` attributes
+    (``matrix`` is the Dirichlet-eliminated step operator ``M/dt + θ·A``,
+    ``stiffness`` the raw spatial operator ``A``) it carries everything a
+    session needs to march:
+
+    ``mass``
+        The (consistent or lumped) mass matrix M.
+    ``explicit_operator``
+        The raw right-hand operator ``E = M/dt − (1−θ)·A`` applied to the
+        previous state each step (full rows/columns — the boundary columns
+        of E act on the known Dirichlet values, which is exactly what the
+        interior equations require).
+    ``step_load``
+        The constant part of every step's right-hand side: the source load
+        ``f`` plus, for symmetric elimination, the ``−Op·g`` lift of the
+        boundary data.
+    ``initial_state``
+        ``u^0`` with Dirichlet values enforced.
+    ``dt`` / ``theta`` / ``lumped_mass``
+        The scheme parameters (hashed into the fingerprint).
+    """
+
+    mass: Optional[sp.csr_matrix] = None
+    explicit_operator: Optional[sp.csr_matrix] = None
+    step_load: Optional[np.ndarray] = None
+    initial_state: Optional[np.ndarray] = None
+    dt: float = 1.0
+    theta: float = 1.0
+    lumped_mass: bool = False
+
+    # ------------------------------------------------------------------ #
+    @property
+    def _dirichlet_index(self) -> np.ndarray:
+        if self.dirichlet_nodes is None:
+            return self.mesh.boundary_nodes
+        return np.asarray(self.dirichlet_nodes, dtype=np.int64)
+
+    def step_rhs(self, u: np.ndarray) -> np.ndarray:
+        """Right-hand side of one θ-step from state ``u``: ``E·u + step_load``
+        with the Dirichlet rows pinned to the boundary values."""
+        b = self.explicit_operator @ np.asarray(u, dtype=np.float64) + self.step_load
+        dn = self._dirichlet_index
+        if dn.size:
+            b[dn] = self.boundary_values
+        return b
+
+    def step_rhs_columns(self, U: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`step_rhs` for a stack of states (rows of ``U``)."""
+        U = np.asarray(U, dtype=np.float64)
+        B = (self.explicit_operator @ U.T).T + self.step_load[None, :]
+        dn = self._dirichlet_index
+        if dn.size:
+            B[:, dn] = self.boundary_values[None, :]
+        return B
+
+    # ------------------------------------------------------------------ #
+    def _fingerprint_extra(self) -> bytes:
+        """Scheme parameters + step operators, folded into the fingerprint.
+
+        Covers dt, θ, the mass-lumping flag and the arrays of M, E, the
+        constant step load and the initial state — so two sessions only share
+        a serve-cache key when they march the *same* discrete trajectory.
+        """
+        import hashlib
+
+        digest = hashlib.sha256()
+        digest.update(b"|tdp|")
+        digest.update(struct.pack("<dd?", self.dt, self.theta, self.lumped_mass))
+        for operator in (self.mass, self.explicit_operator):
+            csr = operator.tocsr()
+            digest.update(np.asarray(csr.indptr, dtype=np.int64).tobytes())
+            digest.update(np.asarray(csr.indices, dtype=np.int64).tobytes())
+            digest.update(np.ascontiguousarray(csr.data, dtype=np.float64).tobytes())
+            digest.update(b"|")
+        digest.update(np.ascontiguousarray(self.step_load, dtype=np.float64).tobytes())
+        digest.update(b"|")
+        digest.update(np.ascontiguousarray(self.initial_state, dtype=np.float64).tobytes())
+        return digest.digest()
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_theta_scheme(
+        cls,
+        mesh,
+        spatial: sp.csr_matrix,
+        mass: sp.csr_matrix,
+        load: np.ndarray,
+        dt: float,
+        theta: float = 1.0,
+        dirichlet_nodes: Optional[np.ndarray] = None,
+        dirichlet_values: Optional[np.ndarray] = None,
+        dirichlet_mode: Literal["symmetric", "row"] = "symmetric",
+        initial_state: Union[None, np.ndarray, Callable] = None,
+        node_diffusion: Optional[np.ndarray] = None,
+        lumped_mass: bool = False,
+    ) -> "TimeDependentProblem":
+        """Assemble the constant θ-step system from raw spatial operators.
+
+        ``spatial`` is the raw (pre-elimination) spatial operator A
+        (stiffness, possibly plus convection and Robin boundary terms),
+        ``mass`` the mass matrix, ``load`` the source load vector f.
+        ``dirichlet_nodes`` defaults to the whole mesh boundary with
+        homogeneous values.  ``initial_state`` may be an array of nodal
+        values or a callable evaluated at the mesh nodes; Dirichlet values
+        are enforced on it either way.
+        """
+        dt, theta = validate_scheme(dt, theta)
+        spatial = spatial.tocsr()
+        mass = mass.tocsr()
+        n = spatial.shape[0]
+
+        if dirichlet_nodes is None:
+            dirichlet_nodes = mesh.boundary_nodes
+        dirichlet_nodes = np.asarray(dirichlet_nodes, dtype=np.int64)
+        if dirichlet_values is None:
+            dirichlet_values = np.zeros(len(dirichlet_nodes))
+        dirichlet_values = np.broadcast_to(
+            np.asarray(dirichlet_values, dtype=np.float64), dirichlet_nodes.shape
+        ).copy()
+
+        step_operator = (mass / dt + theta * spatial).tocsr()
+        explicit = (mass / dt - (1.0 - theta) * spatial).tocsr()
+        load = np.asarray(load, dtype=np.float64)
+
+        g_full = np.zeros(n)
+        g_full[dirichlet_nodes] = dirichlet_values
+        if dirichlet_nodes.size:
+            matrix, _ = apply_dirichlet(
+                step_operator, load, dirichlet_nodes, dirichlet_values, mode=dirichlet_mode
+            )
+            # the constant part of every step's RHS: the source load, plus —
+            # only under symmetric elimination, which zeroes the boundary
+            # columns of the operator — the lift of the boundary data
+            if dirichlet_mode == "symmetric":
+                step_load = load - step_operator @ g_full
+            else:
+                step_load = load.copy()
+        else:
+            matrix = step_operator
+            step_load = load.copy()
+
+        if initial_state is None:
+            u0 = g_full.copy()
+        elif callable(initial_state):
+            u0 = np.asarray(initial_state(*mesh.nodes.T), dtype=np.float64).copy()
+        else:
+            u0 = np.asarray(initial_state, dtype=np.float64).copy()
+        if u0.shape != (n,):
+            raise TimeSteppingError(
+                f"initial state must have shape ({n},), got {u0.shape}"
+            )
+        u0[dirichlet_nodes] = dirichlet_values
+
+        # symmetry of the *eliminated step operator*: row elimination breaks
+        # symmetry whenever Dirichlet nodes exist, otherwise inspect Op itself
+        if dirichlet_mode == "row" and dirichlet_nodes.size:
+            symmetric = False
+        else:
+            asym = sp.csr_matrix(abs(step_operator - step_operator.T))
+            scale = max(float(np.abs(step_operator.data).max()), 1.0)
+            symmetric = bool(asym.nnz == 0 or float(asym.data.max()) <= 1e-12 * scale)
+
+        problem = cls(
+            mesh=mesh,
+            matrix=matrix,
+            rhs=np.zeros(n),  # placeholder, replaced by the first step's RHS below
+            stiffness=spatial,
+            boundary_values=dirichlet_values,
+            dirichlet_mode=dirichlet_mode,
+            dirichlet_nodes=dirichlet_nodes,
+            node_diffusion=node_diffusion,
+            symmetric=symmetric,
+            mass=mass,
+            explicit_operator=explicit,
+            step_load=step_load,
+            initial_state=u0,
+            dt=dt,
+            theta=theta,
+            lumped_mass=bool(lumped_mass),
+        )
+        # default RHS = the first step from u0, so a plain session.solve()
+        # advances the trajectory by one step
+        problem.rhs = problem.step_rhs(u0)
+        return problem

@@ -26,7 +26,10 @@ def format_timing_split(result, digits: int = 3) -> str:
     way).  Results that came through the serve layer additionally carry
     ``info["queue_s"]`` (time spent in the micro-batching queue) and
     ``info["batch_size"]``; when present they are rendered as a leading
-    queue term and a batch annotation.
+    queue term and a batch annotation.  Results produced by a time march
+    (:func:`repro.timestepping.march.march` stamps ``step_index``/``steps``
+    and ``amortized_step_ms``) get a trailing step annotation with the
+    march's amortised per-step cost.
 
     >>> class R:
     ...     elapsed_time, preconditioner_time, krylov_time = 1.5, 1.2, 0.3
@@ -36,6 +39,10 @@ def format_timing_split(result, digits: int = 3) -> str:
     ...     info = {"queue_s": 0.25, "batch_size": 4}
     >>> format_timing_split(S())
     '1.750s = 0.250s queue + 1.200s precond + 0.300s krylov [batch of 4]'
+    >>> class M(R):
+    ...     info = {"step_index": 2, "steps": 50, "amortized_step_ms": 1.81}
+    >>> format_timing_split(M())
+    '1.500s = 1.200s precond + 0.300s krylov [step 3/50, 1.810 ms/step amortized]'
     """
     info = getattr(result, "info", None) or {}
     queue_s = info.get("queue_s")
@@ -56,6 +63,13 @@ def format_timing_split(result, digits: int = 3) -> str:
     batch_size = info.get("batch_size")
     if batch_size is not None:
         text += f" [batch of {int(batch_size)}]"
+    steps = info.get("steps")
+    if steps is not None:
+        step_text = f"step {int(info.get('step_index', 0)) + 1}/{int(steps)}"
+        step_ms = info.get("amortized_step_ms")
+        if step_ms is not None:
+            step_text += f", {float(step_ms):.3f} ms/step amortized"
+        text += f" [{step_text}]"
     return text
 
 

@@ -233,12 +233,17 @@ class TestRegistry:
 
         SPD families go through IC(0)-PCG; nonsymmetric families (where CG
         and the Cholesky-based IC(0) do not apply) go through plain GMRES —
-        both via the ``repro.solvers`` session API.
+        both via the ``repro.solvers`` session API.  Families registered with
+        ``dim=3`` build their own deterministic tetrahedral box mesh.
         """
+        from repro.problems import problem_spec
         from repro.solvers import SolverConfig, prepare
 
         for name in available_problems():
-            problem = make_problem(name, mesh=unit_square_mesh, rng=np.random.default_rng(1))
+            if int(problem_spec(name).default_kwargs.get("dim", 2)) == 3:
+                problem = make_problem(name, rng=np.random.default_rng(1), target_nodes=125)
+            else:
+                problem = make_problem(name, mesh=unit_square_mesh, rng=np.random.default_rng(1))
             u = problem.solve_direct()
             assert problem.relative_residual_norm(u) < 1e-8, name
             if problem.symmetric:
