@@ -35,11 +35,18 @@ printed per solver.  The recorded ``cpus`` lets the scaling gate
 (``check_perf.py --scaling-gate``) distinguish "the code doesn't scale"
 from "the machine had one core".
 
+``--trace`` runs every request under a live trace root (``repro.obs.trace``)
+and adds ``trace_stage_shares`` to each cell record: the share of request
+wall time spent in route/queue/pipe/solve/encode, aggregated over the cell's
+finished span trees — the per-stage attribution the elastic-pool tuning
+items need.
+
 Usage::
 
     python benchmarks/bench_serve.py            # full sweep
     python benchmarks/bench_serve.py --smoke    # CI smoke cell set
     python benchmarks/bench_serve.py --smoke --workers 4 --problems 4
+    python benchmarks/bench_serve.py --smoke --trace
     python benchmarks/bench_serve.py --checkpoint artifacts/<hash>/checkpoint.npz
 """
 
@@ -64,6 +71,7 @@ import numpy as np
 
 from repro.fem import random_poisson_problem
 from repro.mesh import mesh_for_target_size
+from repro.obs import trace as obs_trace
 from repro.serve import ServeConfig, ShardConfig, ShardedSolveService, SolveService
 from repro.solvers import SolverConfig, prepare
 from repro.utils import format_table
@@ -113,14 +121,59 @@ def make_service(model, max_batch: int, max_wait_ms: float, workers: int):
     )
 
 
+#: stage-share keys recorded by ``--trace`` cells.  ``pipe`` is the sharded
+#: round-trip minus the worker-side request (serialization + wire + worker
+#: queueing overhead); ``encode`` only accrues on the HTTP path and stays 0
+#: when the bench drives the service objects directly.
+TRACE_STAGES = ("route", "queue", "pipe", "solve", "encode")
+
+
+def stage_shares(traces) -> dict:
+    """Collapse finished request traces into per-stage shares of wall time.
+
+    Shares are ``sum(stage duration) / sum(root duration)`` over all traces,
+    using :meth:`Span.stage_timings` (worker-side spans grafted into the
+    parent trace are included, so sharded cells attribute queue/solve time
+    spent inside the worker process).
+    """
+    totals: dict = {}
+    wall_ms = 0.0
+    for root in traces:
+        wall_ms += root.duration_ms
+        for name, ms in root.stage_timings().items():
+            totals[name] = totals.get(name, 0.0) + ms
+    if wall_ms <= 0.0:
+        return {}
+    pipe_ms = max(0.0, totals.get("shard.roundtrip", 0.0)
+                  - totals.get("worker.request", 0.0))
+    named = {
+        "route": totals.get("serve.route", 0.0),
+        "queue": totals.get("serve.queue", 0.0),
+        "pipe": pipe_ms,
+        "solve": totals.get("serve.solve", 0.0),
+        "encode": totals.get("response.encode", 0.0),
+    }
+    return {stage: round(named[stage] / wall_ms, 4) for stage in TRACE_STAGES}
+
+
 def run_cell(workload, solver_config, model, clients: int, max_batch: int,
-             max_wait_ms: float, requests_per_client: int, workers: int):
+             max_wait_ms: float, requests_per_client: int, workers: int,
+             trace: bool = False):
     """One closed-loop cell; returns its record plus the parity verdict.
 
     ``workload`` is a flat list of ``(problem, b, reference_solution)``
     triples, possibly spanning several problem operators — with ``workers``
-    processes, distinct operators shard onto distinct workers.
+    processes, distinct operators shard onto distinct workers.  With
+    ``trace=True`` every request runs under a live trace root and the cell
+    record gains ``trace_stage_shares`` (see :func:`stage_shares`).
     """
+    if trace:
+        # enable BEFORE the service is built: sharded workers inherit the
+        # tracing switch through their spawn-time bootstrap, so flipping it
+        # afterwards would leave the worker side dark (pipe would then absorb
+        # the whole round-trip).  Ring sized to the cell so no request trace
+        # is evicted before the stage-share aggregation.
+        obs_trace.enable_tracing(max_traces=clients * requests_per_client + 16)
     service = make_service(model, max_batch, max_wait_ms, workers)
     try:
         # warm every operator's session so the measured window holds no
@@ -143,7 +196,11 @@ def run_cell(workload, solver_config, model, clients: int, max_batch: int,
                 for i in range(requests_per_client):
                     problem, b, reference = workload[(tid * 7 + i) % len(workload)]
                     t0 = time.perf_counter()
-                    result = service.solve(problem, b=b, solver_config=solver_config)
+                    if trace:
+                        with obs_trace.trace_root("bench.request"):
+                            result = service.solve(problem, b=b, solver_config=solver_config)
+                    else:
+                        result = service.solve(problem, b=b, solver_config=solver_config)
                     local_latencies.append((time.perf_counter() - t0) * 1e3)
                     if not np.array_equal(result.solution, reference):
                         mismatches.append((tid, i))
@@ -160,6 +217,9 @@ def run_cell(workload, solver_config, model, clients: int, max_batch: int,
         for thread in threads:
             thread.join()
         elapsed = time.perf_counter() - started
+        traces = obs_trace.drain_traces() if trace else []
+        if trace:
+            obs_trace.disable_tracing()
 
         stats = service.stats()
         total_requests = clients * requests_per_client
@@ -188,6 +248,9 @@ def run_cell(workload, solver_config, model, clients: int, max_batch: int,
             "cache_hit_rate": round(stats["cache"]["hit_rate"] or 0.0, 4),
             "mean_batch_size": round(stats["mean_batch_size"] or 1.0, 2),
         }
+        if trace:
+            record["trace_stage_shares"] = stage_shares(traces)
+            record["traced_requests"] = len(traces)
         return record, mismatches
     finally:
         service.close()
@@ -220,6 +283,10 @@ def main(argv=None) -> int:
                              "included only when a cached bench artifact exists")
     parser.add_argument("--skip-gnn", action="store_true",
                         help="never include the ddm-gnn serving cell")
+    parser.add_argument("--trace", action="store_true",
+                        help="run every request under a live trace root and "
+                             "record per-stage time shares "
+                             f"({'/'.join(TRACE_STAGES)}) into each cell record")
     args = parser.parse_args(argv)
 
     if args.workers < 1:
@@ -291,6 +358,7 @@ def main(argv=None) -> int:
                     max_wait_ms=args.max_wait_ms if batched else 0.0,
                     requests_per_client=cell_requests,
                     workers=args.workers,
+                    trace=args.trace,
                 )
                 if mismatches:
                     parity_failures += len(mismatches)

@@ -58,6 +58,14 @@ time-slicing one core legitimately pay pipe/scheduling overhead — the floor
 only catches sharding that *collapses* (deadlock, serialising through one
 shard), not honest contention.
 
+``--obs-overhead`` gates the observability layer's cost promise: tracing +
+convergence telemetry ON must stay within ``--obs-overhead-limit`` (default
+1.02, i.e. ≤2%) of tracing OFF on the amortised repeated-RHS resolve path.
+The measurement is self-contained and paired — the same prepared session
+alternates off/on phases over the same right-hand-side pool, and the gate is
+the **median of per-pair ratios** — so machine speed cancels by construction
+and a single noisy pair cannot fail the gate.
+
 Usage::
 
     python benchmarks/check_perf.py --fresh /tmp/perf_smoke.json
@@ -66,6 +74,7 @@ Usage::
     python benchmarks/check_perf.py --fresh new.json --serve-fresh serve.json
     python benchmarks/check_perf.py --scaling-gate serve_w1.json serve_w4.json
     python benchmarks/check_perf.py --march-fresh /tmp/march_smoke.json
+    python benchmarks/check_perf.py --obs-overhead
 """
 
 from __future__ import annotations
@@ -74,6 +83,7 @@ import argparse
 import json
 import math
 import sys
+import time
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
@@ -351,6 +361,88 @@ def gate_march(march_path: Path, baseline_path: Path, min_speedup: float,
     return failures
 
 
+def gate_obs_overhead(limit: float, pairs: int = 5, pool_size: int = 10,
+                      target_n: int = 2000, reps: int = 4) -> List[Tuple]:
+    """The observability-overhead gate: tracing on ≤ ``limit``× tracing off.
+
+    Self-contained (no baseline file): one prepared ``ddm-lu`` session serves
+    the same seeded right-hand-side pool with tracing+telemetry toggled OFF
+    and ON *back-to-back per solve*, so the machine state inside each
+    comparison is as identical as the OS allows.  Per right-hand side the
+    statistic is ``min(on reps) / min(off reps)`` — the min filters scheduler
+    preemption and GC pauses, which hit both modes equally but not
+    simultaneously.  Each of the ``pairs`` alternation rounds yields a median
+    per-RHS ratio; the gate fires on the **best (minimum) round median**:
+    background interference only inflates some rounds, while a genuine
+    instrumentation overhead shifts *every* round (the design is paired), so
+    the cleanest round is the least-contaminated estimate and still catches
+    real regressions.  Machine speed cancels by construction (both arms of
+    every ratio run within milliseconds of each other).  The problem size
+    matches the ``bench_serve.py`` default (``target_n=2000``) so the ratio
+    is representative of the benched ``resolve_ms_p50`` path.
+    """
+    import numpy as np
+
+    from repro.obs import events as obs_events
+    from repro.obs import trace as obs_trace
+    from repro.serve.problems import build_problem_from_spec
+    from repro.solvers import SolverConfig, prepare
+
+    problem = build_problem_from_spec(
+        {"family": "poisson", "target_n": target_n, "seed": 0})
+    config = SolverConfig(preconditioner="ddm-lu", subdomain_size=80,
+                          tolerance=1e-8, seed=0)
+    session = prepare(problem, config)
+    rng = np.random.default_rng(7)
+    pool = [rng.normal(size=problem.num_dofs) for _ in range(max(4, pool_size))]
+    for b in pool[:4]:  # warm caches/allocators before any timed solve
+        session.solve(b)
+
+    def timed(observing: bool, b) -> float:
+        if observing:
+            obs_trace.enable_tracing()
+            session.config.obs = {"convergence": True}
+            start = time.perf_counter()
+            with obs_trace.trace_root("bench.request"):
+                session.solve(b)
+            elapsed = time.perf_counter() - start
+            obs_trace.disable_tracing()
+            session.config.obs = None
+            return elapsed
+        start = time.perf_counter()
+        session.solve(b)
+        return time.perf_counter() - start
+
+    print(f"\n[obs overhead] tracing+telemetry on vs off, gated at {limit:g}x "
+          f"(n={problem.num_dofs}, {len(pool)} rhs x {reps} reps x "
+          f"{max(1, pairs)} rounds)")
+    round_medians = []
+    try:
+        for round_index in range(max(1, pairs)):
+            round_ratios = []
+            for b in pool:
+                offs, ons = [], []
+                for _ in range(max(1, reps)):
+                    offs.append(timed(False, b))
+                    ons.append(timed(True, b))
+                round_ratios.append(min(ons) / min(offs))
+            round_medians.append(median(round_ratios))
+            print(f"  round {round_index}: median per-RHS ratio "
+                  f"{round_medians[-1]:.3f}x")
+    finally:
+        obs_trace.disable_tracing()
+        session.config.obs = None
+        obs_events.get_ring().clear()
+    overall = min(round_medians)
+    if overall > limit:
+        print(f"obs overhead FAIL: best round median {overall:.3f}x > {limit:g}x "
+              f"({len(round_medians)} rounds)")
+        return [("obs-overhead", problem.num_dofs, "resolve_ms_p50", overall)]
+    print(f"obs overhead ok: best round median {overall:.3f}x "
+          f"(limit {limit:g}x, {len(round_medians)} rounds)")
+    return []
+
+
 def gate(ratios: List[Tuple[str, int, str, float]], threshold: float, title: str) -> List[Tuple]:
     """Print the normalised table for one ratio pool; returns its failures."""
     machine_factor = median([ratio for _, _, _, ratio in ratios])
@@ -399,11 +491,20 @@ def main(argv=None) -> int:
     parser.add_argument("--scaling-floor", type=float, default=0.5,
                         help="catastrophe throughput floor applied instead of "
                              "--scaling-min when cpus < workers (default 0.5)")
+    parser.add_argument("--obs-overhead", action="store_true",
+                        help="gate the tracing+telemetry overhead on the amortised "
+                             "resolve path (self-contained paired measurement)")
+    parser.add_argument("--obs-overhead-limit", type=float, default=1.02,
+                        help="maximum tracing-on/tracing-off median pair ratio "
+                             "(default 1.02, i.e. <= 2%% overhead)")
+    parser.add_argument("--obs-overhead-pairs", type=int, default=5,
+                        help="number of off/on measurement pairs (default 5)")
     args = parser.parse_args(argv)
 
     if args.fresh is None and args.serve_fresh is None and args.scaling_gate is None \
-            and args.march_fresh is None:
-        parser.error("provide --fresh, --serve-fresh, --march-fresh and/or --scaling-gate")
+            and args.march_fresh is None and not args.obs_overhead:
+        parser.error("provide --fresh, --serve-fresh, --march-fresh, "
+                     "--scaling-gate and/or --obs-overhead")
 
     failures = []
 
@@ -437,6 +538,10 @@ def main(argv=None) -> int:
         base_path, scaled_path = args.scaling_gate
         failures += gate_scaling(base_path, scaled_path,
                                  args.scaling_min, args.scaling_floor)
+
+    if args.obs_overhead:
+        failures += gate_obs_overhead(args.obs_overhead_limit,
+                                      pairs=args.obs_overhead_pairs)
 
     if failures:
         print(f"\nFAIL: {len(failures)} gated metric(s) out of bounds:")

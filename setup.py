@@ -10,7 +10,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-ddm-gnn",
-    version="1.7.0",
+    version="1.8.0",
     description=(
         "NumPy reproduction of 'Multi-Level GNN Preconditioner for Solving "
         "Large Scale Problems' (DDM-GNN / Deep Statistical Solver), with a "

@@ -9,6 +9,8 @@ directory::
         checkpoint.npz    versioned model+trainer checkpoint (repro.gnn.checkpoint)
         metrics.json      test-set metrics + per-epoch training history
         bench.json        solver records (same schema as benchmarks/bench_perf.py)
+        events.jsonl      convergence telemetry of the bench solves
+                          (repro.obs events; inspect with ``python -m repro.obs``)
         report.md         human-readable summary of all of the above
 
 Runs are resumable and cache-friendly: an existing checkpoint whose embedded
@@ -33,6 +35,7 @@ from ..gnn.checkpoint import CheckpointError, load_checkpoint
 from ..gnn.dss import DSS
 from ..gnn.training import DSSTrainer, evaluate_model
 from ..mesh.shapes import mesh_for_target_size
+from ..obs import events as obs_events
 from ..problems import make_problem
 from ..solvers import prepare, preconditioner_spec
 from .spec import ExperimentSpec
@@ -144,7 +147,11 @@ class ExperimentHarness:
         bench_records: List[Dict] = []
         if not skip_bench:
             t0 = time.perf_counter()
-            bench_records = self._bench(model, say)
+            # bench solves run with convergence telemetry on; the captured
+            # event stream becomes part of the artifact (events.jsonl)
+            with obs_events.capture_events() as ring:
+                bench_records = self._bench(model, say)
+            ring.dump_jsonl(self.artifact_dir / "events.jsonl")
             elapsed["bench_s"] = time.perf_counter() - t0
             self._write_json("bench.json", {
                 "config_hash": spec.config_hash,
@@ -230,9 +237,12 @@ class ExperimentHarness:
                 if not symmetric and preconditioner_spec(kind).spd_only:
                     say(f"[{spec.name}]   skipping {kind} (SPD-only) on the nonsymmetric problem")
                     continue
+                config = spec.solver_config(kind, krylov=krylov)
+                # telemetry is hash-excluded, so this perturbs nothing
+                config.obs = {"convergence": True}
                 session = prepare(
                     problem,
-                    spec.solver_config(kind, krylov=krylov),
+                    config,
                     model=model if kind == "ddm-gnn" else None,
                 )
                 preconditioner = session.preconditioner

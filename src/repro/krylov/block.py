@@ -45,7 +45,7 @@ and ``info["lockstep"]`` records the batch-level totals.
 from __future__ import annotations
 
 import time
-from typing import List, Optional, Union
+from typing import Callable, Dict, List, Optional, Union
 
 import numpy as np
 import scipy.sparse as sp
@@ -83,6 +83,7 @@ def lockstep_pcg(
     initial_guess: Optional[np.ndarray] = None,
     tolerance: float = 1e-6,
     max_iterations: Optional[int] = None,
+    callback: Optional[Callable[[int, Dict[int, float]], None]] = None,
     stagnation_window: Optional[int] = None,
 ) -> List[SolveResult]:
     """Solve ``A x_j = b_j`` for every row of ``rhs_batch`` in lockstep.
@@ -92,8 +93,12 @@ def lockstep_pcg(
     is ``(num_rhs, n)`` (rows are right-hand sides, matching
     ``SolverSession.solve_many``) and ``initial_guess`` is a single ``(n,)``
     vector shared by every column (as sequential solves with the same ``x0``
-    would use).  Returns one :class:`SolveResult` per row, each bit-identical
-    to the corresponding single-RHS solve.
+    would use).  ``callback(iteration, residuals)`` — the lockstep analogue of
+    the single-RHS per-iteration hook — receives a dict mapping each
+    still-active original row index to its relative residual; it only *reads*
+    quantities the iteration already computed, so supplying it cannot perturb
+    the bit-identity contract.  Returns one :class:`SolveResult` per row, each
+    bit-identical to the corresponding single-RHS solve.
 
     Failure handling mirrors the single-RHS solver guard-for-guard (the guard
     *order* is part of the bit-identity contract): a column whose matvec,
@@ -260,6 +265,8 @@ def lockstep_pcg(
             rels = np.array([float(np.linalg.norm(R[:, i]) / rhs_norms[i]) for i in range(a)])
             for i in range(a):
                 histories[i].append(float(rels[i]))
+            if callback is not None:
+                callback(iteration, {cols[i]: float(rels[i]) for i in range(a)})
 
             # post-update checks in the single-RHS order: non-finite residual,
             # convergence, stagnation

@@ -1,0 +1,59 @@
+"""CLI over convergence-telemetry JSON-lines dumps.
+
+The experiment harness (and anything else holding an :class:`EventRing`)
+writes telemetry as ``events.jsonl``.  This module tails and summarizes
+those dumps::
+
+    python -m repro.obs tail benchmarks/artifacts/<run>/events.jsonl -n 20
+    python -m repro.obs summary benchmarks/artifacts/<run>/events.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .events import iter_jsonl, summarize
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect convergence-telemetry JSON-lines dumps.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    tail = sub.add_parser("tail", help="print the last N events as JSON lines")
+    tail.add_argument("path", help="events.jsonl file to read")
+    tail.add_argument("-n", "--lines", type=int, default=20, help="events to show (default 20)")
+    tail.add_argument("--kind", default=None, help="only events of this kind")
+
+    summary = sub.add_parser("summary", help="aggregate counts / failure reasons / iterations")
+    summary.add_argument("path", help="events.jsonl file to read")
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        events = list(iter_jsonl(args.path))
+    except OSError as exc:
+        print(f"error: cannot read {args.path}: {exc}", file=sys.stderr)
+        return 2
+
+    if args.command == "tail":
+        if args.kind is not None:
+            events = [e for e in events if e.get("kind") == args.kind]
+        for event in events[-max(0, args.lines):]:
+            print(json.dumps(event, sort_keys=True))
+        return 0
+
+    print(json.dumps(summarize(events), indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

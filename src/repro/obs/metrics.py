@@ -1,0 +1,354 @@
+"""Process-wide named metrics: Counter / Gauge / Histogram + exposition.
+
+A :class:`MetricsRegistry` owns named metric families.  Each family holds one
+series per label set.  Everything is plain Python + a lock — no third-party
+client library — and every family snapshots to a JSON-able dict so shard
+processes can ship their registries back over the existing admin-frame path
+and the parent can merge them (:func:`merge_snapshots`) before rendering the
+Prometheus text exposition format (:func:`render_prometheus`).
+
+Histograms use **fixed log-spaced buckets** (factor-of-two from 0.05 ms to
+~100 s by default): fixed means snapshots from different processes merge by
+plain element-wise addition, log-spaced means the range from a sub-millisecond
+preconditioner apply to a multi-second cold prepare is covered with 22
+buckets.
+
+>>> registry = MetricsRegistry()
+>>> requests = registry.counter("demo_requests_total", "Requests served.")
+>>> requests.inc()
+>>> requests.inc(2, proto="json")
+>>> requests.value()
+1.0
+>>> requests.value(proto="json")
+2.0
+>>> lat = registry.histogram("demo_latency_ms", "Latency.", buckets=(1.0, 10.0))
+>>> lat.observe(0.5); lat.observe(3.0); lat.observe(99.0)
+>>> merged = merge_snapshots([registry.snapshot(), registry.snapshot()])
+>>> merged["demo_latency_ms"]["series"][0]["count"]
+6
+>>> print(render_prometheus(registry.snapshot()).splitlines()[0])
+# HELP demo_latency_ms Latency.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "merge_snapshots",
+    "render_prometheus",
+]
+
+# 0.05 ms .. ~105 s, factor 2: fixed and log-spaced so cross-process merging
+# is element-wise and one bucket family covers apply/solve/prepare scales.
+DEFAULT_BUCKETS: Tuple[float, ...] = tuple(0.05 * 2.0**i for i in range(22))
+
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> _LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class _Metric:
+    """Shared plumbing: name, help text, per-label-set series under one lock."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str) -> None:
+        self.name = name
+        self.help = help_text
+        self._lock = threading.Lock()
+
+    def _series_payload(self) -> List[Dict[str, Any]]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            payload: Dict[str, Any] = {
+                "type": self.kind,
+                "help": self.help,
+                "series": self._series_payload(),
+            }
+        return payload
+
+
+class Counter(_Metric):
+    """Monotonically increasing counter, optionally labelled."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str) -> None:
+        super().__init__(name, help_text)
+        self._values: Dict[_LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        with self._lock:
+            return self._values.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum over every label set."""
+        with self._lock:
+            return sum(self._values.values())
+
+    def _series_payload(self) -> List[Dict[str, Any]]:
+        return [
+            {"labels": dict(key), "value": value}
+            for key, value in sorted(self._values.items())
+        ]
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (queue depth, cache size)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str) -> None:
+        super().__init__(name, help_text)
+        self._values: Dict[_LabelKey, float] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        with self._lock:
+            self._values[_label_key(labels)] = float(value)
+
+    def set_max(self, value: float, **labels: Any) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = max(self._values.get(key, float(value)), float(value))
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: Any) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: Any) -> float:
+        with self._lock:
+            return self._values.get(_label_key(labels), 0.0)
+
+    def _series_payload(self) -> List[Dict[str, Any]]:
+        return [
+            {"labels": dict(key), "value": value}
+            for key, value in sorted(self._values.items())
+        ]
+
+
+class Histogram(_Metric):
+    """Fixed-bucket histogram with per-series count and sum."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        super().__init__(name, help_text)
+        bounds = tuple(float(b) for b in (buckets if buckets is not None else DEFAULT_BUCKETS))
+        if not bounds or list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("histogram buckets must be a strictly increasing non-empty sequence")
+        self.buckets = bounds
+        self._series: Dict[_LabelKey, Dict[str, Any]] = {}
+
+    def observe(self, value: float, **labels: Any) -> None:
+        value = float(value)
+        key = _label_key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = {"counts": [0] * len(self.buckets), "sum": 0.0, "count": 0}
+                self._series[key] = series
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    series["counts"][i] += 1
+                    break
+            series["sum"] += value
+            series["count"] += 1
+
+    def _series_payload(self) -> List[Dict[str, Any]]:
+        return [
+            {
+                "labels": dict(key),
+                "counts": list(series["counts"]),
+                "sum": series["sum"],
+                "count": series["count"],
+            }
+            for key, series in sorted(self._series.items())
+        ]
+
+    def snapshot(self) -> Dict[str, Any]:
+        payload = super().snapshot()
+        payload["buckets"] = list(self.buckets)
+        return payload
+
+
+class MetricsRegistry:
+    """Named get-or-create registry of metric families."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, _Metric] = {}
+
+    def _get_or_create(self, cls, name: str, help_text: str, **kwargs) -> _Metric:
+        _validate_metric_name(name)
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as {existing.kind}, not {cls.kind}"
+                    )
+                return existing
+            metric = cls(name, help_text, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help_text: str) -> Counter:
+        return self._get_or_create(Counter, name, help_text)
+
+    def gauge(self, name: str, help_text: str) -> Gauge:
+        return self._get_or_create(Gauge, name, help_text)
+
+    def histogram(
+        self, name: str, help_text: str, buckets: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help_text, buckets=buckets)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-able snapshot of every family: ``{name: family_payload}``."""
+        with self._lock:
+            metrics = list(self._metrics.items())
+        return {name: metric.snapshot() for name, metric in sorted(metrics)}
+
+
+def merge_snapshots(snapshots: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Merge registry snapshots from several processes into one.
+
+    Counters and histograms add; gauges add too (the gauges exported here —
+    queue depths, cached sessions — are extensive quantities, so a sum over
+    shards is the meaningful aggregate).  Families that only exist in some
+    snapshots pass through; mismatched types or bucket layouts raise
+    ``ValueError`` because silently mixing them would corrupt the exposition.
+    """
+    merged: Dict[str, Any] = {}
+    for snap in snapshots:
+        if not snap:
+            continue
+        for name, family in snap.items():
+            if name not in merged:
+                merged[name] = {
+                    "type": family["type"],
+                    "help": family["help"],
+                    "series": [dict(s, labels=dict(s["labels"])) for s in family["series"]],
+                }
+                if "buckets" in family:
+                    merged[name]["buckets"] = list(family["buckets"])
+                continue
+            target = merged[name]
+            if target["type"] != family["type"]:
+                raise ValueError(f"metric {name!r} has conflicting types across snapshots")
+            if target.get("buckets") != family.get("buckets") and "buckets" in family:
+                raise ValueError(f"metric {name!r} has conflicting buckets across snapshots")
+            by_labels = {_label_key(s["labels"]): s for s in target["series"]}
+            for series in family["series"]:
+                key = _label_key(series["labels"])
+                existing = by_labels.get(key)
+                if existing is None:
+                    clone = dict(series, labels=dict(series["labels"]))
+                    if "counts" in clone:
+                        clone["counts"] = list(clone["counts"])
+                    target["series"].append(clone)
+                    by_labels[key] = clone
+                elif family["type"] == "histogram":
+                    existing["counts"] = [
+                        a + b for a, b in zip(existing["counts"], series["counts"])
+                    ]
+                    existing["sum"] += series["sum"]
+                    existing["count"] += series["count"]
+                else:
+                    existing["value"] += series["value"]
+    return merged
+
+
+# --------------------------------------------------------------------------- #
+# Prometheus text exposition (version 0.0.4), rendered by hand.
+# --------------------------------------------------------------------------- #
+_NAME_FIRST = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_:")
+_NAME_REST = _NAME_FIRST | set("0123456789")
+
+
+def _validate_metric_name(name: str) -> None:
+    if not name or name[0] not in _NAME_FIRST or any(c not in _NAME_REST for c in name[1:]):
+        raise ValueError(f"invalid metric name: {name!r}")
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(labels: Dict[str, str], extra: Optional[Tuple[str, str]] = None) -> str:
+    pairs = sorted(labels.items())
+    if extra is not None:
+        pairs = pairs + [extra]
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label_value(str(v))}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+def render_prometheus(snapshot: Dict[str, Any]) -> str:
+    """Render a (possibly merged) registry snapshot as exposition text."""
+    lines: List[str] = []
+    for name in sorted(snapshot):
+        family = snapshot[name]
+        lines.append(f"# HELP {name} {_escape_help(family['help'])}")
+        lines.append(f"# TYPE {name} {family['type']}")
+        if family["type"] == "histogram":
+            bounds = family["buckets"]
+            for series in family["series"]:
+                labels = series["labels"]
+                cumulative = 0
+                for bound, count in zip(bounds, series["counts"]):
+                    cumulative += count
+                    le = _format_labels(labels, ("le", _format_value(bound)))
+                    lines.append(f"{name}_bucket{le} {cumulative}")
+                le = _format_labels(labels, ("le", "+Inf"))
+                lines.append(f"{name}_bucket{le} {series['count']}")
+                lines.append(f"{name}_sum{_format_labels(labels)} {_format_value(series['sum'])}")
+                lines.append(f"{name}_count{_format_labels(labels)} {series['count']}")
+        else:
+            for series in family["series"]:
+                labels = _format_labels(series["labels"])
+                lines.append(f"{name}{labels} {_format_value(series['value'])}")
+    return "\n".join(lines) + "\n"

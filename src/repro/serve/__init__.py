@@ -25,7 +25,8 @@ Components:
   prepared sessions.
 * :class:`~repro.serve.metrics.ServeMetrics` /
   :class:`~repro.serve.metrics.LatencyHistogram` — p50/p95/p99 latency,
-  throughput, cache hit-rate.
+  throughput, cache hit-rate; counters live in a
+  :class:`repro.obs.MetricsRegistry` rendered by ``GET /metrics``.
 * :class:`~repro.serve.http.ServeHTTPServer` — stdlib HTTP front end
   (``python -m repro.serve``), JSON debug path + binary frame path;
   :class:`~repro.serve.client.ServeClient` is the matching client

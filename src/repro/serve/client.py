@@ -41,22 +41,24 @@ __all__ = ["ServeClient", "ServeClientError"]
 _RETRYABLE_STATUSES = frozenset({503})
 
 
-def _parse_error_payload(raw: bytes) -> Tuple[str, Optional[str]]:
-    """Extract (message, code) from an error body.
+def _parse_error_payload(raw: bytes) -> Tuple[str, Optional[str], Optional[str]]:
+    """Extract (message, code, trace_id) from an error body.
 
-    Understands both the structured shape ``{"error": {"code", "message"}}``
-    and the legacy flat shape ``{"error": "message"}``.
+    Understands both the structured shape ``{"error": {"code", "message",
+    "trace_id"}}`` and the legacy flat shape ``{"error": "message"}``.
     """
     try:
         payload = json.loads(raw.decode("utf-8"))
     except Exception:  # noqa: BLE001 - best-effort error detail
-        return raw.decode("utf-8", errors="replace"), None
+        return raw.decode("utf-8", errors="replace"), None, None
     detail = payload.get("error") if isinstance(payload, dict) else None
     if isinstance(detail, dict):
-        return str(detail.get("message", detail)), detail.get("code")
+        trace_id = detail.get("trace_id")
+        return (str(detail.get("message", detail)), detail.get("code"),
+                trace_id if isinstance(trace_id, str) else None)
     if detail is not None:
-        return str(detail), None
-    return str(payload), None
+        return str(detail), None, None
+    return str(payload), None, None
 
 
 class ServeClientError(RuntimeError):
@@ -64,16 +66,21 @@ class ServeClientError(RuntimeError):
 
     ``status`` is the HTTP status, ``code`` the server's stable error code
     (``invalid_request``, ``overloaded``, ``deadline_exceeded``, ...; None
-    for legacy/unstructured errors), and ``retry_after_s`` the parsed
-    ``Retry-After`` hint when the server sent one.
+    for legacy/unstructured errors), ``retry_after_s`` the parsed
+    ``Retry-After`` hint when the server sent one, and ``trace_id`` the
+    server-side trace of the failed request (from the error body or the
+    ``X-Trace-Id`` response header) — quote it when filing a report against
+    server logs.
     """
 
     def __init__(self, status: int, message: str, code: Optional[str] = None,
-                 retry_after_s: Optional[float] = None) -> None:
+                 retry_after_s: Optional[float] = None,
+                 trace_id: Optional[str] = None) -> None:
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.code = code
         self.retry_after_s = retry_after_s
+        self.trace_id = trace_id
 
 
 class ServeClient:
@@ -96,10 +103,28 @@ class ServeClient:
         self._jitter = random.Random(seed)
 
     # ------------------------------------------------------------------ #
-    def _request_once(self, path: str, payload: Optional[Dict]) -> Dict:
+    @staticmethod
+    def _error_from_http(error: urllib.error.HTTPError) -> ServeClientError:
+        message, code, trace_id = _parse_error_payload(error.read())
+        if trace_id is None:
+            trace_id = error.headers.get("X-Trace-Id")
+        retry_after = error.headers.get("Retry-After")
+        try:
+            retry_after_s = float(retry_after) if retry_after else None
+        except ValueError:
+            retry_after_s = None
+        return ServeClientError(error.code, message or str(error.reason),
+                                code=code, retry_after_s=retry_after_s,
+                                trace_id=trace_id)
+
+    def _request_once(self, path: str, payload: Optional[Dict],
+                      retry_of: Optional[str] = None) -> Dict:
         url = self.base_url + path
         data = None
         headers = {"Accept": "application/json"}
+        if retry_of is not None:
+            # link this retry's server-side trace to the failed attempt's
+            headers["X-Retry-Of"] = retry_of
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
@@ -108,24 +133,22 @@ class ServeClient:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
                 body = json.loads(response.read().decode("utf-8"))
         except urllib.error.HTTPError as error:
-            message, code = _parse_error_payload(error.read())
-            retry_after = error.headers.get("Retry-After")
-            try:
-                retry_after_s = float(retry_after) if retry_after else None
-            except ValueError:
-                retry_after_s = None
-            raise ServeClientError(error.code, message or str(error.reason),
-                                   code=code, retry_after_s=retry_after_s) from None
+            raise self._error_from_http(error) from None
         if isinstance(body, dict) and "error" in body:
             detail = body["error"]
             if isinstance(detail, dict):
-                raise ServeClientError(int(detail.get("status", 200)),
-                                       str(detail.get("message", detail)),
-                                       code=detail.get("code"))
+                trace_id = detail.get("trace_id")
+                raise ServeClientError(
+                    int(detail.get("status", 200)),
+                    str(detail.get("message", detail)),
+                    code=detail.get("code"),
+                    trace_id=trace_id if isinstance(trace_id, str) else None,
+                )
             raise ServeClientError(200, str(detail))
         return body
 
-    def _request_frame_once(self, path: str, frame_bytes: bytes) -> bytes:
+    def _request_frame_once(self, path: str, frame_bytes: bytes,
+                            retry_of: Optional[str] = None) -> bytes:
         """POST one binary frame; returns the raw response frame bytes.
 
         Error responses are JSON regardless of the request encoding (the
@@ -134,34 +157,38 @@ class ServeClient:
         """
         from .proto import CONTENT_TYPE
 
+        headers = {"Content-Type": CONTENT_TYPE, "Accept": CONTENT_TYPE}
+        if retry_of is not None:
+            headers["X-Retry-Of"] = retry_of
         request = urllib.request.Request(
             self.base_url + path,
             data=frame_bytes,
-            headers={"Content-Type": CONTENT_TYPE, "Accept": CONTENT_TYPE},
+            headers=headers,
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
                 return response.read()
         except urllib.error.HTTPError as error:
-            message, code = _parse_error_payload(error.read())
-            retry_after = error.headers.get("Retry-After")
-            try:
-                retry_after_s = float(retry_after) if retry_after else None
-            except ValueError:
-                retry_after_s = None
-            raise ServeClientError(error.code, message or str(error.reason),
-                                   code=code, retry_after_s=retry_after_s) from None
+            raise self._error_from_http(error) from None
 
     def _with_retries(self, attempt_fn):
-        """The shared retry loop: 503 + connection errors, capped backoff."""
+        """The shared retry loop: 503 + connection errors, capped backoff.
+
+        ``attempt_fn`` receives the trace id of the previous failed attempt
+        (or None) so retried requests carry ``X-Retry-Of`` and the server can
+        stitch the attempts into one logical story.
+        """
         attempt = 0
+        retry_of: Optional[str] = None
         while True:
             try:
-                return attempt_fn()
+                return attempt_fn(retry_of)
             except ServeClientError as error:
                 if error.status not in _RETRYABLE_STATUSES or attempt >= self.retries:
                     raise
                 delay = error.retry_after_s
+                if error.trace_id is not None:
+                    retry_of = error.trace_id
             except urllib.error.URLError:
                 # connection-level failure (refused, reset, DNS)
                 if attempt >= self.retries:
@@ -173,7 +200,8 @@ class ServeClient:
             attempt += 1
 
     def _request(self, path: str, payload: Optional[Dict] = None) -> Dict:
-        return self._with_retries(lambda: self._request_once(path, payload))
+        return self._with_retries(
+            lambda retry_of: self._request_once(path, payload, retry_of))
 
     # ------------------------------------------------------------------ #
     def healthz(self) -> Dict:
@@ -181,6 +209,12 @@ class ServeClient:
 
     def stats(self) -> Dict:
         return self._request("/stats")
+
+    def metrics(self) -> str:
+        """Fetch ``GET /metrics`` (Prometheus text exposition, not JSON)."""
+        request = urllib.request.Request(self.base_url + "/metrics")
+        with urllib.request.urlopen(request, timeout=self.timeout) as response:
+            return response.read().decode("utf-8")
 
     def solve(
         self,
@@ -239,7 +273,7 @@ class ServeClient:
             arrays["x0"] = np.asarray(x0, dtype=np.float64)
         frame_bytes = encode_frame("solve", meta, arrays)
         raw = self._with_retries(
-            lambda: self._request_frame_once("/solve", frame_bytes)
+            lambda retry_of: self._request_frame_once("/solve", frame_bytes, retry_of)
         )
         frame = decode_frame(raw)
         response: Dict = dict(frame.meta)

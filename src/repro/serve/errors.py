@@ -49,10 +49,14 @@ class ServeError(Exception):
     #: HTTP status the JSON front end maps this error to
     http_status: int = 500
 
-    def __init__(self, message: str, retry_after_s: Optional[float] = None) -> None:
+    def __init__(self, message: str, retry_after_s: Optional[float] = None,
+                 trace_id: Optional[str] = None) -> None:
         super().__init__(message)
         #: optional client back-off hint (serialised as a ``Retry-After`` header)
         self.retry_after_s = retry_after_s
+        #: id of the trace this failure belongs to, when known — the HTTP
+        #: layer stamps it so a 503/504 correlates with server-side spans
+        self.trace_id = trace_id
 
 
 class InvalidRequest(ServeError, ValueError):
@@ -110,7 +114,8 @@ _ERRORS_BY_CODE = {
 
 
 def error_from_code(code: str, message: str,
-                    retry_after_s: Optional[float] = None) -> ServeError:
+                    retry_after_s: Optional[float] = None,
+                    trace_id: Optional[str] = None) -> ServeError:
     """Rehydrate the typed error a serialised ``code`` names.
 
     Unknown codes (a newer worker talking to an older parent) degrade to the
@@ -118,7 +123,7 @@ def error_from_code(code: str, message: str,
     rather than raising a second error during error handling.
     """
     cls = _ERRORS_BY_CODE.get(code, ServeError)
-    error = cls(message, retry_after_s=retry_after_s)
+    error = cls(message, retry_after_s=retry_after_s, trace_id=trace_id)
     if cls is ServeError and code:
         error.code = "internal"
     return error

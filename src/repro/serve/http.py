@@ -29,12 +29,24 @@ Endpoints:
     ``"unhealthy"`` (a worker died for good).
 ``GET /stats``
     The service's full :meth:`~repro.serve.service.SolveService.stats` payload.
+``GET /metrics``
+    Prometheus text exposition (version 0.0.4) of the service's metrics
+    registry.  For the sharded service this aggregates the parent registry
+    with a snapshot pulled from every live worker process, merged
+    element-wise (fixed log-spaced histogram buckets make that exact).
+
+Every response carries an ``X-Trace-Id`` header: the id of the server-side
+trace for that request (adopted from the client's ``X-Trace-Id`` header when
+well-formed, minted otherwise).  Success bodies never change with tracing on
+or off; error bodies carry the id inside the error object so a 503/504 log
+line correlates with server spans.
 
 Error handling contract: every error response is
-``{"error": {"code", "message", "status"}}`` with a stable machine-readable
-``code`` (see :mod:`repro.serve.errors`).  Overload (503) responses carry a
-``Retry-After`` header.  Tracebacks and internal exception details are never
-leaked unless the server was constructed with ``debug=True``.
+``{"error": {"code", "message", "status", "trace_id"[, "retry_of"]}}`` with a
+stable machine-readable ``code`` (see :mod:`repro.serve.errors`).  Overload
+(503) responses carry a ``Retry-After`` header.  Tracebacks and internal
+exception details are never leaked unless the server was constructed with
+``debug=True``.
 
 Built on :class:`http.server.ThreadingHTTPServer` — one thread per in-flight
 request, which is exactly what lets concurrent HTTP clients coalesce in the
@@ -48,17 +60,23 @@ from __future__ import annotations
 import json
 import math
 import threading
+import time
 import traceback
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 
 import numpy as np
 
+from ..obs import trace as obs_trace
+from ..obs.metrics import render_prometheus
 from . import proto
 from .errors import InvalidRequest, ServeError
 from .service import SolveService
 
 __all__ = ["ServeHTTPServer"]
+
+#: content type of the Prometheus text exposition format
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -69,6 +87,19 @@ class _Handler(BaseHTTPRequestHandler):
     def service(self) -> SolveService:
         return self.server.service  # type: ignore[attr-defined]
 
+    # -- trace correlation ------------------------------------------------ #
+    def _begin_request(self) -> None:
+        """Assign this request its trace identity (cheap; always done).
+
+        A client-supplied ``X-Trace-Id`` is adopted when well-formed so a
+        caller can correlate its own logs; otherwise a fresh id is minted.
+        ``X-Retry-Of`` lets a retrying client link the new trace to the
+        failed attempt's id (the ``retry_of`` span attribute).
+        """
+        incoming = proto._clean_trace_id(self.headers.get("X-Trace-Id"))
+        self._trace_id = incoming or obs_trace.new_trace_id()
+        self._retry_of = proto._clean_trace_id(self.headers.get("X-Retry-Of"))
+
     # -- helpers --------------------------------------------------------- #
     def _send_json(self, payload: dict, status: int = 200,
                    retry_after_s: Optional[float] = None) -> None:
@@ -76,6 +107,9 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        trace_id = getattr(self, "_trace_id", None)
+        if trace_id is not None:
+            self.send_header("X-Trace-Id", trace_id)
         if retry_after_s is not None:
             self.send_header("Retry-After", str(max(0, math.ceil(retry_after_s))))
         self.end_headers()
@@ -83,16 +117,25 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _send_error_json(self, code: str, message: str, status: int,
                          retry_after_s: Optional[float] = None) -> None:
-        """The one error shape: ``{"error": {"code", "message", "status"}}``."""
-        self._send_json(
-            {"error": {"code": code, "message": message, "status": status}},
-            status=status,
-            retry_after_s=retry_after_s,
-        )
+        """The one error shape: ``{"error": {"code", "message", "status",
+        "trace_id"[, "retry_of"]}}`` — the id correlates a 503/504 with
+        server-side spans."""
+        error = {"code": code, "message": message, "status": status,
+                 "trace_id": getattr(self, "_trace_id", None)}
+        retry_of = getattr(self, "_retry_of", None)
+        if retry_of is not None:
+            error["retry_of"] = retry_of
+        self._send_json({"error": error}, status=status,
+                        retry_after_s=retry_after_s)
 
     def _send_exception(self, error: BaseException) -> None:
         """Map an exception onto the structured error contract."""
+        span = obs_trace.current_span()
+        if span is not None and not span.terminal_events():
+            span.add_event("error", error_type=type(error).__name__,
+                           code=getattr(error, "code", None))
         if isinstance(error, ServeError):
+            error.trace_id = getattr(self, "_trace_id", None)
             self._send_error_json(error.code, str(error), error.http_status,
                                   retry_after_s=error.retry_after_s)
             return
@@ -127,6 +170,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- endpoints ------------------------------------------------------- #
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        self._begin_request()
         if self.path == "/healthz":
             health = self.service.health()
             stats = self.service.metrics.snapshot()
@@ -136,10 +180,33 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(health, status=status)
         elif self.path == "/stats":
             self._send_json(self.service.stats())
+        elif self.path == "/metrics":
+            try:
+                self._send_metrics()
+            except BaseException as error:  # noqa: BLE001 - mapped to JSON
+                self._send_exception(error)
         else:
             self._send_error_json("not_found", f"unknown path {self.path!r}", 404)
 
+    def _send_metrics(self) -> None:
+        """Render the service's metrics registry as Prometheus text."""
+        snapshot_fn = getattr(self.service, "metrics_snapshot", None)
+        if callable(snapshot_fn):
+            snapshot = snapshot_fn()
+        else:  # duck-typed service without the aggregating method
+            snapshot = self.service.metrics.registry.snapshot()
+        body = render_prometheus(snapshot).encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", METRICS_CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        trace_id = getattr(self, "_trace_id", None)
+        if trace_id is not None:
+            self.send_header("X-Trace-Id", trace_id)
+        self.end_headers()
+        self.wfile.write(body)
+
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        self._begin_request()
         if self.path != "/solve":
             self._send_error_json("not_found", f"unknown path {self.path!r}", 404)
             return
@@ -168,32 +235,43 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _solve_json(self) -> None:
         """The JSON debug path: floats as text, one right-hand side."""
-        try:
-            payload = self._read_json()
-            b = payload.get("b")
-            x0 = payload.get("x0")
-            deadline_ms = payload.get("deadline_ms")
-            if deadline_ms is not None:
-                deadline_ms = float(deadline_ms)
-            self.service.metrics.observe_proto("json")
-            result = self.service.solve(
-                payload.get("problem"),
-                b=np.asarray(b, dtype=np.float64) if b is not None else None,
-                x0=np.asarray(x0, dtype=np.float64) if x0 is not None else None,
-                solver_config=payload.get("config"),
-                deadline_ms=deadline_ms,
-            )
-        except BaseException as error:  # noqa: BLE001 - mapped to JSON errors
-            self._send_exception(error)
-            return
-        self._send_json({
-            "solution": result.solution.tolist(),
-            "converged": bool(result.converged),
-            "iterations": int(result.iterations),
-            "final_relative_residual": float(result.final_relative_residual),
-            "elapsed_s": float(result.elapsed_time),
-            "serve": self._serve_info(result),
-        })
+        with obs_trace.trace_root("http.request", trace_id=self._trace_id,
+                                  path="/solve", proto="json") as root:
+            if self._retry_of is not None:
+                root.set_attribute("retry_of", self._retry_of)
+            try:
+                with obs_trace.span("ingress.decode"):
+                    payload = self._read_json()
+                    b = payload.get("b")
+                    x0 = payload.get("x0")
+                    deadline_ms = payload.get("deadline_ms")
+                    if deadline_ms is not None:
+                        deadline_ms = float(deadline_ms)
+                    b = np.asarray(b, dtype=np.float64) if b is not None else None
+                    x0 = np.asarray(x0, dtype=np.float64) if x0 is not None else None
+                self.service.metrics.observe_proto("json")
+                with obs_trace.span("serve.dispatch"):
+                    result = self.service.solve(
+                        payload.get("problem"),
+                        b=b,
+                        x0=x0,
+                        solver_config=payload.get("config"),
+                        deadline_ms=deadline_ms,
+                    )
+            except BaseException as error:  # noqa: BLE001 - mapped to JSON errors
+                self._send_exception(error)
+                return
+            with obs_trace.span("response.encode"):
+                self._send_json({
+                    "solution": result.solution.tolist(),
+                    "converged": bool(result.converged),
+                    "iterations": int(result.iterations),
+                    "final_relative_residual": float(result.final_relative_residual),
+                    "elapsed_s": float(result.elapsed_time),
+                    "serve": self._serve_info(result),
+                })
+            root.add_event("result", converged=bool(result.converged),
+                           iterations=int(result.iterations))
 
     def _read_frame(self) -> "proto.Frame":
         length = int(self.headers.get("Content-Length", 0))
@@ -205,78 +283,110 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(200)
         self.send_header("Content-Type", proto.CONTENT_TYPE)
         self.send_header("Content-Length", str(len(frame_bytes)))
+        trace_id = getattr(self, "_trace_id", None)
+        if trace_id is not None:
+            self.send_header("X-Trace-Id", trace_id)
         self.end_headers()
         self.wfile.write(frame_bytes)
 
     def _solve_binary(self) -> None:
         """The zero-copy path: raw f64 blocks both ways, errors stay JSON."""
+        decode_start = time.perf_counter()
         try:
             frame = self._read_frame()
-            if frame.kind != "solve":
-                raise InvalidRequest(
-                    f"expected a 'solve' frame, got {frame.kind!r}"
-                )
-            meta = frame.meta
-            deadline_ms = meta.get("deadline_ms")
-            if deadline_ms is not None:
-                deadline_ms = float(deadline_ms)
-            b = frame.arrays.get("b")
-            block = frame.arrays.get("B")
-            x0 = frame.arrays.get("x0")
-            if block is not None:
-                if b is not None:
-                    raise InvalidRequest("send either 'b' or 'B', not both")
-                if block.ndim != 2 or block.shape[1] < 1:
-                    raise InvalidRequest(
-                        f"'B' must be a 2-D (n, k) block, got shape {block.shape}"
-                    )
-                if x0 is not None:
-                    raise InvalidRequest(
-                        "'x0' applies to single-column requests only"
-                    )
-                columns = [np.ascontiguousarray(block[:, j], dtype=np.float64)
-                           for j in range(block.shape[1])]
-            else:
-                columns = [b]
-            for _ in columns:
-                self.service.metrics.observe_proto("binary")
-            # fan the columns out concurrently: same-session columns coalesce
-            # in the micro-batching queue exactly like concurrent clients do
-            futures = [
-                self.service.submit(
-                    meta.get("problem"),
-                    b=column,
-                    x0=x0,
-                    solver_config=meta.get("config"),
-                    deadline_ms=deadline_ms,
-                )
-                for column in columns
-            ]
-            results = [future.result() for future in futures]
         except BaseException as error:  # noqa: BLE001 - mapped to JSON errors
             self._send_exception(error)
             return
-        arrays = {
-            "final_relative_residual": np.asarray(
-                [r.final_relative_residual for r in results], dtype=np.float64
-            ),
-        }
-        if block is not None:
-            arrays["solution"] = np.stack(
-                [r.solution for r in results], axis=1
-            )
-        else:
-            arrays["solution"] = results[0].solution
-            arrays["residual_history"] = np.asarray(
-                results[0].residual_history, dtype=np.float64
-            )
-        self._send_frame(proto.encode_frame("result", {
-            "k": len(results),
-            "converged": [bool(r.converged) for r in results],
-            "iterations": [int(r.iterations) for r in results],
-            "elapsed_s": [float(r.elapsed_time) for r in results],
-            "serve": [self._serve_info(r) for r in results],
-        }, arrays))
+        # A frame may carry its own trace correlation in the header meta (a
+        # relaying parent, or a client threading its own ids).  Malformed
+        # meta is dropped silently — it must never fail the solve.
+        trace_meta = proto.extract_trace_meta(frame.meta)
+        parent_id = None
+        if trace_meta is not None:
+            self._trace_id = trace_meta["trace_id"]
+            parent_id = trace_meta["parent_span_id"]
+        with obs_trace.trace_root("http.request", trace_id=self._trace_id,
+                                  parent_id=parent_id, path="/solve",
+                                  proto="binary") as root:
+            # The frame was read before the root could exist (its meta names
+            # the trace) — back-date the root so decode/dispatch/encode tile
+            # the request wall time.
+            root.start = decode_start
+            if self._retry_of is not None:
+                root.set_attribute("retry_of", self._retry_of)
+            root.child("ingress.decode", start=decode_start,
+                       end=time.perf_counter())
+            try:
+                if frame.kind != "solve":
+                    raise InvalidRequest(
+                        f"expected a 'solve' frame, got {frame.kind!r}"
+                    )
+                meta = frame.meta
+                deadline_ms = meta.get("deadline_ms")
+                if deadline_ms is not None:
+                    deadline_ms = float(deadline_ms)
+                b = frame.arrays.get("b")
+                block = frame.arrays.get("B")
+                x0 = frame.arrays.get("x0")
+                if block is not None:
+                    if b is not None:
+                        raise InvalidRequest("send either 'b' or 'B', not both")
+                    if block.ndim != 2 or block.shape[1] < 1:
+                        raise InvalidRequest(
+                            f"'B' must be a 2-D (n, k) block, got shape {block.shape}"
+                        )
+                    if x0 is not None:
+                        raise InvalidRequest(
+                            "'x0' applies to single-column requests only"
+                        )
+                    columns = [np.ascontiguousarray(block[:, j], dtype=np.float64)
+                               for j in range(block.shape[1])]
+                else:
+                    columns = [b]
+                for _ in columns:
+                    self.service.metrics.observe_proto("binary")
+                # fan the columns out concurrently: same-session columns
+                # coalesce in the micro-batching queue exactly like
+                # concurrent clients do
+                with obs_trace.span("serve.dispatch"):
+                    futures = [
+                        self.service.submit(
+                            meta.get("problem"),
+                            b=column,
+                            x0=x0,
+                            solver_config=meta.get("config"),
+                            deadline_ms=deadline_ms,
+                        )
+                        for column in columns
+                    ]
+                    results = [future.result() for future in futures]
+            except BaseException as error:  # noqa: BLE001 - mapped to JSON errors
+                self._send_exception(error)
+                return
+            with obs_trace.span("response.encode"):
+                arrays = {
+                    "final_relative_residual": np.asarray(
+                        [r.final_relative_residual for r in results], dtype=np.float64
+                    ),
+                }
+                if block is not None:
+                    arrays["solution"] = np.stack(
+                        [r.solution for r in results], axis=1
+                    )
+                else:
+                    arrays["solution"] = results[0].solution
+                    arrays["residual_history"] = np.asarray(
+                        results[0].residual_history, dtype=np.float64
+                    )
+                self._send_frame(proto.encode_frame("result", {
+                    "k": len(results),
+                    "converged": [bool(r.converged) for r in results],
+                    "iterations": [int(r.iterations) for r in results],
+                    "elapsed_s": [float(r.elapsed_time) for r in results],
+                    "serve": [self._serve_info(r) for r in results],
+                }, arrays))
+            root.add_event("result", k=len(results),
+                           converged=[bool(r.converged) for r in results])
 
 
 class ServeHTTPServer:

@@ -54,9 +54,12 @@ __all__ = [
     "MAGIC",
     "CONTENT_TYPE",
     "PROTO_VERSION",
+    "TRACE_META_KEY",
     "Frame",
     "encode_frame",
     "decode_frame",
+    "extract_trace_meta",
+    "make_trace_meta",
 ]
 
 MAGIC = b"RPB1"
@@ -74,6 +77,62 @@ _MAX_HEADER_BYTES = 1 << 24
 
 #: dtypes allowed on the wire — the numeric types the solver stack produces
 _WIRE_DTYPES = frozenset({"f8", "f4", "i8", "i4", "u8", "u4", "u1", "b1"})
+
+#: meta key carrying trace context across process/HTTP hops.  Unlike every
+#: other header field, the trace meta is advisory: a malformed value is
+#: *dropped*, never an :class:`InvalidRequest` — observability must not be
+#: able to fail a request.
+TRACE_META_KEY = "trace"
+_TRACE_ID_CHARS = frozenset("0123456789abcdefABCDEF-")
+_MAX_TRACE_ID_LEN = 128
+
+
+def _clean_trace_id(value: object) -> Optional[str]:
+    if (isinstance(value, str) and 0 < len(value) <= _MAX_TRACE_ID_LEN
+            and all(c in _TRACE_ID_CHARS for c in value)):
+        return value
+    return None
+
+
+def make_trace_meta(trace_id: str, parent_span_id: Optional[str] = None) -> Dict[str, str]:
+    """Build the ``meta["trace"]`` payload propagating a trace across a hop."""
+    meta = {"trace_id": str(trace_id)}
+    if parent_span_id is not None:
+        meta["parent_span_id"] = str(parent_span_id)
+    return meta
+
+
+def extract_trace_meta(meta: Mapping[str, object]) -> Optional[Dict[str, Optional[str]]]:
+    """Sanitise ``meta["trace"]`` from an incoming frame.
+
+    Returns ``{"trace_id": ..., "parent_span_id": ...}`` when the field is
+    well-formed (hex-ish ids of sane length), else ``None``.  Never raises:
+    arbitrary JSON garbage in the trace slot must leave the request servable.
+
+    >>> extract_trace_meta({"trace": {"trace_id": "ab12"}})
+    {'trace_id': 'ab12', 'parent_span_id': None}
+    >>> extract_trace_meta({"trace": {"trace_id": "nope!"}}) is None
+    True
+    >>> extract_trace_meta({"trace": [1, 2, 3]}) is None
+    True
+    >>> extract_trace_meta({}) is None
+    True
+    """
+    try:
+        payload = meta.get(TRACE_META_KEY)
+    except AttributeError:
+        return None
+    if not isinstance(payload, dict):
+        return None
+    trace_id = _clean_trace_id(payload.get("trace_id"))
+    if trace_id is None:
+        return None
+    parent = payload.get("parent_span_id")
+    parent_id = _clean_trace_id(parent) if parent is not None else None
+    if parent is not None and parent_id is None:
+        # a valid trace id with a garbage parent still correlates the hop
+        parent_id = None
+    return {"trace_id": trace_id, "parent_span_id": parent_id}
 
 
 def _json_default(value):

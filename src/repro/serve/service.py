@@ -74,6 +74,8 @@ import numpy as np
 
 from ..fem.problem import Problem
 from ..krylov.result import SolveResult
+from ..obs import events as obs_events
+from ..obs import trace as obs_trace
 from ..solvers.config import SolverConfig
 from ..solvers.fingerprint import session_key
 from ..solvers.session import SolverSession
@@ -214,7 +216,8 @@ class ServeConfig:
 
 class _Request:
     __slots__ = ("key", "session", "b", "x0", "future", "enqueued_at",
-                 "dequeued_at", "breaker_key", "rerouted", "deadline_at")
+                 "dequeued_at", "breaker_key", "rerouted", "deadline_at",
+                 "span")
 
     def __init__(self, key: str, session: SolverSession, b: Optional[np.ndarray],
                  x0: Optional[np.ndarray]) -> None:
@@ -230,6 +233,9 @@ class _Request:
         self.breaker_key = key
         self.rerouted = False
         self.deadline_at: Optional[float] = None  # time.monotonic() deadline
+        #: the caller's active span at submit time (None when tracing is off);
+        #: the worker attaches retrospective queue/solve children to it
+        self.span = obs_trace.current_span()
 
 
 class _Reaper(threading.Thread):
@@ -287,6 +293,9 @@ class _Reaper(threading.Thread):
                 )
             except InvalidStateError:
                 continue  # resolved in the meantime
+            span = getattr(request, "span", None)
+            if span is not None:
+                span.add_event("deadline_exceeded")
             self.service.metrics.observe_deadline_timeout()
             self.service.metrics.observe_error()
 
@@ -382,27 +391,36 @@ class _Worker(threading.Thread):
         session = batch[0].session
         solve_start = time.perf_counter()
         try:
-            if len(batch) == 1:
-                request = batch[0]
-                results = [session.solve(request.b, x0=request.x0)]
-            else:
-                vectors = [
-                    request.b if request.b is not None else session.problem.rhs
-                    for request in batch
-                ]
-                results = session.solve_many(
-                    np.stack(vectors), mode=service.config.solve_mode
-                ).results
+            # in-session child spans (session.solve, precond.apply) attach to
+            # the first request's trace; batch-mates get retrospective
+            # queue/solve children of their own below
+            with obs_trace.use_span(batch[0].span):
+                if len(batch) == 1:
+                    request = batch[0]
+                    results = [session.solve(request.b, x0=request.x0)]
+                else:
+                    vectors = [
+                        request.b if request.b is not None else session.problem.rhs
+                        for request in batch
+                    ]
+                    results = session.solve_many(
+                        np.stack(vectors), mode=service.config.solve_mode
+                    ).results
         except BaseException as error:  # noqa: BLE001 - delivered to the callers
             service.metrics.observe_error()
+            solve_end = time.perf_counter()
             for request in batch:
                 service._record_outcome(request, ok=False)
+                if request.span is not None:
+                    self._stamp_span(request, solve_start, solve_end, len(batch))
+                    request.span.add_event("error", error_type=type(error).__name__)
                 try:
                     request.future.set_exception(error)
                 except InvalidStateError:
                     pass  # deadline reaper got there first
             return
-        solve_ms = (time.perf_counter() - solve_start) * 1e3
+        solve_end = time.perf_counter()
+        solve_ms = (solve_end - solve_start) * 1e3
         service.metrics.observe_batch(len(batch))
         for request, result in zip(batch, results):
             queue_ms = (request.dequeued_at - request.enqueued_at) * 1e3
@@ -418,10 +436,25 @@ class _Worker(threading.Thread):
                 request, ok=result.converged and not degraded
             )
             service.metrics.observe_request(queue_ms, solve_ms)
+            if request.span is not None:
+                self._stamp_span(request, solve_start, solve_end, len(batch))
+                request.span.add_event(
+                    "result", converged=bool(result.converged),
+                    iterations=int(result.iterations),
+                )
             try:
                 request.future.set_result(result)
             except InvalidStateError:
                 pass  # deadline reaper got there first
+
+    def _stamp_span(self, request: _Request, solve_start: float,
+                    solve_end: float, batch_size: int) -> None:
+        """Attach retrospective queue/solve children to the request's span."""
+        span = request.span
+        span.child("serve.queue", start=request.enqueued_at,
+                   end=request.dequeued_at, worker=self.index)
+        span.child("serve.solve", start=solve_start, end=solve_end,
+                   worker=self.index, batch_size=batch_size)
 
 
 class SolveService:
@@ -541,6 +574,8 @@ class SolveService:
         """
         if self._closed:
             raise RuntimeError("service is closed")
+        caller_span = obs_trace.current_span()
+        route_start = time.perf_counter()
         try:
             resolved = self._resolve_problem(problem)
             config = self._resolve_config(solver_config)
@@ -569,6 +604,15 @@ class SolveService:
                 )
                 use_key = session_key(resolved, use_config, self.model)
                 rerouted = True
+                if caller_span is not None:
+                    caller_span.add_event(
+                        "breaker_reroute", rung=use_config.preconditioner
+                    )
+                if config.obs:
+                    obs_events.get_ring().emit(
+                        "breaker", action="reroute", key=key[:16],
+                        rung=use_config.preconditioner,
+                    )
 
         try:
             session = self.sessions.get_or_create(
@@ -589,6 +633,11 @@ class SolveService:
         if deadline_ms is not None:
             request.deadline_at = time.monotonic() + deadline_ms / 1e3
         worker = self._workers[int(use_key[:8], 16) % len(self._workers)]
+        if caller_span is not None:
+            # routing covers validation, session resolution and worker pick
+            caller_span.child("serve.route", start=route_start,
+                              end=time.perf_counter(), worker=worker.index,
+                              cache_key=use_key[:16], rerouted=rerouted)
         try:
             worker.submit(request, self.config.max_queue)
         except ServiceOverloaded:
@@ -679,6 +728,23 @@ class SolveService:
             "default_deadline_ms": self.config.default_deadline_ms,
         }
         return snapshot
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """Registry snapshot for ``/metrics`` (gauges refreshed at read time)."""
+        registry = self.metrics.registry
+        depth = registry.gauge(
+            "repro_serve_queue_depth", "Requests waiting per worker thread.")
+        for worker in self._workers:
+            depth.set(len(worker.queue), worker=str(worker.index))
+        registry.gauge(
+            "repro_serve_cached_sessions", "Prepared sessions in the LRU cache."
+        ).set(self.sessions.stats()["size"])
+        with self._breakers_lock:
+            states = [b.snapshot()["state"] for b in self._breakers.values()]
+        registry.gauge(
+            "repro_serve_breakers_open", "Circuit breakers currently open."
+        ).set(states.count("open"))
+        return registry.snapshot()
 
     def close(self, timeout: float = 10.0) -> None:
         """Stop accepting work and join the workers (queued work is drained)."""

@@ -61,6 +61,8 @@ import numpy as np
 
 from ..fem.problem import Problem
 from ..krylov.result import SolveResult
+from ..obs import trace as obs_trace
+from ..obs.metrics import merge_snapshots
 from ..solvers.config import SolverConfig
 from ..solvers.fingerprint import session_key
 from ..solvers.registry import preconditioner_spec
@@ -75,7 +77,13 @@ from .errors import (
 )
 from .metrics import ServeMetrics
 from .problems import ProblemCache
-from .proto import decode_frame, encode_frame
+from .proto import (
+    TRACE_META_KEY,
+    decode_frame,
+    encode_frame,
+    extract_trace_meta,
+    make_trace_meta,
+)
 from .service import ServeConfig, SolveService, _Reaper, validate_vector
 
 __all__ = ["ShardConfig", "ShardedSolveService", "build_ring", "route"]
@@ -204,7 +212,8 @@ class ShardConfig:
 # --------------------------------------------------------------------------- #
 # worker process
 # --------------------------------------------------------------------------- #
-def _result_frame(req_id: int, result: SolveResult) -> bytes:
+def _result_frame(req_id: int, result: SolveResult,
+                  trace: Optional[Dict[str, object]] = None) -> bytes:
     meta = {
         "req_id": req_id,
         "converged": bool(result.converged),
@@ -214,6 +223,8 @@ def _result_frame(req_id: int, result: SolveResult) -> bytes:
         "failure_reason": result.failure_reason,
         "info": result.info,
     }
+    if trace is not None:
+        meta[TRACE_META_KEY] = trace
     arrays = {
         "solution": np.asarray(result.solution, dtype=np.float64),
         "residual_history": np.asarray(result.residual_history, dtype=np.float64),
@@ -221,19 +232,23 @@ def _result_frame(req_id: int, result: SolveResult) -> bytes:
     return encode_frame("result", meta, arrays)
 
 
-def _error_frame(req_id: Optional[int], error: BaseException) -> bytes:
+def _error_frame(req_id: Optional[int], error: BaseException,
+                 trace: Optional[Dict[str, object]] = None) -> bytes:
     if isinstance(error, ServeError):
         code, status, retry = error.code, error.http_status, error.retry_after_s
     else:
         code, status, retry = "internal", 500, None
-    return encode_frame("error", {
+    meta = {
         "req_id": req_id,
         "code": code,
         "status": status,
         "retry_after_s": retry,
         "message": f"{type(error).__name__}: {error}"
         if not isinstance(error, ServeError) else str(error),
-    })
+    }
+    if trace is not None:
+        meta[TRACE_META_KEY] = trace
+    return encode_frame("error", meta)
 
 
 def _shard_worker_main(conn, bootstrap: Dict[str, object]) -> None:
@@ -250,6 +265,11 @@ def _shard_worker_main(conn, bootstrap: Dict[str, object]) -> None:
     """
     installed_faults = []
     try:
+        if bootstrap.get("trace_enabled"):
+            # mirror the parent's tracing state so session/preconditioner
+            # child spans open inside the worker too (robust under spawn,
+            # where module globals are not inherited)
+            obs_trace.enable_tracing()
         fault_specs = bootstrap.get("fault_specs") or ()
         if fault_specs:
             from .. import faults as faults_module
@@ -287,14 +307,22 @@ def _shard_worker_main(conn, bootstrap: Dict[str, object]) -> None:
             except (BrokenPipeError, OSError):
                 os._exit(0)  # parent is gone; nothing left to serve
 
-    def finish(req_id: int, future: "Future[SolveResult]") -> None:
+    def finish(req_id: int, future: "Future[SolveResult]",
+               root: Optional[obs_trace.Span] = None) -> None:
+        trace_payload = None
+        if root is not None:
+            root.finish()
+            try:
+                trace_payload = root.to_dict()
+            except Exception:  # never let telemetry break the reply
+                trace_payload = None
         try:
             result = future.result()
         except BaseException as error:  # noqa: BLE001 - serialised to the parent
-            send(_error_frame(req_id, error))
+            send(_error_frame(req_id, error, trace=trace_payload))
             return
         try:
-            send(_result_frame(req_id, result))
+            send(_result_frame(req_id, result, trace=trace_payload))
         except Exception as error:  # unserialisable info — still answer typed
             send(_error_frame(req_id, error))
 
@@ -323,18 +351,31 @@ def _shard_worker_main(conn, bootstrap: Dict[str, object]) -> None:
                         ) from None
                 else:
                     problem = meta.get("problem_spec")
-                future = service.submit(
-                    problem,
-                    b=frame.arrays.get("b"),
-                    x0=frame.arrays.get("x0"),
-                    solver_config=meta.get("config"),
-                    deadline_ms=meta.get("deadline_ms"),
-                )
+                # re-root the parent's trace inside this process: a valid
+                # trace meta yields a worker-local root whose finished tree
+                # ships back in the reply frame; malformed meta is dropped
+                trace_meta = extract_trace_meta(meta)
+                root = None
+                if trace_meta is not None and obs_trace.trace_enabled():
+                    root = obs_trace.Span(
+                        "worker.request",
+                        trace_id=trace_meta["trace_id"],
+                        parent_id=trace_meta["parent_span_id"],
+                        pid=os.getpid(),
+                    )
+                with obs_trace.use_span(root):
+                    future = service.submit(
+                        problem,
+                        b=frame.arrays.get("b"),
+                        x0=frame.arrays.get("x0"),
+                        solver_config=meta.get("config"),
+                        deadline_ms=meta.get("deadline_ms"),
+                    )
             except BaseException as error:  # noqa: BLE001 - serialised to the parent
                 send(_error_frame(req_id, error))
             else:
                 future.add_done_callback(
-                    lambda done, rid=req_id: finish(rid, done)
+                    lambda done, rid=req_id, sp=root: finish(rid, done, sp)
                 )
         elif frame.kind == "install_problem":
             try:
@@ -357,6 +398,12 @@ def _shard_worker_main(conn, bootstrap: Dict[str, object]) -> None:
         elif frame.kind == "stats":
             send(encode_frame("stats_result",
                               {"req_id": req_id, "payload": service.stats()}))
+        elif frame.kind == "metrics":
+            # registry snapshot piggybacked on the stats admin path — the
+            # parent merges it with its own for /metrics exposition
+            send(encode_frame("metrics_result",
+                              {"req_id": req_id,
+                               "payload": service.metrics_snapshot()}))
         elif frame.kind == "health":
             send(encode_frame("health_result",
                               {"req_id": req_id, "payload": service.health()}))
@@ -381,7 +428,7 @@ class _Pending:
     """One in-flight request on a shard (duck-types the reaper's interface)."""
 
     __slots__ = ("future", "breaker_key", "rerouted", "deadline_at",
-                 "enqueued_at", "admin")
+                 "enqueued_at", "admin", "span", "sent_at")
 
     def __init__(self, breaker_key: str = "", rerouted: bool = False,
                  admin: bool = False) -> None:
@@ -391,6 +438,10 @@ class _Pending:
         self.deadline_at: Optional[float] = None
         self.enqueued_at = time.perf_counter()
         self.admin = admin
+        #: caller's span at submit time (parent side); the reply handler
+        #: attaches the shard round-trip child and grafts the worker subtree
+        self.span = None if admin else obs_trace.current_span()
+        self.sent_at = self.enqueued_at
 
 
 class _Shard:
@@ -489,6 +540,9 @@ class ShardedSolveService:
             "model_manifest": model_manifest,
             "model_pickle": model_pickle,
             "fault_specs": tuple(self.shard_config.faults),
+            # snapshotted at construction: enable tracing BEFORE building the
+            # pool if worker-side session spans are wanted
+            "trace_enabled": obs_trace.trace_enabled(),
         }
 
         self._shards = [_Shard(slot) for slot in range(self.shard_config.workers)]
@@ -550,6 +604,14 @@ class ShardedSolveService:
             pending = shard.pending.pop(req_id, None) if req_id is not None else None
         if pending is None:
             return  # reaped, duplicate, or a protocol-level error frame
+        if pending.span is not None and frame.kind in ("result", "error"):
+            roundtrip = pending.span.child(
+                "shard.roundtrip", start=pending.sent_at,
+                end=time.perf_counter(), shard=shard.slot,
+            )
+            worker_trace = meta.get(TRACE_META_KEY)
+            if isinstance(worker_trace, dict):
+                roundtrip.graft(worker_trace)
         if frame.kind == "result":
             result = SolveResult(
                 solution=frame.arrays["solution"],
@@ -571,6 +633,11 @@ class ShardedSolveService:
             total_ms = (time.perf_counter() - pending.enqueued_at) * 1e3
             solve_ms = min(float(meta["elapsed_s"]) * 1e3, total_ms)
             self.metrics.observe_request(total_ms - solve_ms, solve_ms)
+            if pending.span is not None:
+                pending.span.add_event(
+                    "result", converged=bool(result.converged),
+                    iterations=int(result.iterations), shard=shard.slot,
+                )
             try:
                 pending.future.set_result(result)
             except InvalidStateError:
@@ -581,6 +648,8 @@ class ShardedSolveService:
                 str(meta.get("message") or "worker error"),
                 retry_after_s=meta.get("retry_after_s"),
             )
+            if pending.span is not None:
+                pending.span.add_event("error", code=error.code, shard=shard.slot)
             self.metrics.observe_error()
             if error.code == "overloaded":
                 self.metrics.observe_shed()
@@ -590,7 +659,7 @@ class ShardedSolveService:
                 pending.future.set_exception(error)
             except InvalidStateError:
                 pass
-        elif frame.kind in ("stats_result", "health_result"):
+        elif frame.kind in ("stats_result", "health_result", "metrics_result"):
             try:
                 pending.future.set_result(meta.get("payload"))
             except InvalidStateError:
@@ -627,6 +696,8 @@ class ShardedSolveService:
                 "service closed before the request completed" if stopping
                 else f"{reason}; the request was in flight and may be retried"
             )
+            if pending.span is not None and not stopping:
+                pending.span.add_event("worker_crashed", shard=shard.slot)
             if not stopping:
                 self.metrics.observe_error()
                 if not pending.admin:
@@ -748,6 +819,8 @@ class ShardedSolveService:
         """
         if self._closed:
             raise RuntimeError("service is closed")
+        caller_span = obs_trace.current_span()
+        route_start = time.perf_counter()
         try:
             resolved, spec = self._resolve_problem(problem)
             config = self._resolve_config(solver_config)
@@ -774,6 +847,10 @@ class ShardedSolveService:
                 )
                 use_key = session_key(resolved, use_config, self.model)
                 rerouted = True
+                if caller_span is not None:
+                    caller_span.add_event(
+                        "breaker_reroute", rung=use_config.preconditioner
+                    )
 
         shard = self._shards[route(self._ring, use_key)]
         if shard.dead:
@@ -809,12 +886,24 @@ class ShardedSolveService:
             "config": use_config.to_dict(),
             "deadline_ms": deadline_ms,
         }
+        if caller_span is not None:
+            # trace context crosses the fork in the frame header meta; the
+            # worker re-roots under (trace_id, this span) and ships its
+            # finished subtree back in the reply
+            meta[TRACE_META_KEY] = make_trace_meta(
+                caller_span.trace_id, caller_span.span_id
+            )
+            caller_span.child(
+                "serve.route", start=route_start, end=time.perf_counter(),
+                shard=shard.slot, cache_key=use_key[:16], rerouted=rerouted,
+            )
         arrays: Dict[str, np.ndarray] = {}
         if b is not None:
             arrays["b"] = b
         if x0 is not None:
             arrays["x0"] = x0
         frame_bytes = encode_frame("solve", meta, arrays)
+        pending.sent_at = time.perf_counter()
         with shard.lock:
             shard.pending[req_id] = pending
         try:
@@ -922,6 +1011,31 @@ class ShardedSolveService:
             "max_pending_per_shard": self._max_pending,
         }
         return snapshot
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """Merged registry snapshot: parent + every responsive shard.
+
+        Counters and histograms sum element-wise (fixed buckets make the
+        merge exact); the ``/metrics`` endpoint renders the result, so one
+        scrape sees the whole pool.  An unresponsive shard contributes
+        nothing — the parent's own counters still cover its crashes.
+        """
+        registry = self.metrics.registry
+        depth = registry.gauge(
+            "repro_serve_pending_requests", "In-flight requests per shard.")
+        for shard in self._shards:
+            depth.set(len(shard.pending), shard=str(shard.slot))
+        with self._breakers_lock:
+            states = [b.snapshot()["state"] for b in self._breakers.values()]
+        registry.gauge(
+            "repro_serve_breakers_open", "Circuit breakers currently open."
+        ).set(states.count("open"))
+        snapshots = [registry.snapshot()]
+        for shard in self._shards:
+            payload = self._admin_request(shard, "metrics")
+            if isinstance(payload, dict):
+                snapshots.append(payload)
+        return merge_snapshots(snapshots)
 
     def health(self) -> Dict[str, object]:
         """Aggregated liveness: shard processes, restart counts, breakers.

@@ -91,6 +91,14 @@ class SolverConfig:
         Optional path to a versioned checkpoint
         (:mod:`repro.gnn.checkpoint`); when the preconditioner needs a model
         and none is passed to ``prepare``, it is loaded from here.
+    obs:
+        Opt-in convergence telemetry (:mod:`repro.obs`): ``None`` (default,
+        zero-cost) or a JSON-safe dict of options — ``{"convergence": True}``
+        streams per-iteration residual, rung and breaker events into the
+        process-wide event ring.  **Purely observational**: excluded from
+        :meth:`config_hash` (and therefore from serve-layer session keys),
+        and must never perturb solver numerics — telemetry on/off yields
+        bit-identical solutions.
     """
 
     preconditioner: str = "ddm-gnn"
@@ -110,6 +118,7 @@ class SolverConfig:
     fallback: List[str] = field(default_factory=list)
     stagnation_window: Optional[int] = 250
     checkpoint: Optional[str] = None
+    obs: Optional[Dict] = None
 
     # ------------------------------------------------------------------ #
     def __post_init__(self) -> None:
@@ -144,6 +153,10 @@ class SolverConfig:
                 f"stagnation_window must be a positive int or None, "
                 f"got {self.stagnation_window!r}"
             )
+        if self.obs is not None and not isinstance(self.obs, dict):
+            raise ValueError(
+                f"obs must be None or a dict of telemetry options, got {self.obs!r}"
+            )
 
     def config_hash(self) -> str:
         """Stable SHA-256 over every solver-behaviour field.
@@ -151,7 +164,9 @@ class SolverConfig:
         The ``checkpoint`` *path* is excluded: the session cache key
         (:func:`repro.solvers.fingerprint.session_key`) hashes the
         checkpoint's **content** separately, so moving a checkpoint file does
-        not change a session's identity while retraining it does.
+        not change a session's identity while retraining it does.  The
+        ``obs`` telemetry options are excluded too: observation must never
+        change which cached session answers a request.
 
         >>> a = SolverConfig(preconditioner="ddm-lu")
         >>> b = SolverConfig(preconditioner="ddm-lu", checkpoint="elsewhere.npz")
@@ -159,11 +174,15 @@ class SolverConfig:
         True
         >>> a.config_hash() == SolverConfig(preconditioner="ic0").config_hash()
         False
+        >>> c = SolverConfig(preconditioner="ddm-lu", obs={"convergence": True})
+        >>> a.config_hash() == c.config_hash()
+        True
         """
         from ..gnn.checkpoint import config_hash
 
         data = self.to_dict()
         data.pop("checkpoint", None)
+        data.pop("obs", None)
         return config_hash(data)
 
     def to_dict(self) -> Dict:

@@ -40,6 +40,8 @@ from ..core.ddm_gnn import DDMGNNPreconditioner
 from ..ddm.asm import Preconditioner
 from ..fem.problem import Problem
 from ..krylov.result import SolveResult
+from ..obs import events as obs_events
+from ..obs import trace as obs_trace
 from ..partition.overlap import OverlappingDecomposition
 from .config import SolverConfig
 from .fingerprint import session_key
@@ -304,16 +306,61 @@ class SolverSession:
         ``info["ladder_attempts"]`` trail.
         """
         b = self.problem.rhs if b is None else np.asarray(b, dtype=np.float64)
-        try:
-            with self._lock:
-                result = self._solve_locked(b, x0)
-        except Exception as error:
-            if not self.config.fallback:
-                raise
-            return self._degrade(b, x0, primary_result=None, primary_error=error)
-        if result.converged or not self.config.fallback:
-            return result
-        return self._degrade(b, x0, primary_result=result, primary_error=None)
+        with obs_trace.span("session.solve",
+                            preconditioner=self.config.preconditioner,
+                            krylov=self.config.krylov) as span:
+            try:
+                with self._lock:
+                    result = self._solve_locked(b, x0)
+            except Exception as error:
+                if not self.config.fallback:
+                    raise
+                return self._degrade(b, x0, primary_result=None, primary_error=error)
+            if result.converged or not self.config.fallback:
+                span.set_attribute("converged", bool(result.converged))
+                span.set_attribute("iterations", int(result.iterations))
+                return result
+            return self._degrade(b, x0, primary_result=result, primary_error=None)
+
+    def _emit_iteration_events(self, result: SolveResult, column: Optional[int] = None) -> None:
+        """Stream one solve's per-iteration residuals into the event ring.
+
+        Purely observational and free when telemetry is off: the rows are
+        derived *after* the solve from ``result.residual_history`` (which the
+        Krylov method records unconditionally), so the iteration hot loop
+        carries no telemetry cost at all and solves with telemetry on are
+        bit-identical to solves with it off.  ``residual_history[0]`` is the
+        initial residual; entries 1..k are the performed iterations.
+        """
+        if not self.config.obs:
+            return
+        history = result.residual_history
+        if len(history) < 2:
+            return
+        kind = self.config.preconditioner
+        method = self.config.krylov
+        ts = time.time()
+        extra = {} if column is None else {"column": int(column)}
+        obs_events.get_ring().extend([
+            {"ts": ts, "kind": "iteration", "iteration": i,
+             "residual": float(rel), "preconditioner": kind, "krylov": method,
+             **extra}
+            for i, rel in enumerate(history[1:], 1)
+        ])
+
+    def _emit_terminal(self, result: SolveResult) -> None:
+        """Stream a solve's outcome into the event ring (telemetry on only)."""
+        if not self.config.obs:
+            return
+        obs_events.get_ring().emit(
+            "terminal",
+            converged=bool(result.converged),
+            iterations=int(result.iterations),
+            failure_reason=result.failure_reason,
+            residual=float(result.residual_history[-1])
+            if result.residual_history else None,
+            preconditioner=self.config.preconditioner,
+        )
 
     def _solve_locked(self, b: np.ndarray, x0: Optional[np.ndarray]) -> SolveResult:
         """One primary solve; caller holds the session lock."""
@@ -329,6 +376,8 @@ class SolverSession:
             **self._krylov_kwargs,
         )
         self._stamp_info(result)
+        self._emit_iteration_events(result)
+        self._emit_terminal(result)
         return result
 
     # -- degradation ladder -------------------------------------------- #
@@ -367,6 +416,17 @@ class SolverSession:
             if primary_error is not None
             else primary_result.failure_reason
         )
+        observing = bool(self.config.obs)
+        if observing:
+            obs_events.get_ring().emit(
+                "rung", action="primary_failed",
+                rung=self.config.preconditioner, rung_index=0,
+                failure=primary_failure,
+            )
+        span = obs_trace.current_span()
+        if span is not None:
+            span.add_event("rung_descent", primary=self.config.preconditioner,
+                           failure=primary_failure)
         attempts: List[Dict[str, object]] = [
             {"rung": self.config.preconditioner, "rung_index": 0,
              "failure": primary_failure}
@@ -380,10 +440,23 @@ class SolverSession:
             except Exception as error:  # a rung may fail too; try the next one
                 attempts.append({"rung": kind, "rung_index": index + 1,
                                  "failure": f"{type(error).__name__}: {error}"})
+                if observing:
+                    obs_events.get_ring().emit(
+                        "rung", action="rung_failed", rung=kind,
+                        rung_index=index + 1,
+                        failure=f"{type(error).__name__}: {error}",
+                    )
                 last_error = error
                 continue
             attempts.append({"rung": kind, "rung_index": index + 1,
                              "failure": result.failure_reason})
+            if observing:
+                obs_events.get_ring().emit(
+                    "rung",
+                    action="rung_converged" if result.converged else "rung_failed",
+                    rung=kind, rung_index=index + 1,
+                    failure=result.failure_reason,
+                )
             result.info["degraded"] = True
             result.info["rung"] = kind
             result.info["rung_index"] = index + 1
@@ -480,7 +553,8 @@ class SolverSession:
         start = time.perf_counter()
         if use_fused and len(vectors) > 1:
             try:
-                with self._lock:
+                with self._lock, obs_trace.span(
+                        "session.solve_many", num_rhs=len(vectors), mode="fused"):
                     results = self.krylov.lockstep(
                         self.problem.matrix,
                         vectors,
@@ -490,8 +564,10 @@ class SolverSession:
                         max_iterations=self.config.max_iterations,
                         **self._lockstep_stagnation_kwargs,
                     )
-                    for result in results:
+                    for column, result in enumerate(results):
                         self._stamp_info(result)
+                        self._emit_iteration_events(result, column=column)
+                        self._emit_terminal(result)
             except Exception as error:
                 if not self.config.fallback:
                     raise
@@ -517,7 +593,8 @@ class SolverSession:
             return MultiSolveResult(
                 results=results, elapsed_time=time.perf_counter() - start, mode="fused"
             )
-        with self._lock:
+        with self._lock, obs_trace.span(
+                "session.solve_many", num_rhs=len(vectors), mode="sequential"):
             results = [self.solve(row, x0=x0) for row in vectors]
         return MultiSolveResult(
             results=results, elapsed_time=time.perf_counter() - start, mode="sequential"
@@ -545,10 +622,11 @@ class SolverSession:
         """
         from ..timestepping.march import march as _march
 
-        return _march(
-            self, u0=u0, dt=dt, steps=steps,
-            warm_start=warm_start, record_states=record_states,
-        )
+        with obs_trace.span("session.march", steps=int(steps)):
+            return _march(
+                self, u0=u0, dt=dt, steps=steps,
+                warm_start=warm_start, record_states=record_states,
+            )
 
     def march_many(
         self,
